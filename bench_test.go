@@ -1,0 +1,197 @@
+package repro
+
+// One benchmark per experiment in the DESIGN.md index (E1–E18), plus
+// engine micro-benchmarks. Each experiment benchmark runs the exact
+// workload that regenerates the corresponding paper artefact; the
+// EXPERIMENTS.md tables were produced from the same code via cmd/cxrpq-exp.
+
+import (
+	"testing"
+
+	"cxrpq/internal/crpq"
+	"cxrpq/internal/cxrpq"
+	"cxrpq/internal/ecrpq"
+	"cxrpq/internal/exp"
+	"cxrpq/internal/pattern"
+	"cxrpq/internal/separations"
+	"cxrpq/internal/workload"
+	"cxrpq/internal/xregex"
+)
+
+func benchTable(b *testing.B, f func(int) *exp.Table) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		t := f(1)
+		if t.Err != nil {
+			b.Fatal(t.Err)
+		}
+	}
+}
+
+func BenchmarkE01Figure1(b *testing.B)       { benchTable(b, exp.E01Figure1) }
+func BenchmarkE02Figure2(b *testing.B)       { benchTable(b, exp.E02Figure2) }
+func BenchmarkE03Theorem1(b *testing.B)      { benchTable(b, exp.E03Theorem1) }
+func BenchmarkE04Theorem3(b *testing.B)      { benchTable(b, exp.E04Theorem3) }
+func BenchmarkE05NormalForm(b *testing.B)    { benchTable(b, exp.E05NormalForm) }
+func BenchmarkE06VsfEval(b *testing.B)       { benchTable(b, exp.E06VsfEval) }
+func BenchmarkE07VsfFlat(b *testing.B)       { benchTable(b, exp.E07VsfFlat) }
+func BenchmarkE08BoundedEval(b *testing.B)   { benchTable(b, exp.E08BoundedEval) }
+func BenchmarkE09HittingSet(b *testing.B)    { benchTable(b, exp.E09HittingSet) }
+func BenchmarkE10LogBounded(b *testing.B)    { benchTable(b, exp.E10LogBounded) }
+func BenchmarkE11Figure5(b *testing.B)       { benchTable(b, exp.E11Figure5) }
+func BenchmarkE12Separations(b *testing.B)   { benchTable(b, exp.E12Separations) }
+func BenchmarkE13Fig7(b *testing.B)          { benchTable(b, exp.E13Fig7) }
+func BenchmarkE14Lemma12(b *testing.B)       { benchTable(b, exp.E14Lemma12) }
+func BenchmarkE15Lemma13(b *testing.B)       { benchTable(b, exp.E15Lemma13) }
+func BenchmarkE16Lemma14(b *testing.B)       { benchTable(b, exp.E16Lemma14) }
+func BenchmarkE17Ablations(b *testing.B)     { benchTable(b, exp.E17Ablations) }
+func BenchmarkE18PathSemantics(b *testing.B) { benchTable(b, exp.E18PathSemantics) }
+
+// --- engine micro-benchmarks ---
+
+func BenchmarkCRPQEval(b *testing.B) {
+	db := workload.Layered(9, 12, 5, "abc")
+	q := crpq.MustParse("ans(x, y)\nx m : a(b|c)*\nm y : c+")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := q.Eval(db); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEqualityProduct(b *testing.B) {
+	db := workload.Random(17, 12, 30, "ab")
+	q := cxrpq.MustParse("ans(s, t, s2, t2)\ns t : $x{(a|b)(a|b)}\ns2 t2 : $x")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cxrpq.EvalSimple(q, db); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEqualLengthRelation(b *testing.B) {
+	q := separations.QAnBn()
+	db := separations.DnMPaths(8, 8, 'b')
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ecrpq.EvalBool(q, db); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkVsfEval(b *testing.B) {
+	db := workload.Layered(9, 8, 4, "abc")
+	q := cxrpq.MustParse("ans(v1, v2)\nv1 v2 : $x{aa|b}\nv2 v3 : c*\nv3 v1 : $x|c")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cxrpq.EvalVsf(q, db); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBoundedEval(b *testing.B) {
+	db := workload.Layered(13, 6, 3, "abc")
+	q := cxrpq.MustParse("ans(s, t)\ns t : $x{(a|b)+}c\nt s : $x+|b")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cxrpq.EvalBounded(q, db, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNormalForm(b *testing.B) {
+	c := cxrpq.CXRE{
+		xregex.MustParse("$x{a*$y{b*}a$z}|($x{b*}($z|$y{c*}))"),
+		xregex.MustParse("(a*|$x)$z{$y(a|b)}"),
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := cxrpq.NormalForm(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkXregexMatch(b *testing.B) {
+	n := xregex.MustParse("a*$x1{a*$x2{(a|b)*}b*a*}$x2*(a|b)*$x1")
+	w := "aaaa" + "baba" + "ababab" + "bababa" + "a"
+	sigma := []rune("ab")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !xregex.MatchBool(n, w, sigma) {
+			b.Fatal("should match")
+		}
+	}
+}
+
+// --- ablation benchmarks (design choices called out in DESIGN.md) ---
+
+// Ablation: EvalBounded's candidate pruning (path labels + definition-body
+// filters) vs the literal Theorem 6 blind guess over (Σ^≤k)^n.
+func BenchmarkAblationBoundedPruned(b *testing.B) {
+	db := workload.Random(13, 6, 18, "abc")
+	q := cxrpq.MustParse("ans(s, t)\ns t : $x{(a|b)+}c\nt s : $x+|b")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cxrpq.EvalBounded(q, db, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationBoundedNaive(b *testing.B) {
+	db := workload.Random(13, 6, 18, "abc")
+	q := cxrpq.MustParse("ans(s, t)\ns t : $x{(a|b)+}c\nt s : $x+|b")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cxrpq.EvalBoundedNaive(q, db, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Ablation: specialized lock-step equality product vs driving the generic
+// ⊥-padded relation engine with an explicit equality NFA.
+func BenchmarkAblationEqualitySpecialized(b *testing.B) {
+	db := workload.Random(17, 10, 24, "ab")
+	q := &ecrpq.Query{
+		Pattern: pattern.MustParseQuery("ans(x1, y1, x2, y2)\nx1 y1 : (a|b)+\nx2 y2 : (a|b)+"),
+		Groups:  []ecrpq.Group{{Edges: []int{0, 1}, Rel: &ecrpq.Equality{N: 2}}},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ecrpq.Eval(q, db); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationEqualityGenericNFA(b *testing.B) {
+	db := workload.Random(17, 10, 24, "ab")
+	q := &ecrpq.Query{
+		Pattern: pattern.MustParseQuery("ans(x1, y1, x2, y2)\nx1 y1 : (a|b)+\nx2 y2 : (a|b)+"),
+		Groups:  []ecrpq.Group{{Edges: []int{0, 1}, Rel: ecrpq.EqualityNFA(2, []rune("ab"))}},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ecrpq.Eval(q, db); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRegexCompile(b *testing.B) {
+	n := xregex.MustParse("a(b|c)*([^a]|bc)+d?")
+	sigma := []rune("abcd")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := xregex.Compile(n, sigma); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

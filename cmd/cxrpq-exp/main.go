@@ -1,0 +1,44 @@
+// Command cxrpq-exp runs the paper-reproduction experiment suite (the
+// E1–E16 index in DESIGN.md) and prints one table per experiment. The
+// outputs recorded in EXPERIMENTS.md were produced by this command.
+//
+// Usage:
+//
+//	cxrpq-exp [-scale 1] [-only E5,E11]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"cxrpq/internal/exp"
+)
+
+func main() {
+	scale := flag.Int("scale", 1, "workload scale factor (1 = fast)")
+	only := flag.String("only", "", "comma-separated experiment IDs to run (default: all)")
+	flag.Parse()
+
+	want := map[string]bool{}
+	for _, id := range strings.Split(*only, ",") {
+		id = strings.TrimSpace(id)
+		if id != "" {
+			want[strings.ToUpper(id)] = true
+		}
+	}
+	failed := false
+	for _, t := range exp.All(*scale) {
+		if len(want) > 0 && !want[strings.ToUpper(t.ID)] {
+			continue
+		}
+		fmt.Println(t.Render())
+		if t.Err != nil {
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

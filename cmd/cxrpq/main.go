@@ -1,0 +1,135 @@
+// Command cxrpq evaluates a CXRPQ (or CRPQ) on a graph database.
+//
+// Usage:
+//
+//	cxrpq -graph db.txt -query q.txt [-algo auto|vsf|bounded|log|any] [-k 3]
+//
+// The graph format is one edge per line: "from label to". The query format:
+//
+//	ans(x, y)
+//	x y : a$v{a|b}b*
+//	y z : $v+
+//
+// The algorithm is chosen per the query's fragment by default (auto):
+// CRPQ/simple/vstar-free queries get their complete algorithms; other
+// queries require -algo bounded/log/any with the CXRPQ^≤k / CXRPQ^log
+// semantics of §6 of the paper.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cxrpq/internal/cxrpq"
+	"cxrpq/internal/graph"
+	"cxrpq/internal/pattern"
+)
+
+func main() {
+	graphPath := flag.String("graph", "", "path to the graph database file")
+	queryPath := flag.String("query", "", "path to the query file")
+	algo := flag.String("algo", "auto", "evaluation algorithm: auto, vsf, bounded, log, any")
+	k := flag.Int("k", 3, "image bound for -algo bounded/any")
+	explain := flag.Bool("explain", false, "print one witness (matching words and variable images)")
+	flag.Parse()
+	if *graphPath == "" || *queryPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*graphPath, *queryPath, *algo, *k, *explain); err != nil {
+		fmt.Fprintln(os.Stderr, "cxrpq:", err)
+		os.Exit(1)
+	}
+}
+
+func run(graphPath, queryPath, algo string, k int, explain bool) error {
+	gf, err := os.Open(graphPath)
+	if err != nil {
+		return err
+	}
+	defer gf.Close()
+	db, err := graph.Read(gf)
+	if err != nil {
+		return err
+	}
+	qb, err := os.ReadFile(queryPath)
+	if err != nil {
+		return err
+	}
+	q, err := cxrpq.Parse(string(qb))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("fragment: %s  |q|=%d  |D|=%d\n", q.Fragment(), q.Size(), db.Size())
+
+	if explain {
+		var ex *cxrpq.Explanation
+		var found bool
+		if q.IsVStarFree() {
+			ex, found, err = cxrpq.ExplainVsf(q, db, nil)
+		} else {
+			ex, found, err = cxrpq.ExplainBounded(q, db, k, nil)
+		}
+		if err != nil {
+			return err
+		}
+		if !found {
+			fmt.Println("no match to explain")
+			return nil
+		}
+		fmt.Println("witness:")
+		for v, n := range ex.NodeOf {
+			fmt.Printf("  node %s = %s\n", v, db.Name(n))
+		}
+		for i, w := range ex.Words {
+			fmt.Printf("  edge %d word = %q\n", i, w)
+		}
+		for x, img := range ex.Images {
+			fmt.Printf("  $%s = %q\n", x, img)
+		}
+		return nil
+	}
+
+	var res *pattern.TupleSet
+	switch algo {
+	case "auto":
+		res, err = cxrpq.Eval(q, db)
+	case "vsf":
+		res, err = cxrpq.EvalVsf(q, db)
+	case "bounded":
+		res, err = cxrpq.EvalBounded(q, db, k)
+	case "log":
+		res, err = cxrpq.EvalLog(q, db)
+	case "any":
+		var capped bool
+		res, capped, err = cxrpq.EvalAny(q, db, k)
+		if capped {
+			fmt.Println("note: image cap reached; matches with longer variable images may be missing")
+		}
+	default:
+		return fmt.Errorf("unknown -algo %q", algo)
+	}
+	if err != nil {
+		return err
+	}
+	if q.Pattern.IsBoolean() {
+		if res.Len() > 0 {
+			fmt.Println("D |= q: true")
+		} else {
+			fmt.Println("D |= q: false")
+		}
+		return nil
+	}
+	fmt.Printf("%d answer tuple(s):\n", res.Len())
+	for _, t := range res.Sorted() {
+		for i, v := range t {
+			if i > 0 {
+				fmt.Print(", ")
+			}
+			fmt.Print(db.Name(v))
+		}
+		fmt.Println()
+	}
+	return nil
+}

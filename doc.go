@@ -1,0 +1,27 @@
+// Package repro is a from-scratch Go reproduction of
+//
+//	Markus L. Schmid, "Conjunctive Regular Path Queries with String
+//	Variables", PODS 2020 (arXiv:1912.09326).
+//
+// The implementation lives under internal/:
+//
+//	internal/automata    NFAs (products, emptiness, enumeration)
+//	internal/xregex      regular expressions with backreferences: AST,
+//	                     parser, ref-word semantics, fragment classifiers,
+//	                     compilation, Lemma 10 instantiation machinery
+//	internal/graph       graph databases (§2.2)
+//	internal/pattern     graph patterns / conjunctive path queries (§2.3)
+//	internal/crpq        CRPQs (Lemma 1 evaluation)
+//	internal/ecrpq       ECRPQs with regular relations; ECRPQ^er is the
+//	                     synchronized-product evaluation core
+//	internal/cxrpq       the paper's contribution: CXRPQs, their fragments,
+//	                     evaluation algorithms (Thms 2/5/6, Cor 1), normal
+//	                     form (Lemmas 4-6, 8), translations (Lemmas 12-14)
+//	internal/reductions  executable hardness reductions (Thms 1/3/7)
+//	internal/separations Figure 5 separating queries and witness families
+//	internal/workload    synthetic graph generators
+//	internal/exp         the E1-E18 experiment harness (see DESIGN.md)
+//
+// bench_test.go in this directory exposes every experiment as a Go
+// benchmark; cmd/cxrpq-exp prints the tables recorded in EXPERIMENTS.md.
+package repro

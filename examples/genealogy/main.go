@@ -1,0 +1,56 @@
+// Genealogy reproduces the Figure 1 examples of the paper on a synthetic
+// parent/supervisor graph: arcs (u, p, v) mean "u is a (biological) parent
+// of v", arcs (u, s, v) mean "v is u's PhD-supervisor". The four CRPQs
+// G1–G4 of Figure 1 are evaluated with the CRPQ engine.
+//
+//	go run ./examples/genealogy
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cxrpq/internal/crpq"
+	"cxrpq/internal/workload"
+)
+
+func main() {
+	db := workload.Genealogy(42, 40)
+	fmt.Printf("genealogy: %d persons, %d arcs\n", db.NumNodes(), db.NumEdges())
+
+	queries := []struct{ name, desc, src string }{
+		{"G1", "v1's child was supervised by v2's parent",
+			"ans(v1, v2)\nv1 m : p\nm w : s\nv2 w : p"},
+		{"G2", "v1 is a biological ancestor or academical descendant of v2",
+			"ans(v1, v2)\nv1 v2 : p+|s+"},
+		{"G3", "v1 has a biological ancestor that is also their academical ancestor",
+			"ans(v1)\nz v1 : p+\nz v1 : s+"},
+		{"G4", "v1 and v2 are biologically and academically related",
+			"ans(v1, v2)\nz1 v1 : p+\nz1 v2 : p+\nz2 v1 : s+\nz2 v2 : s+"},
+	}
+	for _, qc := range queries {
+		q, err := crpq.Parse(qc.src)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := q.Eval(db)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s (%s): %d answers\n", qc.name, qc.desc, res.Len())
+		for i, t := range res.Sorted() {
+			if i == 3 {
+				fmt.Println("   ...")
+				break
+			}
+			fmt.Print("   (")
+			for j, v := range t {
+				if j > 0 {
+					fmt.Print(", ")
+				}
+				fmt.Print(db.Name(v))
+			}
+			fmt.Println(")")
+		}
+	}
+}

@@ -1,0 +1,66 @@
+// Quickstart: parse a graph database and a CXRPQ, classify the query's
+// fragment, and evaluate it with the strongest complete algorithm.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cxrpq/internal/cxrpq"
+	"cxrpq/internal/graph"
+)
+
+func main() {
+	// A small graph database: one edge "from label to" per line.
+	db, err := graph.Parse(`
+alice a bob
+bob   a carol
+alice b dave
+dave  b erin
+carol c erin
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// G1 of Figure 2 of the paper, in this library's syntax: the string
+	// variable $x is bound to a or b on the first edge and reused on the
+	// second; the two paths must agree on the symbol.
+	q, err := cxrpq.Parse(`
+ans(v1, v2)
+u v1 : $x{a|b}
+u v2 : ($x|c)+
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("query fragment:", q.Fragment())
+
+	// G1 is not vstar-free ($x occurs under +), but its images are single
+	// symbols, so CXRPQ^≤1 semantics are exact (§1.4 of the paper).
+	res, err := cxrpq.EvalBounded(q, db, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d answers:\n", res.Len())
+	for _, t := range res.Sorted() {
+		fmt.Printf("  (v1=%s, v2=%s)\n", db.Name(t[0]), db.Name(t[1]))
+	}
+
+	// A vstar-free query is evaluated completely by cxrpq.Eval.
+	q2, err := cxrpq.Parse(`
+ans(x, y)
+x m : $v{a|b}
+m y : $v|c
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res2, err := cxrpq.Eval(q2, db)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("vstar-free query (%s): %d answers\n", q2.Fragment(), res2.Len())
+}

@@ -1,0 +1,115 @@
+package cxrpq
+
+import (
+	"fmt"
+
+	"cxrpq/internal/ecrpq"
+	"cxrpq/internal/graph"
+	"cxrpq/internal/pattern"
+)
+
+// Check decides t̄ ∈ q(D) (the problem CXRPQ-Check of §2.3) for CRPQ,
+// simple and vstar-free queries, using the same fragment dispatch as Eval.
+// The paper notes (§8) that all Bool-Eval algorithms extend to Check; here
+// the output variables are pre-bound before the join / per-branch search.
+func Check(q *Query, db *graph.DB, t pattern.Tuple) (bool, error) {
+	c := q.CXRE()
+	switch {
+	case c.IsClassical():
+		return ecrpq.Check(&ecrpq.Query{Pattern: q.Pattern}, db, t)
+	case c.IsSimple():
+		eq, err := SimpleToECRPQer(q, nil)
+		if err != nil {
+			return false, err
+		}
+		return ecrpq.Check(eq, db, t)
+	case c.IsVStarFree():
+		return CheckVsf(q, db, t)
+	default:
+		return false, fmt.Errorf("cxrpq: %s is not vstar-free; use CheckBounded", q.Fragment())
+	}
+}
+
+// CheckVsf decides t̄ ∈ q(D) for vstar-free q, short-circuiting across
+// branch combinations.
+func CheckVsf(q *Query, db *graph.DB, t pattern.Tuple) (bool, error) {
+	c := q.CXRE()
+	if !c.IsVStarFree() {
+		return false, fmt.Errorf("cxrpq: CheckVsf requires a vstar-free query")
+	}
+	origDefined := c.DefinedVars()
+	found := false
+	err := branchCombos(c, func(combo CXRE) error {
+		eq, err := comboToSimpleECRPQ(q, combo, origDefined)
+		if err != nil {
+			return err
+		}
+		ok, err := ecrpq.Check(eq, db, t)
+		if err != nil {
+			return err
+		}
+		if ok {
+			found = true
+			return errStop
+		}
+		return nil
+	})
+	if err != nil && err != errStop {
+		return false, err
+	}
+	return found, nil
+}
+
+// CheckBounded decides t̄ ∈ q^≤k(D) (Theorem 6 semantics).
+func CheckBounded(q *Query, db *graph.DB, k int, t pattern.Tuple) (bool, error) {
+	// Evaluate with pre-bound outputs by rewriting the query: add a fresh
+	// Boolean query whose output variables are constrained via instantiated
+	// CRPQ checks per variable mapping.
+	res, err := evalBoundedCheck(q, db, k, t)
+	if err != nil {
+		return false, err
+	}
+	return res, nil
+}
+
+func evalBoundedCheck(q *Query, db *graph.DB, k int, t pattern.Tuple) (bool, error) {
+	if len(t) != len(q.Pattern.Out) {
+		return false, fmt.Errorf("cxrpq: tuple arity %d, query arity %d", len(t), len(q.Pattern.Out))
+	}
+	// Reuse the bounded enumeration, but replace the per-mapping CRPQ
+	// evaluation by a CRPQ check of the tuple.
+	c := q.CXRE()
+	sigma := mergeDBAlphabet(db, c)
+	vars, err := topoVarsOf(c)
+	if err != nil {
+		return false, err
+	}
+	labels := db.PathLabels(k, 0)
+	assign := map[string]string{}
+	var rec func(i int) (bool, error)
+	rec = func(i int) (bool, error) {
+		if i == len(vars) {
+			inst, err := q.InstantiateCRPQ(assign, sigma)
+			if err != nil {
+				return false, err
+			}
+			return ecrpq.Check(&ecrpq.Query{Pattern: inst.Pattern}, db, t)
+		}
+		for _, w := range labels {
+			if !imageFeasible(c, vars[i], w, assign, sigma) {
+				continue
+			}
+			assign[vars[i]] = w
+			ok, err := rec(i + 1)
+			if err != nil {
+				return false, err
+			}
+			if ok {
+				return true, nil
+			}
+		}
+		delete(assign, vars[i])
+		return false, nil
+	}
+	return rec(0)
+}

@@ -1,0 +1,125 @@
+package cxrpq_test
+
+import (
+	"testing"
+
+	"cxrpq/internal/cxrpq"
+	"cxrpq/internal/ecrpq"
+	"cxrpq/internal/graph"
+	"cxrpq/internal/pattern"
+	"cxrpq/internal/workload"
+)
+
+// Check must agree with Eval membership on every tuple, across fragments.
+func TestCheckAgreesWithEval(t *testing.T) {
+	db := workload.Random(31, 6, 14, "abc")
+	queries := []struct {
+		src     string
+		bounded int // -1 = dispatchable fragment
+	}{
+		{"ans(x, y)\nx m : a(b|c)*\nm y : c+", -1},           // CRPQ
+		{"ans(s, t)\ns t : $x{(a|b)b}\nt s : $x", -1},        // simple
+		{"ans(v1, v2)\nu v1 : $x{a|b}\nu v2 : ($x|c)c?", -1}, // vsf
+		{"ans(v1, v2)\nu v1 : $x{a|b}\nu v2 : ($x|c)+", 1},   // bounded
+	}
+	for _, qc := range queries {
+		q := cxrpq.MustParse(qc.src)
+		var res *pattern.TupleSet
+		var err error
+		if qc.bounded < 0 {
+			res, err = cxrpq.Eval(q, db)
+		} else {
+			res, err = cxrpq.EvalBounded(q, db, qc.bounded)
+		}
+		if err != nil {
+			t.Fatalf("%s: %v", qc.src, err)
+		}
+		// every tuple in q(D) must Check true; a sample of others false
+		for _, tup := range res.Sorted() {
+			ok, err := check(q, db, qc.bounded, tup)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				t.Errorf("%s: Check(%v) = false but tuple ∈ q(D)", qc.src, tup)
+			}
+		}
+		arity := len(q.Pattern.Out)
+		count := 0
+		for u := 0; u < db.NumNodes() && count < 10; u++ {
+			for v := 0; v < db.NumNodes() && count < 10; v++ {
+				tup := pattern.Tuple{u, v}[:arity]
+				if res.Contains(tup) {
+					continue
+				}
+				ok, err := check(q, db, qc.bounded, tup)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if ok {
+					t.Errorf("%s: Check(%v) = true but tuple ∉ q(D)", qc.src, tup)
+				}
+				count++
+			}
+		}
+	}
+}
+
+func check(q *cxrpq.Query, db *graph.DB, bounded int, tup pattern.Tuple) (bool, error) {
+	if bounded < 0 {
+		return cxrpq.Check(q, db, tup)
+	}
+	return cxrpq.CheckBounded(q, db, bounded, tup)
+}
+
+func TestCheckArityAndRepeatedVars(t *testing.T) {
+	db := graph.MustParse("u a v\nv a u")
+	q := cxrpq.MustParse("ans(x, x)\nx y : a")
+	u, _ := db.Lookup("u")
+	v, _ := db.Lookup("v")
+	ok, err := cxrpq.Check(q, db, pattern.Tuple{u, u})
+	if err != nil || !ok {
+		t.Fatalf("Check(u,u) = %v, %v", ok, err)
+	}
+	// repeated output variable bound to two different nodes is impossible
+	ok, err = cxrpq.Check(q, db, pattern.Tuple{u, v})
+	if err != nil || ok {
+		t.Fatalf("Check(u,v) must be false for ans(x,x): %v %v", ok, err)
+	}
+	if _, err := cxrpq.Check(q, db, pattern.Tuple{u}); err == nil {
+		t.Fatal("arity mismatch must error")
+	}
+}
+
+func TestECRPQCheckWithGroups(t *testing.T) {
+	db := graph.MustParse(`
+u a m1
+m1 b v
+u2 a m2
+m2 b v2
+u3 b m3
+m3 a v3
+`)
+	q := &ecrpq.Query{
+		Pattern: pattern.MustParseQuery("ans(x1, y1, x2, y2)\nx1 y1 : (a|b)+\nx2 y2 : (a|b)+"),
+		Groups:  []ecrpq.Group{{Edges: []int{0, 1}, Rel: &ecrpq.Equality{N: 2}}},
+	}
+	res, err := ecrpq.Eval(q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tup := range res.Sorted() {
+		ok, err := ecrpq.Check(q, db, tup)
+		if err != nil || !ok {
+			t.Fatalf("Check(%v) should hold: %v %v", tup, ok, err)
+		}
+	}
+	u, _ := db.Lookup("u")
+	v, _ := db.Lookup("v")
+	u3, _ := db.Lookup("u3")
+	v3, _ := db.Lookup("v3")
+	ok, err := ecrpq.Check(q, db, pattern.Tuple{u, v, u3, v3})
+	if err != nil || ok {
+		t.Fatalf("ab/ba pair must fail Check: %v %v", ok, err)
+	}
+}

@@ -1,0 +1,405 @@
+package cxrpq
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"cxrpq/internal/ecrpq"
+	"cxrpq/internal/graph"
+	"cxrpq/internal/pattern"
+	"cxrpq/internal/xregex"
+)
+
+// EvalSimple evaluates a CXRPQ with a simple conjunctive xregex (Lemma 3)
+// by translating it to an ECRPQ^er and running the synchronized-product
+// engine.
+func EvalSimple(q *Query, db *graph.DB) (*pattern.TupleSet, error) {
+	eq, err := SimpleToECRPQer(q, nil)
+	if err != nil {
+		return nil, err
+	}
+	return ecrpq.Eval(eq, db)
+}
+
+// EvalVsf evaluates a vstar-free CXRPQ (Theorem 2 / Lemma 7): the
+// alternation choices of Lemma 7's nondeterministic guessing are enumerated
+// as branch combinations; each combination is normalized by Step 3 into a
+// simple conjunctive xregex and evaluated via the ECRPQ^er engine.
+func EvalVsf(q *Query, db *graph.DB) (*pattern.TupleSet, error) {
+	return evalVsf(q, db, false)
+}
+
+// EvalVsfBool decides D |= q for vstar-free q, short-circuiting on the
+// first matching branch combination.
+func EvalVsfBool(q *Query, db *graph.DB) (bool, error) {
+	res, err := evalVsf(q, db, true)
+	if err != nil {
+		return false, err
+	}
+	return res.Len() > 0, nil
+}
+
+func evalVsf(q *Query, db *graph.DB, boolOnly bool) (*pattern.TupleSet, error) {
+	c := q.CXRE()
+	if !c.IsVStarFree() {
+		return nil, fmt.Errorf("cxrpq: EvalVsf requires a vstar-free query (got %s)", q.Fragment())
+	}
+	origDefined := c.DefinedVars()
+	out := pattern.NewTupleSet()
+	err := branchCombos(c, func(combo CXRE) error {
+		eq, err := comboToSimpleECRPQ(q, combo, origDefined)
+		if err != nil {
+			return err
+		}
+		if boolOnly {
+			ok, err := ecrpq.EvalBool(eq, db)
+			if err != nil {
+				return err
+			}
+			if ok {
+				out.Add(pattern.Tuple{})
+				return errStop
+			}
+			return nil
+		}
+		res, err := ecrpq.Eval(eq, db)
+		if err != nil {
+			return err
+		}
+		for _, t := range res.Sorted() {
+			out.Add(t)
+		}
+		return nil
+	})
+	if err != nil && err != errStop {
+		return nil, err
+	}
+	return out, nil
+}
+
+// EvalBounded evaluates q under the CXRPQ^≤k semantics (Theorem 6):
+// q^≤k(D), considering only matches whose variable images have length at
+// most k. The nondeterministic guess of v̄ ∈ (Σ^≤k)^n is realized as an
+// enumeration in ≺-topological order, pruned by two sound filters: every
+// image must label a path of D, and every non-empty image of a defined
+// variable must match one of its definition bodies with currently assigned
+// variables substituted and the rest relaxed to Σ*. Each complete mapping is
+// instantiated to a CRPQ via Lemma 11 and evaluated.
+func EvalBounded(q *Query, db *graph.DB, k int) (*pattern.TupleSet, error) {
+	return evalBounded(q, db, k, false)
+}
+
+// EvalBoundedBool decides D |=^≤k q, short-circuiting on the first mapping.
+func EvalBoundedBool(q *Query, db *graph.DB, k int) (bool, error) {
+	res, err := evalBounded(q, db, k, true)
+	if err != nil {
+		return false, err
+	}
+	return res.Len() > 0, nil
+}
+
+// EvalLog evaluates q under CXRPQ^log semantics (Corollary 1):
+// image size bounded by log2(|D|).
+func EvalLog(q *Query, db *graph.DB) (*pattern.TupleSet, error) {
+	return EvalBounded(q, db, logBound(db))
+}
+
+// EvalLogBool decides D |=^log q.
+func EvalLogBool(q *Query, db *graph.DB) (bool, error) {
+	return EvalBoundedBool(q, db, logBound(db))
+}
+
+func logBound(db *graph.DB) int {
+	size := db.Size()
+	if size < 2 {
+		return 1
+	}
+	return int(math.Ceil(math.Log2(float64(size))))
+}
+
+func evalBounded(q *Query, db *graph.DB, k int, boolOnly bool) (*pattern.TupleSet, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	if k < 0 {
+		return nil, fmt.Errorf("cxrpq: negative image bound %d", k)
+	}
+	c := q.CXRE()
+	sigma := xregex.MergeAlphabets(db.Alphabet(), c.Alphabet())
+	vars, err := xregex.TopoVars([]xregex.Node(c)...)
+	if err != nil {
+		return nil, err
+	}
+	// Images must label paths of D (they are factors of matching words).
+	labels := db.PathLabels(k, 0)
+
+	out := pattern.NewTupleSet()
+	stop := false
+	assign := map[string]string{}
+	var rec func(i int) error
+	rec = func(i int) error {
+		if stop {
+			return nil
+		}
+		if i == len(vars) {
+			inst, err := q.InstantiateCRPQ(assign, sigma)
+			if err != nil {
+				return err
+			}
+			allEmpty := true
+			for _, e := range inst.Pattern.Edges {
+				if _, empty := e.Label.(*xregex.Empty); !empty {
+					allEmpty = false
+					break
+				}
+			}
+			if allEmpty {
+				return nil
+			}
+			if boolOnly {
+				ok, err := inst.EvalBool(db)
+				if err != nil {
+					return err
+				}
+				if ok {
+					out.Add(pattern.Tuple{})
+					stop = true
+				}
+				return nil
+			}
+			res, err := inst.Eval(db)
+			if err != nil {
+				return err
+			}
+			for _, t := range res.Sorted() {
+				out.Add(t)
+			}
+			return nil
+		}
+		x := vars[i]
+		for _, w := range labels {
+			if !imageFeasible(c, x, w, assign, sigma) {
+				continue
+			}
+			assign[x] = w
+			if err := rec(i + 1); err != nil {
+				return err
+			}
+			if stop {
+				return nil
+			}
+		}
+		delete(assign, x)
+		return nil
+	}
+	if err := rec(0); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func catAll(c CXRE) xregex.Node {
+	return &xregex.Cat{Kids: append([]xregex.Node(nil), c...)}
+}
+
+// mergeDBAlphabet returns the combined alphabet of a database and a tuple.
+func mergeDBAlphabet(db *graph.DB, c CXRE) []rune {
+	return xregex.MergeAlphabets(db.Alphabet(), c.Alphabet())
+}
+
+// topoVarsOf returns the tuple's variables in ≺-topological order.
+func topoVarsOf(c CXRE) ([]string, error) {
+	return xregex.TopoVars([]xregex.Node(c)...)
+}
+
+// imageFeasible is the sound candidate filter of the Theorem 6 enumeration:
+// a non-empty image of a defined variable must match one of its definition
+// bodies with previously assigned variables substituted (all variables in a
+// definition body precede the defined variable in ≺-topological order, so
+// the check is exact relative to the partial assignment).
+func imageFeasible(c CXRE, x, w string, assign map[string]string, sigma []rune) bool {
+	if w == "" {
+		return true
+	}
+	bodies := xregex.DefBodies(x, []xregex.Node(c)...)
+	if len(bodies) == 0 {
+		// free variable: only useful if referenced at all
+		return xregex.ContainsRef(catAll(c), x)
+	}
+	for _, body := range bodies {
+		relaxedBody := relaxUnassigned(body, assign)
+		wsigma := xregex.InstantiationAlphabet(xregex.MergeAlphabets(sigma, []rune(w)), assign)
+		if m, err := xregex.Matches(relaxedBody, w, wsigma); err == nil && m {
+			return true
+		}
+	}
+	return false
+}
+
+// relaxUnassigned substitutes assigned variables by their literal images and
+// relaxes unassigned ones (and nested definitions) to Σ*.
+func relaxUnassigned(n xregex.Node, assign map[string]string) xregex.Node {
+	switch t := n.(type) {
+	case *xregex.Ref:
+		if w, ok := assign[t.Var]; ok {
+			return xregex.Word(w)
+		}
+		return xregex.AnyWord()
+	case *xregex.Def:
+		if w, ok := assign[t.Var]; ok {
+			return xregex.Word(w)
+		}
+		return xregex.AnyWord()
+	case *xregex.Cat:
+		kids := make([]xregex.Node, len(t.Kids))
+		for i, k := range t.Kids {
+			kids[i] = relaxUnassigned(k, assign)
+		}
+		return &xregex.Cat{Kids: kids}
+	case *xregex.Alt:
+		kids := make([]xregex.Node, len(t.Kids))
+		for i, k := range t.Kids {
+			kids[i] = relaxUnassigned(k, assign)
+		}
+		return &xregex.Alt{Kids: kids}
+	case *xregex.Plus:
+		return &xregex.Plus{Kid: relaxUnassigned(t.Kid, assign)}
+	case *xregex.Star:
+		return &xregex.Star{Kid: relaxUnassigned(t.Kid, assign)}
+	case *xregex.Opt:
+		return &xregex.Opt{Kid: relaxUnassigned(t.Kid, assign)}
+	default:
+		return n
+	}
+}
+
+// EvalBoundedNaive is the literal Theorem 6 algorithm: it blindly guesses
+// every v̄ ∈ (Σ^≤k)^n, instantiates (Lemma 11) and evaluates the CRPQ. It
+// exists as the ablation baseline for EvalBounded's candidate pruning (the
+// two must agree; see the ablation benchmark) and as the most direct
+// rendering of the paper's proof.
+func EvalBoundedNaive(q *Query, db *graph.DB, k int) (*pattern.TupleSet, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	c := q.CXRE()
+	sigma := mergeDBAlphabet(db, c)
+	var vars []string
+	for v := range c.Vars() {
+		vars = append(vars, v)
+	}
+	sort.Strings(vars)
+	words := allWordsUpTo(sigma, k)
+	out := pattern.NewTupleSet()
+	assign := map[string]string{}
+	var rec func(i int) error
+	rec = func(i int) error {
+		if i == len(vars) {
+			inst, err := q.InstantiateCRPQ(assign, sigma)
+			if err != nil {
+				return err
+			}
+			res, err := inst.Eval(db)
+			if err != nil {
+				return err
+			}
+			for _, t := range res.Sorted() {
+				out.Add(t)
+			}
+			return nil
+		}
+		for _, w := range words {
+			assign[vars[i]] = w
+			if err := rec(i + 1); err != nil {
+				return err
+			}
+		}
+		delete(assign, vars[i])
+		return nil
+	}
+	if err := rec(0); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func allWordsUpTo(sigma []rune, k int) []string {
+	words := []string{""}
+	level := []string{""}
+	for i := 0; i < k; i++ {
+		var next []string
+		for _, w := range level {
+			for _, r := range sigma {
+				next = append(next, w+string(r))
+			}
+		}
+		words = append(words, next...)
+		level = next
+	}
+	return words
+}
+
+// EvalAny evaluates an unrestricted CXRPQ soundly by capping variable-image
+// length at maxImage. The paper leaves the decidability/upper bound of
+// unrestricted evaluation open (§8) and shows it PSpace-hard even in data
+// complexity (Theorem 1); results are complete for all matches whose images
+// fit under the cap, and capped reports whether longer images are
+// conceivable (i.e. D has paths longer than the cap).
+func EvalAny(q *Query, db *graph.DB, maxImage int) (res *pattern.TupleSet, capped bool, err error) {
+	res, err = EvalBounded(q, db, maxImage)
+	if err != nil {
+		return nil, false, err
+	}
+	capped = len(db.PathLabels(maxImage+1, 0)) > len(db.PathLabels(maxImage, 0))
+	return res, capped, nil
+}
+
+// Eval dispatches to the strongest complete algorithm for q's syntactic
+// fragment: CRPQ evaluation for variable-free queries, the Lemma 3 engine
+// for simple queries, and the Theorem 2 algorithm for vstar-free queries.
+// For unrestricted CXRPQs (image sizes unbounded) it returns an error
+// directing callers to EvalBounded/EvalLog/EvalAny, whose semantics are the
+// paper's ≤k / log fragments.
+func Eval(q *Query, db *graph.DB) (*pattern.TupleSet, error) {
+	c := q.CXRE()
+	switch {
+	case c.IsClassical():
+		return ecrpq.Eval(&ecrpq.Query{Pattern: q.Pattern}, db)
+	case c.IsSimple():
+		return EvalSimple(q, db)
+	case c.IsVStarFree():
+		return EvalVsf(q, db)
+	default:
+		return nil, fmt.Errorf("cxrpq: %s is not vstar-free; use EvalBounded (CXRPQ^≤k), EvalLog (CXRPQ^log) or EvalAny", q.Fragment())
+	}
+}
+
+// EvalBool is the Boolean counterpart of Eval.
+func EvalBool(q *Query, db *graph.DB) (bool, error) {
+	c := q.CXRE()
+	switch {
+	case c.IsClassical():
+		return ecrpq.EvalBool(&ecrpq.Query{Pattern: q.Pattern}, db)
+	case c.IsSimple():
+		eq, err := SimpleToECRPQer(q, nil)
+		if err != nil {
+			return false, err
+		}
+		return ecrpq.EvalBool(eq, db)
+	case c.IsVStarFree():
+		return EvalVsfBool(q, db)
+	default:
+		return false, fmt.Errorf("cxrpq: %s is not vstar-free; use EvalBoundedBool or EvalLogBool", q.Fragment())
+	}
+}
+
+// SortedVarsOf is a helper returning the query's string variables sorted.
+func SortedVarsOf(q *Query) []string {
+	var vars []string
+	for v := range q.CXRE().Vars() {
+		vars = append(vars, v)
+	}
+	sort.Strings(vars)
+	return vars
+}

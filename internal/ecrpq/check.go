@@ -1,0 +1,100 @@
+package ecrpq
+
+import (
+	"fmt"
+
+	"cxrpq/internal/graph"
+	"cxrpq/internal/pattern"
+)
+
+// Check decides t̄ ∈ q(D) (the problem Q-Check of §2.3). Rather than
+// materializing q(D), the output variables are pre-bound to the tuple's
+// nodes and the join searches for one extension — mirroring how the paper's
+// nondeterministic Bool-Eval algorithms extend to Check (§8).
+func Check(q *Query, db *graph.DB, t pattern.Tuple) (bool, error) {
+	ev, err := newEvaluator(q, db)
+	if err != nil {
+		return false, err
+	}
+	if len(t) != len(q.Pattern.Out) {
+		return false, fmt.Errorf("ecrpq: tuple arity %d, query arity %d", len(t), len(q.Pattern.Out))
+	}
+	pre := map[string]int{}
+	for i, z := range q.Pattern.Out {
+		v := t[i]
+		if v < 0 || v >= db.NumNodes() {
+			return false, fmt.Errorf("ecrpq: node id %d out of range", v)
+		}
+		if prev, ok := pre[z]; ok && prev != v {
+			return false, nil // same output variable bound to two nodes
+		}
+		pre[z] = v
+	}
+	return ev.runCheck(pre)
+}
+
+// runCheck runs the join with a pre-bound assignment, short-circuiting on
+// the first full match.
+func (ev *evaluator) runCheck(pre map[string]int) (bool, error) {
+	q := ev.q
+	var unary []int
+	for i := range q.Pattern.Edges {
+		if !ev.inGroup[i] {
+			unary = append(unary, i)
+		}
+	}
+	var order []constraintRef
+	bound := map[string]bool{}
+	for z := range pre {
+		bound[z] = true
+	}
+	remaining := append([]int(nil), unary...)
+	for len(remaining) > 0 {
+		best, bestScore := -1, -1
+		for idx, ei := range remaining {
+			score := 0
+			e := q.Pattern.Edges[ei]
+			if bound[e.From] {
+				score += 2
+			}
+			if bound[e.To] {
+				score++
+			}
+			if score > bestScore {
+				bestScore, best = score, idx
+			}
+		}
+		ei := remaining[best]
+		remaining = append(remaining[:best], remaining[best+1:]...)
+		e := q.Pattern.Edges[ei]
+		bound[e.From], bound[e.To] = true, true
+		order = append(order, constraintRef{kind: cEdge, idx: ei})
+	}
+	for gi := range q.Groups {
+		order = append(order, constraintRef{kind: cGroup, idx: gi})
+	}
+
+	assign := map[string]int{}
+	for z, v := range pre {
+		assign[z] = v
+	}
+	found := false
+	var rec func(ci int)
+	rec = func(ci int) {
+		if found {
+			return
+		}
+		if ci == len(order) {
+			found = true
+			return
+		}
+		c := order[ci]
+		if c.kind == cEdge {
+			ev.satisfyEdge(c.idx, assign, func() { rec(ci + 1) })
+		} else {
+			ev.satisfyGroup(c.idx, assign, func() { rec(ci + 1) })
+		}
+	}
+	rec(0)
+	return found, nil
+}

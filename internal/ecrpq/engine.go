@@ -1,0 +1,685 @@
+package ecrpq
+
+import (
+	"fmt"
+	"sort"
+
+	"cxrpq/internal/automata"
+	"cxrpq/internal/graph"
+	"cxrpq/internal/pattern"
+	"cxrpq/internal/xregex"
+)
+
+// Eval computes q(D): the set of output tuples (node ids in the order of
+// q.Pattern.Out). For Boolean queries the result is the empty tuple set or
+// the set containing the empty tuple (D |= q).
+//
+// The algorithm follows the product constructions behind the paper's NL
+// upper bounds, realized deterministically: ungrouped edges become binary
+// reachability relations via NFA×D product search; each relation group is
+// expanded by a synchronized product over D^s (lock-step moves for equality
+// relations; relation-NFA-driven moves with ⊥ masks for general regular
+// relations); a backtracking join over node variables combines them.
+func Eval(q *Query, db *graph.DB) (*pattern.TupleSet, error) {
+	ev, err := newEvaluator(q, db)
+	if err != nil {
+		return nil, err
+	}
+	return ev.run(false)
+}
+
+// EvalBool decides D |= q for Boolean q (it also works for non-Boolean
+// queries, deciding non-emptiness of q(D)).
+func EvalBool(q *Query, db *graph.DB) (bool, error) {
+	ev, err := newEvaluator(q, db)
+	if err != nil {
+		return false, err
+	}
+	res, err := ev.run(true)
+	if err != nil {
+		return false, err
+	}
+	return res.Len() > 0, nil
+}
+
+// EvalUnion computes ⋃ qi(D).
+func EvalUnion(u *Union, db *graph.DB) (*pattern.TupleSet, error) {
+	if err := u.Validate(); err != nil {
+		return nil, err
+	}
+	out := pattern.NewTupleSet()
+	for _, m := range u.Members {
+		res, err := Eval(m, db)
+		if err != nil {
+			return nil, err
+		}
+		for _, t := range res.Sorted() {
+			out.Add(t)
+		}
+	}
+	return out, nil
+}
+
+// EvalUnionBool decides whether some member matches.
+func EvalUnionBool(u *Union, db *graph.DB) (bool, error) {
+	if err := u.Validate(); err != nil {
+		return false, err
+	}
+	for _, m := range u.Members {
+		ok, err := EvalBool(m, db)
+		if err != nil {
+			return false, err
+		}
+		if ok {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+type evaluator struct {
+	q     *Query
+	db    *graph.DB
+	sigma []rune
+	nfas  []*automata.NFA // per edge
+	rnfas []*automata.NFA // reversed, built lazily
+	fwd   []map[int][]int // per edge: memoized u -> targets
+	rev   []map[int][]int // per edge: memoized v -> sources
+	gmemo []map[string][][]int
+
+	inGroup []bool
+}
+
+func newEvaluator(q *Query, db *graph.DB) (*evaluator, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	sigma := xregex.MergeAlphabets(db.Alphabet(), xregex.AlphabetOf(q.Pattern.Labels()...))
+	ev := &evaluator{
+		q:       q,
+		db:      db,
+		sigma:   sigma,
+		nfas:    make([]*automata.NFA, len(q.Pattern.Edges)),
+		rnfas:   make([]*automata.NFA, len(q.Pattern.Edges)),
+		fwd:     make([]map[int][]int, len(q.Pattern.Edges)),
+		rev:     make([]map[int][]int, len(q.Pattern.Edges)),
+		gmemo:   make([]map[string][][]int, len(q.Groups)),
+		inGroup: make([]bool, len(q.Pattern.Edges)),
+	}
+	for i, e := range q.Pattern.Edges {
+		m, err := xregex.Compile(e.Label, sigma)
+		if err != nil {
+			return nil, err
+		}
+		ev.nfas[i] = m
+		ev.fwd[i] = map[int][]int{}
+		ev.rev[i] = map[int][]int{}
+	}
+	for gi, g := range q.Groups {
+		ev.gmemo[gi] = map[string][][]int{}
+		for _, ei := range g.Edges {
+			ev.inGroup[ei] = true
+		}
+	}
+	return ev, nil
+}
+
+// reverse returns the reversed NFA of edge ei (lazy).
+func (ev *evaluator) reverse(ei int) *automata.NFA {
+	if ev.rnfas[ei] != nil {
+		return ev.rnfas[ei]
+	}
+	m := ev.nfas[ei]
+	r := automata.New(m.NumStates() + 1)
+	newStart := m.NumStates()
+	r.SetStart(newStart)
+	for p := 0; p < m.NumStates(); p++ {
+		for _, t := range m.Transitions(p) {
+			r.AddTr(t.To, t.Label, p)
+		}
+		if m.IsFinal(p) {
+			r.AddTr(newStart, automata.Epsilon, p)
+		}
+	}
+	r.SetFinal(m.Start(), true)
+	ev.rnfas[ei] = r
+	return r
+}
+
+// reachProduct runs the NFA×D product from (src, m.Start) and returns the
+// sorted graph nodes paired with an accepting NFA state. dir selects the
+// forward graph (out edges) or the reversed graph (in edges).
+func (ev *evaluator) reachProduct(m *automata.NFA, src int, forward bool) []int {
+	type cfg struct {
+		node int
+		set  string
+	}
+	start := m.EpsClosure(m.Start())
+	seen := map[cfg]bool{}
+	sets := map[string]automata.StateSet{}
+	key := func(s automata.StateSet) string {
+		k := s.Key()
+		sets[k] = s
+		return k
+	}
+	var hits []int
+	hitSet := map[int]bool{}
+	queue := []struct {
+		node int
+		set  automata.StateSet
+	}{{src, start}}
+	seen[cfg{src, key(start)}] = true
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if m.ContainsFinal(cur.set) && !hitSet[cur.node] {
+			hitSet[cur.node] = true
+			hits = append(hits, cur.node)
+		}
+		var edges []graph.Edge
+		if forward {
+			edges = ev.db.Out(cur.node)
+		} else {
+			edges = ev.db.In(cur.node)
+		}
+		// group moves by label to avoid recomputing Step per edge
+		bySym := map[rune][]int{}
+		for _, e := range edges {
+			if forward {
+				bySym[e.Label] = append(bySym[e.Label], e.To)
+			} else {
+				bySym[e.Label] = append(bySym[e.Label], e.From)
+			}
+		}
+		for sym, targets := range bySym {
+			next := m.Step(cur.set, int32(sym))
+			if len(next) == 0 {
+				continue
+			}
+			k := key(next)
+			for _, v := range targets {
+				c := cfg{v, k}
+				if !seen[c] {
+					seen[c] = true
+					queue = append(queue, struct {
+						node int
+						set  automata.StateSet
+					}{v, next})
+				}
+			}
+		}
+	}
+	sort.Ints(hits)
+	return hits
+}
+
+// forward returns the nodes v with a path u→v matching edge ei's regex.
+func (ev *evaluator) forward(ei, u int) []int {
+	if vs, ok := ev.fwd[ei][u]; ok {
+		return vs
+	}
+	vs := ev.reachProduct(ev.nfas[ei], u, true)
+	ev.fwd[ei][u] = vs
+	return vs
+}
+
+// backward returns the nodes u with a path u→v matching edge ei's regex.
+func (ev *evaluator) backward(ei, v int) []int {
+	if us, ok := ev.rev[ei][v]; ok {
+		return us
+	}
+	us := ev.reachProduct(ev.reverse(ei), v, false)
+	ev.rev[ei][v] = us
+	return us
+}
+
+func (ev *evaluator) hasEdgePath(ei, u, v int) bool {
+	for _, w := range ev.forward(ei, u) {
+		if w == v {
+			return true
+		}
+	}
+	return false
+}
+
+// expandGroup returns all end tuples reachable from the given source tuple
+// under the group's synchronized semantics, memoized.
+func (ev *evaluator) expandGroup(gi int, src []int) [][]int {
+	k := fmt.Sprint(src)
+	if res, ok := ev.gmemo[gi][k]; ok {
+		return res
+	}
+	g := ev.q.Groups[gi]
+	var res [][]int
+	switch rel := g.Rel.(type) {
+	case *Equality:
+		res = ev.expandEquality(g, src)
+	case *NFARelation:
+		res = ev.expandNFARel(g, rel, src)
+	default:
+		panic("ecrpq: unknown relation kind")
+	}
+	ev.gmemo[gi][k] = res
+	return res
+}
+
+type prodState struct {
+	nodes []int
+	sets  []automata.StateSet
+}
+
+func prodKey(nodes []int, setKeys []string, extra string) string {
+	return fmt.Sprint(nodes, setKeys, extra)
+}
+
+// expandEquality explores the lock-step product: all components consume the
+// same symbol in every step; acceptance requires every component NFA to
+// accept simultaneously (equal words have equal length).
+func (ev *evaluator) expandEquality(g Group, src []int) [][]int {
+	s := len(g.Edges)
+	ms := make([]*automata.NFA, s)
+	for i, ei := range g.Edges {
+		ms[i] = ev.nfas[ei]
+	}
+	startSets := make([]automata.StateSet, s)
+	keys := make([]string, s)
+	for i, m := range ms {
+		startSets[i] = m.EpsClosure(m.Start())
+		if len(startSets[i]) == 0 {
+			return nil
+		}
+		keys[i] = startSets[i].Key()
+	}
+	init := prodState{nodes: append([]int(nil), src...), sets: startSets}
+	seen := map[string]bool{prodKey(init.nodes, keys, ""): true}
+	queue := []prodState{init}
+	var out [][]int
+	outSeen := map[string]bool{}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		allFinal := true
+		for i, m := range ms {
+			if !m.ContainsFinal(cur.sets[i]) {
+				allFinal = false
+				break
+			}
+		}
+		if allFinal {
+			k := fmt.Sprint(cur.nodes)
+			if !outSeen[k] {
+				outSeen[k] = true
+				out = append(out, append([]int(nil), cur.nodes...))
+			}
+		}
+		for _, sym := range ev.sigma {
+			nextSets := make([]automata.StateSet, s)
+			nextKeys := make([]string, s)
+			ok := true
+			for i, m := range ms {
+				nextSets[i] = m.Step(cur.sets[i], int32(sym))
+				if len(nextSets[i]) == 0 {
+					ok = false
+					break
+				}
+				nextKeys[i] = nextSets[i].Key()
+			}
+			if !ok {
+				continue
+			}
+			// candidate next nodes per component
+			opts := make([][]int, s)
+			for i := range opts {
+				for _, e := range ev.db.Out(cur.nodes[i]) {
+					if e.Label == sym {
+						opts[i] = append(opts[i], e.To)
+					}
+				}
+				if len(opts[i]) == 0 {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			ev.productNodes(opts, func(nodes []int) {
+				k := prodKey(nodes, nextKeys, "")
+				if !seen[k] {
+					seen[k] = true
+					queue = append(queue, prodState{nodes: append([]int(nil), nodes...), sets: nextSets})
+				}
+			})
+		}
+	}
+	return out
+}
+
+// expandNFARel explores the padded product driven by the relation NFA:
+// components with a ⊥ column are frozen (their word has ended, so their
+// edge NFA must accept at freeze time); acceptance requires the relation
+// NFA to accept and every unfrozen component NFA to accept.
+func (ev *evaluator) expandNFARel(g Group, rel *NFARelation, src []int) [][]int {
+	s := len(g.Edges)
+	ms := make([]*automata.NFA, s)
+	for i, ei := range g.Edges {
+		ms[i] = ev.nfas[ei]
+	}
+	type state struct {
+		nodes []int
+		sets  []automata.StateSet
+		rset  automata.StateSet
+		mask  uint64
+	}
+	startSets := make([]automata.StateSet, s)
+	keys := make([]string, s)
+	for i, m := range ms {
+		startSets[i] = m.EpsClosure(m.Start())
+		if len(startSets[i]) == 0 {
+			return nil
+		}
+		keys[i] = startSets[i].Key()
+	}
+	rstart := rel.M.EpsClosure(rel.M.Start())
+	key := func(st state) string {
+		ks := make([]string, s)
+		for i, set := range st.sets {
+			ks[i] = set.Key()
+		}
+		return prodKey(st.nodes, ks, fmt.Sprint(st.rset.Key(), st.mask))
+	}
+	init := state{nodes: append([]int(nil), src...), sets: startSets, rset: rstart}
+	seen := map[string]bool{key(init): true}
+	queue := []state{init}
+	labels := rel.M.Labels()
+	var out [][]int
+	outSeen := map[string]bool{}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		accept := rel.M.ContainsFinal(cur.rset)
+		if accept {
+			for i, m := range ms {
+				if cur.mask&(1<<uint(i)) != 0 {
+					continue
+				}
+				if !m.ContainsFinal(cur.sets[i]) {
+					accept = false
+					break
+				}
+			}
+		}
+		if accept {
+			k := fmt.Sprint(cur.nodes)
+			if !outSeen[k] {
+				outSeen[k] = true
+				out = append(out, append([]int(nil), cur.nodes...))
+			}
+		}
+		for _, code := range labels {
+			rnext := rel.M.Step(cur.rset, code)
+			if len(rnext) == 0 {
+				continue
+			}
+			tuple := rel.codec.decode(code)
+			nextSets := make([]automata.StateSet, s)
+			opts := make([][]int, s)
+			mask := cur.mask
+			ok := true
+			for i := range tuple {
+				if tuple[i] == Bottom {
+					// component i is (or becomes) frozen; its word must be
+					// complete, i.e. its NFA accepting at freeze time
+					if mask&(1<<uint(i)) == 0 {
+						if !ms[i].ContainsFinal(cur.sets[i]) {
+							ok = false
+							break
+						}
+						mask |= 1 << uint(i)
+					}
+					nextSets[i] = cur.sets[i]
+					opts[i] = []int{cur.nodes[i]}
+					continue
+				}
+				if mask&(1<<uint(i)) != 0 {
+					ok = false // symbol after ⊥ in the same column
+					break
+				}
+				nextSets[i] = ms[i].Step(cur.sets[i], int32(tuple[i]))
+				if len(nextSets[i]) == 0 {
+					ok = false
+					break
+				}
+				for _, e := range ev.db.Out(cur.nodes[i]) {
+					if e.Label == tuple[i] {
+						opts[i] = append(opts[i], e.To)
+					}
+				}
+				if len(opts[i]) == 0 {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			ev.productNodes(opts, func(nodes []int) {
+				st := state{nodes: append([]int(nil), nodes...), sets: nextSets, rset: rnext, mask: mask}
+				k := key(st)
+				if !seen[k] {
+					seen[k] = true
+					queue = append(queue, st)
+				}
+			})
+		}
+	}
+	return out
+}
+
+// productNodes enumerates the cartesian product of node options.
+func (ev *evaluator) productNodes(opts [][]int, f func([]int)) {
+	nodes := make([]int, len(opts))
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(opts) {
+			f(nodes)
+			return
+		}
+		for _, v := range opts[i] {
+			nodes[i] = v
+			rec(i + 1)
+		}
+	}
+	rec(0)
+}
+
+// run executes the backtracking join. If boolOnly, it stops at the first
+// matching assignment.
+func (ev *evaluator) run(boolOnly bool) (*pattern.TupleSet, error) {
+	q := ev.q
+	// Build constraint order: ungrouped edges greedily by connectivity,
+	// then groups (preferring groups whose sources become bound).
+	var unary []int
+	for i := range q.Pattern.Edges {
+		if !ev.inGroup[i] {
+			unary = append(unary, i)
+		}
+	}
+	bound := map[string]bool{}
+	var order []constraintRef
+	remaining := append([]int(nil), unary...)
+	for len(remaining) > 0 {
+		best, bestScore := -1, -1
+		for idx, ei := range remaining {
+			score := 0
+			e := q.Pattern.Edges[ei]
+			if bound[e.From] {
+				score += 2
+			}
+			if bound[e.To] {
+				score++
+			}
+			if score > bestScore {
+				bestScore, best = score, idx
+			}
+		}
+		ei := remaining[best]
+		remaining = append(remaining[:best], remaining[best+1:]...)
+		e := q.Pattern.Edges[ei]
+		bound[e.From], bound[e.To] = true, true
+		order = append(order, constraintRef{kind: cEdge, idx: ei})
+	}
+	for gi := range q.Groups {
+		order = append(order, constraintRef{kind: cGroup, idx: gi})
+		for _, ei := range q.Groups[gi].Edges {
+			e := q.Pattern.Edges[ei]
+			bound[e.From], bound[e.To] = true, true
+		}
+	}
+
+	out := pattern.NewTupleSet()
+	assign := map[string]int{}
+	stop := false
+	var rec func(ci int)
+	rec = func(ci int) {
+		if stop {
+			return
+		}
+		if ci == len(order) {
+			t := make(pattern.Tuple, len(q.Pattern.Out))
+			for i, z := range q.Pattern.Out {
+				v, ok := assign[z]
+				if !ok {
+					return // output var not constrained; Validate prevents this
+				}
+				t[i] = v
+			}
+			out.Add(t)
+			if boolOnly {
+				stop = true
+			}
+			return
+		}
+		c := order[ci]
+		if c.kind == cEdge {
+			ev.satisfyEdge(c.idx, assign, func() { rec(ci + 1) })
+		} else {
+			ev.satisfyGroup(c.idx, assign, func() { rec(ci + 1) })
+		}
+	}
+	rec(0)
+	return out, nil
+}
+
+type cKind int
+
+const (
+	cEdge cKind = iota
+	cGroup
+)
+
+type constraintRef struct {
+	kind cKind
+	idx  int
+}
+
+func (ev *evaluator) satisfyEdge(ei int, assign map[string]int, cont func()) {
+	e := ev.q.Pattern.Edges[ei]
+	u, uok := assign[e.From]
+	v, vok := assign[e.To]
+	switch {
+	case uok && vok:
+		if ev.hasEdgePath(ei, u, v) {
+			cont()
+		}
+	case uok:
+		for _, w := range ev.forward(ei, u) {
+			assign[e.To] = w
+			cont()
+		}
+		delete(assign, e.To)
+	case vok:
+		for _, w := range ev.backward(ei, v) {
+			assign[e.From] = w
+			cont()
+		}
+		delete(assign, e.From)
+	default:
+		for u := 0; u < ev.db.NumNodes(); u++ {
+			assign[e.From] = u
+			targets := ev.forward(ei, u)
+			if e.From == e.To {
+				for _, w := range targets {
+					if w == u {
+						cont()
+					}
+				}
+				continue
+			}
+			for _, w := range targets {
+				assign[e.To] = w
+				cont()
+			}
+			delete(assign, e.To)
+		}
+		delete(assign, e.From)
+	}
+}
+
+func (ev *evaluator) satisfyGroup(gi int, assign map[string]int, cont func()) {
+	g := ev.q.Groups[gi]
+	srcVars := make([]string, len(g.Edges))
+	tgtVars := make([]string, len(g.Edges))
+	for i, ei := range g.Edges {
+		srcVars[i] = ev.q.Pattern.Edges[ei].From
+		tgtVars[i] = ev.q.Pattern.Edges[ei].To
+	}
+	// enumerate unbound source variables
+	var unbound []string
+	seenVar := map[string]bool{}
+	for _, x := range srcVars {
+		if _, ok := assign[x]; !ok && !seenVar[x] {
+			seenVar[x] = true
+			unbound = append(unbound, x)
+		}
+	}
+	var bindSrc func(i int)
+	bindSrc = func(i int) {
+		if i < len(unbound) {
+			for u := 0; u < ev.db.NumNodes(); u++ {
+				assign[unbound[i]] = u
+				bindSrc(i + 1)
+			}
+			delete(assign, unbound[i])
+			return
+		}
+		src := make([]int, len(srcVars))
+		for j, x := range srcVars {
+			src[j] = assign[x]
+		}
+		ends := ev.expandGroup(gi, src)
+		for _, end := range ends {
+			// bind/check target variables consistently
+			var newly []string
+			ok := true
+			for j, y := range tgtVars {
+				if v, bound := assign[y]; bound {
+					if v != end[j] {
+						ok = false
+						break
+					}
+					continue
+				}
+				assign[y] = end[j]
+				newly = append(newly, y)
+			}
+			if ok {
+				cont()
+			}
+			for _, y := range newly {
+				delete(assign, y)
+			}
+		}
+	}
+	bindSrc(0)
+}

@@ -1,0 +1,237 @@
+// Package ecrpq implements extended conjunctive regular path queries
+// (Barceló et al., cited as [8] in the paper; §1.3 and §7): CRPQs whose
+// edges may additionally be constrained by regular relations of arbitrary
+// arity. The fragment ECRPQ^er (only equality relations) is the evaluation
+// target of the paper's Lemma 3 / Lemma 13 translation for simple CXRPQs,
+// so this engine is the execution core of the whole library.
+package ecrpq
+
+import (
+	"fmt"
+
+	"cxrpq/internal/automata"
+)
+
+// Bottom is the padding symbol ⊥ used by regular relations to align words
+// of different lengths (shorter words are padded at the end).
+const Bottom rune = 0
+
+// Relation is a regular relation over Σ* of some arity.
+type Relation interface {
+	Arity() int
+	relKind() string
+}
+
+// Equality is the equality relation of the given arity:
+// {(u1,…,us) : u1 = … = us}. It is handled by a specialized synchronized
+// product in the engine.
+type Equality struct{ N int }
+
+// Arity returns the arity of the relation.
+func (e *Equality) Arity() int      { return e.N }
+func (e *Equality) relKind() string { return "equality" }
+
+// NFARelation is a general regular relation given by an NFA over tuple
+// symbols from (Σ ∪ {⊥})^arity, with ⊥-padding at the end of shorter words.
+type NFARelation struct {
+	N     int
+	M     *automata.NFA
+	codec *tupleCodec
+}
+
+// Arity returns the arity of the relation.
+func (r *NFARelation) Arity() int      { return r.N }
+func (r *NFARelation) relKind() string { return "nfa" }
+
+// tupleCodec maps tuples of runes (with Bottom) to automata labels.
+type tupleCodec struct {
+	codes  map[string]int32
+	tuples [][]rune
+}
+
+func newTupleCodec() *tupleCodec { return &tupleCodec{codes: map[string]int32{}} }
+
+func (c *tupleCodec) code(t []rune) int32 {
+	k := string(t)
+	if code, ok := c.codes[k]; ok {
+		return code
+	}
+	code := int32(-2 - len(c.tuples))
+	c.codes[k] = code
+	c.tuples = append(c.tuples, append([]rune(nil), t...))
+	return code
+}
+
+func (c *tupleCodec) decode(code int32) []rune { return c.tuples[-2-code] }
+
+// RelationBuilder constructs NFARelations state by state.
+type RelationBuilder struct {
+	arity int
+	m     *automata.NFA
+	codec *tupleCodec
+}
+
+// NewRelationBuilder returns a builder for an arity-n relation with one
+// initial state (state 0, the start state).
+func NewRelationBuilder(arity int) *RelationBuilder {
+	return &RelationBuilder{arity: arity, m: automata.New(1), codec: newTupleCodec()}
+}
+
+// AddState adds a state and returns its index.
+func (b *RelationBuilder) AddState() int { return b.m.AddState() }
+
+// SetFinal marks a state final.
+func (b *RelationBuilder) SetFinal(s int) { b.m.SetFinal(s, true) }
+
+// AddTr adds a transition labelled with the tuple symbol (use Bottom for ⊥).
+func (b *RelationBuilder) AddTr(from int, tuple []rune, to int) error {
+	if len(tuple) != b.arity {
+		return fmt.Errorf("ecrpq: tuple arity %d, relation arity %d", len(tuple), b.arity)
+	}
+	b.m.AddTr(from, b.codec.code(tuple), to)
+	return nil
+}
+
+// Build finalizes the relation.
+func (b *RelationBuilder) Build() *NFARelation {
+	return &NFARelation{N: b.arity, M: b.m, codec: b.codec}
+}
+
+// EqualLength builds the equal-length relation of the given arity over
+// sigma: {(u1,…,us) : |u1| = … = |us|}, used by the paper's q_anbn query
+// (Theorem 9). It is a single-state relation looping on every tuple of
+// non-⊥ symbols.
+func EqualLength(arity int, sigma []rune) *NFARelation {
+	b := NewRelationBuilder(arity)
+	b.SetFinal(0)
+	tuple := make([]rune, arity)
+	var rec func(i int)
+	rec = func(i int) {
+		if i == arity {
+			t := append([]rune(nil), tuple...)
+			if err := b.AddTr(0, t, 0); err != nil {
+				panic(err)
+			}
+			return
+		}
+		for _, r := range sigma {
+			tuple[i] = r
+			rec(i + 1)
+		}
+	}
+	rec(0)
+	return b.Build()
+}
+
+// EqualityNFA builds equality as an explicit NFARelation (used in tests to
+// cross-check the specialized equality product against the generic one).
+func EqualityNFA(arity int, sigma []rune) *NFARelation {
+	b := NewRelationBuilder(arity)
+	b.SetFinal(0)
+	for _, r := range sigma {
+		tuple := make([]rune, arity)
+		for i := range tuple {
+			tuple[i] = r
+		}
+		if err := b.AddTr(0, tuple, 0); err != nil {
+			panic(err)
+		}
+	}
+	return b.Build()
+}
+
+// PrefixRelation builds the binary relation {(u, v) : u is a prefix of v}.
+func PrefixRelation(sigma []rune) *NFARelation {
+	b := NewRelationBuilder(2)
+	tail := b.AddState() // state 1: first word finished
+	b.SetFinal(0)
+	b.SetFinal(tail)
+	for _, r := range sigma {
+		if err := b.AddTr(0, []rune{r, r}, 0); err != nil {
+			panic(err)
+		}
+		if err := b.AddTr(0, []rune{Bottom, r}, tail); err != nil {
+			panic(err)
+		}
+		if err := b.AddTr(tail, []rune{Bottom, r}, tail); err != nil {
+			panic(err)
+		}
+	}
+	return b.Build()
+}
+
+// HammingAtMost builds the binary relation of equal-length words over sigma
+// that differ in at most d positions — an example of a regular relation
+// strictly beyond equality and equal-length (the class ECRPQ is closed
+// under all such synchronous relations, §1.3).
+func HammingAtMost(d int, sigma []rune) *NFARelation {
+	b := NewRelationBuilder(2)
+	// state i = number of mismatches so far; state 0 exists already
+	states := make([]int, d+1)
+	states[0] = 0
+	b.SetFinal(0)
+	for i := 1; i <= d; i++ {
+		states[i] = b.AddState()
+		b.SetFinal(states[i])
+	}
+	for i := 0; i <= d; i++ {
+		for _, r1 := range sigma {
+			for _, r2 := range sigma {
+				if r1 == r2 {
+					if err := b.AddTr(states[i], []rune{r1, r2}, states[i]); err != nil {
+						panic(err)
+					}
+				} else if i < d {
+					if err := b.AddTr(states[i], []rune{r1, r2}, states[i+1]); err != nil {
+						panic(err)
+					}
+				}
+			}
+		}
+	}
+	return b.Build()
+}
+
+// Contains reports whether the relation contains the given word tuple
+// (reference semantics used by the brute-force oracles).
+func (r *NFARelation) Contains(words []string) bool {
+	if len(words) != r.N {
+		return false
+	}
+	maxLen := 0
+	rw := make([][]rune, r.N)
+	for i, w := range words {
+		rw[i] = []rune(w)
+		if len(rw[i]) > maxLen {
+			maxLen = len(rw[i])
+		}
+	}
+	var padded []int32
+	for pos := 0; pos < maxLen; pos++ {
+		tuple := make([]rune, r.N)
+		for i := range tuple {
+			if pos < len(rw[i]) {
+				tuple[i] = rw[i][pos]
+			} else {
+				tuple[i] = Bottom
+			}
+		}
+		k := string(tuple)
+		code, ok := r.codec.codes[k]
+		if !ok {
+			return false
+		}
+		padded = append(padded, code)
+	}
+	return r.M.Accepts(padded)
+}
+
+// EqualityContains is the reference semantics of the equality relation.
+func EqualityContains(words []string) bool {
+	for i := 1; i < len(words); i++ {
+		if words[i] != words[0] {
+			return false
+		}
+	}
+	return true
+}

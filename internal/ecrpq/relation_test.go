@@ -1,0 +1,92 @@
+package ecrpq
+
+import "testing"
+
+func TestEqualLengthContains(t *testing.T) {
+	r := EqualLength(2, []rune("ab"))
+	cases := []struct {
+		u, v string
+		want bool
+	}{
+		{"", "", true}, {"a", "b", true}, {"ab", "ba", true},
+		{"a", "", false}, {"", "b", false}, {"aab", "ab", false},
+	}
+	for _, c := range cases {
+		if got := r.Contains([]string{c.u, c.v}); got != c.want {
+			t.Errorf("EqualLength(%q, %q) = %v, want %v", c.u, c.v, got, c.want)
+		}
+	}
+}
+
+func TestEqualityNFAContains(t *testing.T) {
+	r := EqualityNFA(3, []rune("ab"))
+	if !r.Contains([]string{"ab", "ab", "ab"}) {
+		t.Error("equal triple rejected")
+	}
+	if r.Contains([]string{"ab", "ab", "aa"}) {
+		t.Error("unequal triple accepted")
+	}
+	if !r.Contains([]string{"", "", ""}) {
+		t.Error("ε triple rejected")
+	}
+	if r.Contains([]string{"a", "a"}) {
+		t.Error("arity mismatch accepted")
+	}
+}
+
+func TestPrefixContains(t *testing.T) {
+	r := PrefixRelation([]rune("ab"))
+	cases := []struct {
+		u, v string
+		want bool
+	}{
+		{"", "", true}, {"", "ab", true}, {"a", "ab", true},
+		{"ab", "ab", true}, {"b", "ab", false}, {"ab", "a", false},
+	}
+	for _, c := range cases {
+		if got := r.Contains([]string{c.u, c.v}); got != c.want {
+			t.Errorf("Prefix(%q, %q) = %v, want %v", c.u, c.v, got, c.want)
+		}
+	}
+}
+
+func TestHammingAtMostContains(t *testing.T) {
+	r := HammingAtMost(1, []rune("ab"))
+	cases := []struct {
+		u, v string
+		want bool
+	}{
+		{"", "", true}, {"a", "a", true}, {"a", "b", true},
+		{"ab", "aa", true}, {"ab", "ba", false}, // two mismatches
+		{"ab", "a", false}, // unequal length
+		{"aba", "abb", true},
+	}
+	for _, c := range cases {
+		if got := r.Contains([]string{c.u, c.v}); got != c.want {
+			t.Errorf("Hamming≤1(%q, %q) = %v, want %v", c.u, c.v, got, c.want)
+		}
+	}
+	r0 := HammingAtMost(0, []rune("ab"))
+	if !r0.Contains([]string{"ab", "ab"}) || r0.Contains([]string{"ab", "aa"}) {
+		t.Error("Hamming≤0 should be equality")
+	}
+}
+
+func TestEqualityContainsHelper(t *testing.T) {
+	if !EqualityContains([]string{"x", "x", "x"}) {
+		t.Error("equal words rejected")
+	}
+	if EqualityContains([]string{"x", "y"}) {
+		t.Error("unequal words accepted")
+	}
+	if !EqualityContains(nil) {
+		t.Error("empty tuple should be vacuously equal")
+	}
+}
+
+func TestRelationBuilderArityError(t *testing.T) {
+	b := NewRelationBuilder(2)
+	if err := b.AddTr(0, []rune{'a'}, 0); err == nil {
+		t.Error("arity mismatch must error")
+	}
+}

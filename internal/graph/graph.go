@@ -1,0 +1,248 @@
+// Package graph implements the graph databases of §2.2: directed,
+// edge-labelled multigraphs D = (V_D, E_D) with E_D ⊆ V_D × Σ × V_D. Nodes
+// are dense integers with optional string names; a textual format, builders
+// and path utilities are provided.
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Edge is a single arc (From, Label, To).
+type Edge struct {
+	From  int
+	Label rune
+	To    int
+}
+
+// DB is a graph database. The zero value is an empty database.
+type DB struct {
+	names  []string       // node id -> name
+	byName map[string]int // name -> node id
+	out    [][]Edge       // adjacency by source
+	in     [][]Edge       // adjacency by target
+	nEdges int
+	sigma  map[rune]bool
+}
+
+// New returns an empty graph database.
+func New() *DB {
+	return &DB{byName: map[string]int{}, sigma: map[rune]bool{}}
+}
+
+// Node returns the id for name, adding a fresh node if necessary.
+func (d *DB) Node(name string) int {
+	if id, ok := d.byName[name]; ok {
+		return id
+	}
+	id := len(d.names)
+	d.names = append(d.names, name)
+	d.byName[name] = id
+	d.out = append(d.out, nil)
+	d.in = append(d.in, nil)
+	return id
+}
+
+// AddNode adds an anonymous node and returns its id.
+func (d *DB) AddNode() int { return d.Node(fmt.Sprintf("#%d", len(d.names))) }
+
+// Lookup returns the id of a named node.
+func (d *DB) Lookup(name string) (int, bool) {
+	id, ok := d.byName[name]
+	return id, ok
+}
+
+// Name returns the name of node id.
+func (d *DB) Name(id int) string { return d.names[id] }
+
+// AddEdge adds the arc (from, label, to); nodes must already exist.
+func (d *DB) AddEdge(from int, label rune, to int) {
+	e := Edge{From: from, Label: label, To: to}
+	d.out[from] = append(d.out[from], e)
+	d.in[to] = append(d.in[to], e)
+	d.nEdges++
+	d.sigma[label] = true
+}
+
+// AddEdgeNames adds an arc between named nodes, creating them as needed.
+func (d *DB) AddEdgeNames(from string, label rune, to string) {
+	d.AddEdge(d.Node(from), label, d.Node(to))
+}
+
+// AddPath adds a path from `from` to `to` labelled with word, creating
+// fresh intermediate nodes. It supports the paper's convention of using
+// words like "##" as arc labels (Theorem 1's construction).
+func (d *DB) AddPath(from int, word string, to int) {
+	rs := []rune(word)
+	if len(rs) == 0 {
+		return // ε-paths exist implicitly (length-0 paths)
+	}
+	cur := from
+	for i, r := range rs {
+		next := to
+		if i < len(rs)-1 {
+			next = d.AddNode()
+		}
+		d.AddEdge(cur, r, next)
+		cur = next
+	}
+}
+
+// NumNodes returns |V_D|.
+func (d *DB) NumNodes() int { return len(d.names) }
+
+// NumEdges returns |E_D|.
+func (d *DB) NumEdges() int { return d.nEdges }
+
+// Size returns |D| = |V_D| + |E_D|, the size measure used in the paper.
+func (d *DB) Size() int { return d.NumNodes() + d.nEdges }
+
+// Out returns the outgoing edges of node u (caller must not modify).
+func (d *DB) Out(u int) []Edge { return d.out[u] }
+
+// In returns the incoming edges of node u (caller must not modify).
+func (d *DB) In(u int) []Edge { return d.in[u] }
+
+// Alphabet returns the sorted set of edge labels.
+func (d *DB) Alphabet() []rune {
+	out := make([]rune, 0, len(d.sigma))
+	for r := range d.sigma {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Names returns the node names in id order.
+func (d *DB) Names() []string { return append([]string(nil), d.names...) }
+
+// HasPath reports whether D contains a path from u to v labelled word
+// (length-0 ε-paths from every node to itself included).
+func (d *DB) HasPath(u int, word string, v int) bool {
+	cur := map[int]bool{u: true}
+	for _, r := range word {
+		next := map[int]bool{}
+		for p := range cur {
+			for _, e := range d.out[p] {
+				if e.Label == r {
+					next[e.To] = true
+				}
+			}
+		}
+		if len(next) == 0 {
+			return false
+		}
+		cur = next
+	}
+	return cur[v]
+}
+
+// PathLabels returns the set of distinct words of length ≤ maxLen that
+// label at least one path in D, capped at maxWords entries (<= 0 means
+// unlimited). Used for candidate pruning in the CXRPQ^≤k evaluation: every
+// variable image must label a path of D.
+func (d *DB) PathLabels(maxLen, maxWords int) []string {
+	type cfg struct {
+		word  string
+		nodes map[int]bool
+	}
+	all := map[int]bool{}
+	for i := 0; i < d.NumNodes(); i++ {
+		all[i] = true
+	}
+	level := []cfg{{"", all}}
+	out := []string{""}
+	for length := 1; length <= maxLen; length++ {
+		var next []cfg
+		byWord := map[string]int{}
+		for _, c := range level {
+			bySym := map[rune]map[int]bool{}
+			for u := range c.nodes {
+				for _, e := range d.out[u] {
+					if bySym[e.Label] == nil {
+						bySym[e.Label] = map[int]bool{}
+					}
+					bySym[e.Label][e.To] = true
+				}
+			}
+			for r, nodes := range bySym {
+				w := c.word + string(r)
+				if i, ok := byWord[w]; ok {
+					for n := range nodes {
+						next[i].nodes[n] = true
+					}
+					continue
+				}
+				byWord[w] = len(next)
+				next = append(next, cfg{w, nodes})
+			}
+		}
+		sort.Slice(next, func(i, j int) bool { return next[i].word < next[j].word })
+		for _, c := range next {
+			out = append(out, c.word)
+			if maxWords > 0 && len(out) >= maxWords {
+				return out
+			}
+		}
+		level = next
+	}
+	return out
+}
+
+// Write serialises the database in the textual format accepted by Read:
+// one "from label to" triple per line.
+func (d *DB) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for u := range d.out {
+		for _, e := range d.out[u] {
+			if _, err := fmt.Fprintf(bw, "%s %c %s\n", d.names[e.From], e.Label, d.names[e.To]); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses the textual format: one edge per line, "from label to";
+// blank lines and lines starting with '#' are ignored.
+func Read(r io.Reader) (*DB, error) {
+	d := New()
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("graph: line %d: want 'from label to', got %q", lineNo, line)
+		}
+		label := []rune(fields[1])
+		if len(label) != 1 {
+			return nil, fmt.Errorf("graph: line %d: label must be a single symbol, got %q", lineNo, fields[1])
+		}
+		d.AddEdgeNames(fields[0], label[0], fields[2])
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// Parse parses the textual format from a string.
+func Parse(s string) (*DB, error) { return Read(strings.NewReader(s)) }
+
+// MustParse is Parse but panics on error.
+func MustParse(s string) *DB {
+	d, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}

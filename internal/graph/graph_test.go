@@ -1,0 +1,132 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const sample = `
+# parent/supervisor example
+u1 p u2
+u2 s u3
+u3 p u1
+`
+
+func TestParseAndBasics(t *testing.T) {
+	d := MustParse(sample)
+	if d.NumNodes() != 3 || d.NumEdges() != 3 {
+		t.Fatalf("nodes=%d edges=%d", d.NumNodes(), d.NumEdges())
+	}
+	if got := string(d.Alphabet()); got != "ps" {
+		t.Fatalf("alphabet = %q", got)
+	}
+	u1, _ := d.Lookup("u1")
+	u3, _ := d.Lookup("u3")
+	if !d.HasPath(u1, "ps", u3) {
+		t.Fatal("u1 -p-> u2 -s-> u3 should exist")
+	}
+	if !d.HasPath(u1, "", u1) {
+		t.Fatal("every node has an ε-path to itself")
+	}
+	if d.HasPath(u1, "sp", u3) {
+		t.Fatal("no sp path from u1")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	if _, err := Parse("a b"); err == nil {
+		t.Fatal("two fields should fail")
+	}
+	if _, err := Parse("a xy b"); err == nil {
+		t.Fatal("multi-rune label should fail")
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	d := MustParse(sample)
+	var buf bytes.Buffer
+	if err := d.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := Parse(buf.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.NumNodes() != d.NumNodes() || d2.NumEdges() != d.NumEdges() {
+		t.Fatal("round trip changed graph size")
+	}
+}
+
+func TestAddPath(t *testing.T) {
+	d := New()
+	s := d.Node("s")
+	tt := d.Node("t")
+	d.AddPath(s, "###", tt)
+	if !d.HasPath(s, "###", tt) {
+		t.Fatal("AddPath should create the labelled path")
+	}
+	if d.NumNodes() != 4 {
+		t.Fatalf("expected 2 intermediate nodes, total 4, got %d", d.NumNodes())
+	}
+}
+
+func TestPathLabels(t *testing.T) {
+	d := MustParse("a x b\nb y c\nc x a")
+	labels := d.PathLabels(3, 0)
+	// cycle a -x-> b -y-> c -x-> a: all rotations of the xyx pattern appear
+	want := map[string]bool{
+		"": true, "x": true, "y": true,
+		"xy": true, "yx": true, "xx": true,
+		"xyx": true, "yxx": true, "xxy": true,
+	}
+	for _, w := range labels {
+		if !want[w] {
+			t.Errorf("unexpected path label %q", w)
+		}
+		delete(want, w)
+	}
+	if len(want) > 0 {
+		t.Errorf("missing path labels: %v", want)
+	}
+	if got := d.PathLabels(3, 2); len(got) != 2 {
+		t.Errorf("cap not honoured: %v", got)
+	}
+}
+
+func TestPathWordsBetween(t *testing.T) {
+	d := MustParse("a x b\nb y c\na z c")
+	ai, _ := d.Lookup("a")
+	ci, _ := d.Lookup("c")
+	words := d.PathWordsBetween(ai, ci, 2)
+	if len(words) != 2 || words[0] != "z" || words[1] != "xy" {
+		t.Fatalf("words = %v, want [z xy]", words)
+	}
+	if got := d.PathWordsBetween(ai, ai, 2); len(got) != 1 || got[0] != "" {
+		t.Fatalf("self words = %v, want [ε]", got)
+	}
+}
+
+func TestReachableBy(t *testing.T) {
+	d := MustParse("a x b\nb x c\nb x d")
+	ai, _ := d.Lookup("a")
+	got := d.ReachableBy(ai, "xx")
+	if len(got) != 2 {
+		t.Fatalf("ReachableBy = %v", got)
+	}
+}
+
+func TestMultigraph(t *testing.T) {
+	// Multiple edges between the same nodes with different labels.
+	d := New()
+	u, v := d.Node("u"), d.Node("v")
+	d.AddEdge(u, 'a', v)
+	d.AddEdge(u, 'b', v)
+	d.AddEdge(u, 'a', v) // parallel duplicate allowed (multigraph)
+	if d.NumEdges() != 3 {
+		t.Fatalf("edges = %d", d.NumEdges())
+	}
+	if !strings.Contains(string(d.Alphabet()), "a") {
+		t.Fatal("alphabet missing a")
+	}
+}

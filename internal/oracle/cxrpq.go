@@ -1,0 +1,67 @@
+package oracle
+
+import (
+	"cxrpq/internal/cxrpq"
+	"cxrpq/internal/graph"
+	"cxrpq/internal/pattern"
+)
+
+// EvalCXRPQ computes q(D) by brute force under the conjunctive-match
+// semantics of §3.1: it enumerates matching morphisms h, per-edge path words
+// of length ≤ maxLen, and decides conjunctive matches via
+// cxrpq.MatchTuple. Variable images are implicitly bounded by maxLen (they
+// are factors of the matched words), so with maxImage = maxLen this is also
+// a reference for q^≤maxLen(D) restricted to short matching words.
+func EvalCXRPQ(q *cxrpq.Query, db *graph.DB, maxLen int) (*pattern.TupleSet, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	c := q.CXRE()
+	sigma := db.Alphabet()
+	vars := q.Pattern.Vars()
+	out := pattern.NewTupleSet()
+
+	assign := map[string]int{}
+	var rec func(i int)
+	rec = func(i int) {
+		if i < len(vars) {
+			for u := 0; u < db.NumNodes(); u++ {
+				assign[vars[i]] = u
+				rec(i + 1)
+			}
+			delete(assign, vars[i])
+			return
+		}
+		words := make([][]string, len(q.Pattern.Edges))
+		for ei, e := range q.Pattern.Edges {
+			words[ei] = db.PathWordsBetween(assign[e.From], assign[e.To], maxLen)
+			if len(words[ei]) == 0 {
+				return
+			}
+		}
+		choice := make([]string, len(q.Pattern.Edges))
+		var pick func(ei int) bool
+		pick = func(ei int) bool {
+			if ei == len(choice) {
+				return cxrpq.MatchTupleBool(c, choice, sigma)
+			}
+			for _, w := range words[ei] {
+				choice[ei] = w
+				if pick(ei + 1) {
+					return true
+				}
+			}
+			return false
+		}
+		if !pick(0) {
+			return
+		}
+		t := make(pattern.Tuple, len(q.Pattern.Out))
+		for j, z := range q.Pattern.Out {
+			t[j] = assign[z]
+		}
+		out.Add(t)
+	}
+	rec(0)
+	return out, nil
+}

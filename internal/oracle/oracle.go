@@ -1,0 +1,108 @@
+// Package oracle provides brute-force reference implementations used to
+// cross-validate the production engines in tests and experiments. They
+// enumerate path words explicitly and therefore only terminate for small
+// length bounds; the engines they check must agree with them whenever all
+// relevant matching words fit under the bound.
+package oracle
+
+import (
+	"cxrpq/internal/ecrpq"
+	"cxrpq/internal/graph"
+	"cxrpq/internal/pattern"
+	"cxrpq/internal/xregex"
+)
+
+// EvalECRPQ computes q(D) by brute force, considering only matching words of
+// length at most maxLen per edge.
+func EvalECRPQ(q *ecrpq.Query, db *graph.DB, maxLen int) (*pattern.TupleSet, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	sigma := xregex.MergeAlphabets(db.Alphabet(), xregex.AlphabetOf(q.Pattern.Labels()...))
+	vars := q.Pattern.Vars()
+	out := pattern.NewTupleSet()
+
+	assign := map[string]int{}
+	var rec func(i int) error
+	rec = func(i int) error {
+		if i < len(vars) {
+			for u := 0; u < db.NumNodes(); u++ {
+				assign[vars[i]] = u
+				if err := rec(i + 1); err != nil {
+					return err
+				}
+			}
+			delete(assign, vars[i])
+			return nil
+		}
+		// all node variables bound: compute per-edge word sets
+		words := make([][]string, len(q.Pattern.Edges))
+		for ei, e := range q.Pattern.Edges {
+			m, err := xregex.Compile(e.Label, sigma)
+			if err != nil {
+				return err
+			}
+			for _, w := range db.PathWordsBetween(assign[e.From], assign[e.To], maxLen) {
+				if m.AcceptsString(w) {
+					words[ei] = append(words[ei], w)
+				}
+			}
+			if len(words[ei]) == 0 {
+				return nil
+			}
+		}
+		// check the groups: some choice of words must satisfy every relation
+		if !chooseWords(q, words) {
+			return nil
+		}
+		t := make(pattern.Tuple, len(q.Pattern.Out))
+		for j, z := range q.Pattern.Out {
+			t[j] = assign[z]
+		}
+		out.Add(t)
+		return nil
+	}
+	if err := rec(0); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// chooseWords checks whether some per-edge word choice satisfies all groups.
+// Ungrouped edges are unconstrained beyond non-emptiness (already checked).
+func chooseWords(q *ecrpq.Query, words [][]string) bool {
+	if len(q.Groups) == 0 {
+		return true
+	}
+	// groups are disjoint, so they can be checked independently
+	for _, g := range q.Groups {
+		if !chooseGroup(g, words) {
+			return false
+		}
+	}
+	return true
+}
+
+func chooseGroup(g ecrpq.Group, words [][]string) bool {
+	choice := make([]string, len(g.Edges))
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i == len(g.Edges) {
+			switch rel := g.Rel.(type) {
+			case *ecrpq.Equality:
+				return ecrpq.EqualityContains(choice)
+			case *ecrpq.NFARelation:
+				return rel.Contains(choice)
+			}
+			return false
+		}
+		for _, w := range words[g.Edges[i]] {
+			choice[i] = w
+			if rec(i + 1) {
+				return true
+			}
+		}
+		return false
+	}
+	return rec(0)
+}

@@ -1,0 +1,166 @@
+// Package pattern provides the shared representation of graph patterns for
+// conjunctive path queries (§2.3): a directed, edge-labelled graph whose
+// vertices are node variables and whose edge labels are language descriptors
+// (here: xregex trees; classical regular expressions for CRPQs).
+package pattern
+
+import (
+	"fmt"
+	"sort"
+
+	"cxrpq/internal/xregex"
+)
+
+// Edge is one arc (From, Label, To) of a graph pattern.
+type Edge struct {
+	From  string
+	To    string
+	Label xregex.Node
+}
+
+// Graph is an ℜ-graph pattern together with the output tuple z̄ of the
+// query q = z̄ ← G. An empty Out means a Boolean query.
+type Graph struct {
+	Out   []string
+	Edges []Edge
+}
+
+// Vars returns the sorted node variables of the pattern (edge endpoints and
+// output variables).
+func (g *Graph) Vars() []string {
+	set := map[string]bool{}
+	for _, e := range g.Edges {
+		set[e.From] = true
+		set[e.To] = true
+	}
+	for _, z := range g.Out {
+		set[z] = true
+	}
+	out := make([]string, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Labels returns the edge labels in edge order.
+func (g *Graph) Labels() []xregex.Node {
+	out := make([]xregex.Node, len(g.Edges))
+	for i, e := range g.Edges {
+		out[i] = e.Label
+	}
+	return out
+}
+
+// Validate checks that every output variable occurs in the pattern.
+func (g *Graph) Validate() error {
+	vars := map[string]bool{}
+	for _, e := range g.Edges {
+		vars[e.From] = true
+		vars[e.To] = true
+	}
+	for _, z := range g.Out {
+		if !vars[z] {
+			return fmt.Errorf("pattern: output variable %q does not occur in any edge", z)
+		}
+	}
+	return nil
+}
+
+// Size returns |q|: the number of edges plus the sizes of all edge labels.
+func (g *Graph) Size() int {
+	s := len(g.Edges)
+	for _, e := range g.Edges {
+		s += xregex.Size(e.Label)
+	}
+	return s
+}
+
+// IsBoolean reports whether the query has an empty output tuple.
+func (g *Graph) IsBoolean() bool { return len(g.Out) == 0 }
+
+// String renders the pattern in the textual query format.
+func (g *Graph) String() string {
+	s := "ans("
+	for i, z := range g.Out {
+		if i > 0 {
+			s += ", "
+		}
+		s += z
+	}
+	s += ")\n"
+	for _, e := range g.Edges {
+		s += fmt.Sprintf("%s %s : %s\n", e.From, e.To, xregex.String(e.Label))
+	}
+	return s
+}
+
+// Clone returns a deep copy of the pattern.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{Out: append([]string(nil), g.Out...)}
+	for _, e := range g.Edges {
+		c.Edges = append(c.Edges, Edge{From: e.From, To: e.To, Label: xregex.Clone(e.Label)})
+	}
+	return c
+}
+
+// Tuple is an output tuple of node ids.
+type Tuple []int
+
+// Key returns a canonical map key for the tuple.
+func (t Tuple) Key() string { return fmt.Sprint([]int(t)) }
+
+// TupleSet is a set of output tuples with deterministic enumeration order.
+type TupleSet struct {
+	seen map[string]bool
+	list []Tuple
+}
+
+// NewTupleSet returns an empty tuple set.
+func NewTupleSet() *TupleSet { return &TupleSet{seen: map[string]bool{}} }
+
+// Add inserts t if not present; it reports whether t was new.
+func (s *TupleSet) Add(t Tuple) bool {
+	k := t.Key()
+	if s.seen[k] {
+		return false
+	}
+	s.seen[k] = true
+	s.list = append(s.list, append(Tuple(nil), t...))
+	return true
+}
+
+// Contains reports membership.
+func (s *TupleSet) Contains(t Tuple) bool { return s.seen[t.Key()] }
+
+// Len returns the number of tuples.
+func (s *TupleSet) Len() int { return len(s.list) }
+
+// Sorted returns the tuples in lexicographic order.
+func (s *TupleSet) Sorted() []Tuple {
+	out := append([]Tuple(nil), s.list...)
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		for k := 0; k < len(a) && k < len(b); k++ {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return len(a) < len(b)
+	})
+	return out
+}
+
+// Equal reports whether two tuple sets contain the same tuples.
+func (s *TupleSet) Equal(o *TupleSet) bool {
+	if s.Len() != o.Len() {
+		return false
+	}
+	for k := range s.seen {
+		if !o.seen[k] {
+			return false
+		}
+	}
+	return true
+}

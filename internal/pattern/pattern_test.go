@@ -1,0 +1,94 @@
+package pattern
+
+import (
+	"testing"
+
+	"cxrpq/internal/xregex"
+)
+
+func TestParseQuery(t *testing.T) {
+	q := MustParseQuery(`
+# G1 of Figure 2
+ans(v1, v2)
+u v1 : $x{a|b}
+u v2 : ($x|c)+
+`)
+	if len(q.Out) != 2 || q.Out[0] != "v1" || q.Out[1] != "v2" {
+		t.Fatalf("out = %v", q.Out)
+	}
+	if len(q.Edges) != 2 {
+		t.Fatalf("edges = %d", len(q.Edges))
+	}
+	if got := q.Edges[0].From; got != "u" {
+		t.Fatalf("edge0 from = %s", got)
+	}
+	if xregex.String(q.Edges[1].Label) != "($x|c)+" {
+		t.Fatalf("edge1 label = %s", xregex.String(q.Edges[1].Label))
+	}
+	vars := q.Vars()
+	if len(vars) != 3 {
+		t.Fatalf("vars = %v", vars)
+	}
+}
+
+func TestParseQueryBooleanAndErrors(t *testing.T) {
+	q := MustParseQuery("ans()\nx y : a*")
+	if !q.IsBoolean() {
+		t.Fatal("ans() should be Boolean")
+	}
+	for _, bad := range []string{
+		"x y : a",              // missing ans
+		"ans(x)\ny z : a",      // output var not in pattern
+		"ans()\nx : a",         // malformed edge head
+		"ans()\nx y a",         // missing colon
+		"ans()\nx y : $v{a$v}", // invalid xregex
+	} {
+		if _, err := ParseQuery(bad); err == nil {
+			t.Errorf("ParseQuery(%q): expected error", bad)
+		}
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	q := MustParseQuery("ans(x)\nx y : a(b|c)*\ny x : $v{a}$v")
+	q2, err := ParseQuery(q.String())
+	if err != nil {
+		t.Fatalf("re-parse: %v\n%s", err, q.String())
+	}
+	if q2.String() != q.String() {
+		t.Fatalf("round trip mismatch:\n%s\nvs\n%s", q.String(), q2.String())
+	}
+}
+
+func TestTupleSet(t *testing.T) {
+	s := NewTupleSet()
+	if !s.Add(Tuple{1, 2}) || s.Add(Tuple{1, 2}) {
+		t.Fatal("Add dedup broken")
+	}
+	s.Add(Tuple{0, 5})
+	sorted := s.Sorted()
+	if len(sorted) != 2 || sorted[0][0] != 0 {
+		t.Fatalf("sorted = %v", sorted)
+	}
+	o := NewTupleSet()
+	o.Add(Tuple{0, 5})
+	o.Add(Tuple{1, 2})
+	if !s.Equal(o) {
+		t.Fatal("sets should be equal")
+	}
+	o.Add(Tuple{9})
+	if s.Equal(o) {
+		t.Fatal("sets should differ")
+	}
+}
+
+func TestSizeAndClone(t *testing.T) {
+	q := MustParseQuery("ans()\nx y : ab*")
+	if q.Size() < 4 {
+		t.Fatalf("size = %d", q.Size())
+	}
+	c := q.Clone()
+	if c.String() != q.String() {
+		t.Fatal("clone mismatch")
+	}
+}

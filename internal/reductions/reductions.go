@@ -1,0 +1,198 @@
+// Package reductions implements the hardness reductions of the paper as
+// executable constructions. They serve three purposes: correctness tests
+// (solve small instances both through the reduction and directly), workload
+// generators for the complexity experiments, and faithful documentation of
+// the lower-bound proofs.
+//
+//   - Theorem 1: NFA intersection → Boolean single-edge CXRPQ evaluation
+//     with the fixed xregex α_ni = #z{(a∨b)*}(##z)*### (PSpace-hardness in
+//     data complexity).
+//   - Theorem 3: the vstar-free variant α^k_ni = #z{(a∨b)*}(##z)^{k-1}###
+//     (PSpace-hardness of CXRPQ^vsf in combined complexity), plus the
+//     reachability → CRPQ reduction (NL-hardness in data complexity).
+//   - Theorem 7 (Figure 4): Hitting Set → Boolean single-edge CXRPQ^≤1
+//     evaluation (NP-hardness in combined complexity even for single-edge
+//     patterns).
+package reductions
+
+import (
+	"fmt"
+	"strings"
+
+	"cxrpq/internal/automata"
+	"cxrpq/internal/cxrpq"
+	"cxrpq/internal/graph"
+	"cxrpq/internal/xregex"
+)
+
+// AlphaNI returns the fixed xregex α_ni = #z{(a|b)*}(##z)*### of Theorem 1.
+func AlphaNI() xregex.Node {
+	return xregex.MustParse("#$z{(a|b)*}(##$z)*###")
+}
+
+// AlphaNIK returns the vstar-free α^k_ni = #z{(a|b)*}(##z)^{k-1}### of
+// Theorem 3 (the star over the variable is unrolled k−1 times).
+func AlphaNIK(k int) xregex.Node {
+	var b strings.Builder
+	b.WriteString("#$z{(a|b)*}")
+	for i := 0; i < k-1; i++ {
+		b.WriteString("(##$z)")
+	}
+	b.WriteString("###")
+	return xregex.MustParse(b.String())
+}
+
+// NFAIntersectionInstance is an instance of the PSpace-complete
+// NFA-intersection problem over {a, b}.
+type NFAIntersectionInstance struct {
+	Machines []*automata.NFA
+}
+
+// RandomNFAs generates k deterministic-ish random NFAs over {a,b} with the
+// given number of states, for the E3/E4 experiments.
+func RandomNFAs(seed int64, k, states int) *NFAIntersectionInstance {
+	s := uint64(seed)
+	next := func(n uint64) uint64 {
+		s = s*6364136223846793005 + 1442695040888963407
+		return (s >> 33) % n
+	}
+	inst := &NFAIntersectionInstance{}
+	for i := 0; i < k; i++ {
+		m := automata.New(states)
+		for p := 0; p < states; p++ {
+			for _, sym := range []rune{'a', 'b'} {
+				// 1-2 transitions per (state, symbol)
+				m.AddTr(p, int32(sym), int(next(uint64(states))))
+				if next(3) == 0 {
+					m.AddTr(p, int32(sym), int(next(uint64(states))))
+				}
+			}
+		}
+		m.SetFinal(int(next(uint64(states))), true)
+		inst.Machines = append(inst.Machines, m)
+	}
+	return inst
+}
+
+// IntersectionNonEmpty solves the instance directly via the product
+// automaton (the oracle side of the reduction check).
+func (inst *NFAIntersectionInstance) IntersectionNonEmpty() bool {
+	return !automata.IntersectAll(inst.Machines...).IsEmpty()
+}
+
+// ToGraphDB builds the graph database of Theorem 1's reduction: the NFAs'
+// transition graphs chained with ##-paths, with #- and ###-paths attaching
+// fresh s and t nodes. D contains a path labelled by a word of L(α_ni) iff
+// ⋂ L(M_i) ≠ ∅. Nodes are named s, t and q<i>_<state>.
+func (inst *NFAIntersectionInstance) ToGraphDB() (*graph.DB, error) {
+	k := len(inst.Machines)
+	if k == 0 {
+		return nil, fmt.Errorf("reductions: empty NFA-intersection instance")
+	}
+	d := graph.New()
+	node := func(i, state int) int { return d.Node(fmt.Sprintf("q%d_%d", i, state)) }
+	for i, m := range inst.Machines {
+		for p := 0; p < m.NumStates(); p++ {
+			for _, tr := range m.Transitions(p) {
+				if tr.Label == automata.Epsilon {
+					return nil, fmt.Errorf("reductions: ε-transitions not supported by the Theorem 1 construction")
+				}
+				d.AddEdge(node(i, p), rune(tr.Label), node(i, tr.To))
+			}
+		}
+		finals := m.Finals()
+		if len(finals) != 1 {
+			return nil, fmt.Errorf("reductions: machine %d must have exactly one final state (got %d)", i, len(finals))
+		}
+	}
+	s := d.Node("s")
+	t := d.Node("t")
+	d.AddPath(s, "#", node(0, inst.Machines[0].Start()))
+	for i := 0; i < k-1; i++ {
+		d.AddPath(node(i, inst.Machines[i].Finals()[0]), "##", node(i+1, inst.Machines[i+1].Start()))
+	}
+	d.AddPath(node(k-1, inst.Machines[k-1].Finals()[0]), "###", t)
+	return d, nil
+}
+
+// ToCXRPQ returns the Boolean single-edge query of Theorem 1 (unrestricted,
+// with α_ni) or of Theorem 3 (vstar-free, with α^k_ni) for this instance.
+func (inst *NFAIntersectionInstance) ToCXRPQ(vstarFree bool) (*cxrpq.Query, error) {
+	var label xregex.Node
+	if vstarFree {
+		label = AlphaNIK(len(inst.Machines))
+	} else {
+		label = AlphaNI()
+	}
+	return cxrpq.Parse(fmt.Sprintf("ans()\nx y : %s", xregex.String(label)))
+}
+
+// ReachabilityInstance is a directed-graph reachability instance (the
+// canonical NL-complete problem) for the Theorem 3/7 data-complexity lower
+// bounds.
+type ReachabilityInstance struct {
+	N     int
+	Edges [][2]int
+	S, T  int
+}
+
+// RandomReachability generates a random instance.
+func RandomReachability(seed int64, n, edges int) *ReachabilityInstance {
+	s := uint64(seed)
+	next := func(m uint64) uint64 {
+		s = s*6364136223846793005 + 1442695040888963407
+		return (s >> 33) % m
+	}
+	inst := &ReachabilityInstance{N: n, S: 0, T: n - 1}
+	for i := 0; i < edges; i++ {
+		inst.Edges = append(inst.Edges, [2]int{int(next(uint64(n))), int(next(uint64(n)))})
+	}
+	return inst
+}
+
+// Reachable solves the instance directly by BFS.
+func (r *ReachabilityInstance) Reachable() bool {
+	adj := make([][]int, r.N)
+	for _, e := range r.Edges {
+		adj[e[0]] = append(adj[e[0]], e[1])
+	}
+	seen := make([]bool, r.N)
+	stack := []int{r.S}
+	seen[r.S] = true
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if u == r.T {
+			return true
+		}
+		for _, v := range adj[u] {
+			if !seen[v] {
+				seen[v] = true
+				stack = append(stack, v)
+			}
+		}
+	}
+	return false
+}
+
+// ToCRPQ builds the Theorem 3 construction: D with b-labelled edges plus
+// marker arcs (s', a, s), (t, a, t'), (t', a, t”), and the fixed Boolean
+// CRPQ (x, ab*aa, z). D |= q iff t is reachable from s.
+func (r *ReachabilityInstance) ToCRPQ() (*graph.DB, *cxrpq.Query, error) {
+	d := graph.New()
+	node := func(i int) int { return d.Node(fmt.Sprintf("v%d", i)) }
+	for _, e := range r.Edges {
+		d.AddEdge(node(e[0]), 'b', node(e[1]))
+	}
+	sp := d.Node("s'")
+	tp := d.Node("t'")
+	tpp := d.Node("t''")
+	d.AddEdge(sp, 'a', node(r.S))
+	d.AddEdge(node(r.T), 'a', tp)
+	d.AddEdge(tp, 'a', tpp)
+	q, err := cxrpq.Parse("ans()\nx z : ab*aa")
+	if err != nil {
+		return nil, nil, err
+	}
+	return d, q, nil
+}

@@ -1,0 +1,152 @@
+// Package workload generates the synthetic graph databases used by the
+// examples and experiments: random labelled graphs, the genealogy graphs of
+// Figure 1, the message networks motivating G3 of Figure 2, and scalable
+// path/cycle families for the data-complexity scaling experiments.
+package workload
+
+import (
+	"fmt"
+	"strings"
+
+	"cxrpq/internal/graph"
+)
+
+// rng is a small deterministic PRNG (SplitMix-style) so experiments are
+// reproducible without importing math/rand state.
+type rng struct{ s uint64 }
+
+// NewRNG returns a deterministic generator.
+func NewRNG(seed int64) *rng { return &rng{s: uint64(seed)*2654435761 + 1} }
+
+func (r *rng) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a uniform value in [0, n).
+func (r *rng) Intn(n int) int { return int(r.next() % uint64(n)) }
+
+// Random returns a random multigraph with the given node count, edge count
+// and label alphabet.
+func Random(seed int64, nodes, edges int, alphabet string) *graph.DB {
+	r := NewRNG(seed)
+	d := graph.New()
+	for i := 0; i < nodes; i++ {
+		d.AddNode()
+	}
+	al := []rune(alphabet)
+	for i := 0; i < edges; i++ {
+		d.AddEdge(r.Intn(nodes), al[r.Intn(len(al))], r.Intn(nodes))
+	}
+	return d
+}
+
+// Genealogy builds a parent/supervisor graph (labels p, s) with the given
+// number of persons: a binary parent forest plus random supervision arcs,
+// as in the Figure 1 examples.
+func Genealogy(seed int64, persons int) *graph.DB {
+	r := NewRNG(seed)
+	d := graph.New()
+	for i := 0; i < persons; i++ {
+		d.Node(fmt.Sprintf("p%d", i))
+	}
+	for i := 1; i < persons; i++ {
+		parent := r.Intn(i)
+		d.AddEdge(parent, 'p', i)
+	}
+	for i := 0; i < persons/2; i++ {
+		a, b := r.Intn(persons), r.Intn(persons)
+		if a != b {
+			d.AddEdge(a, 's', b)
+		}
+	}
+	return d
+}
+
+// MessageNetwork builds the hidden-communication scenario motivating G3 of
+// Figure 2: persons exchanging text messages (labels from alphabet), with
+// `pairs` hidden pairs that communicate by routing a secret message
+// sequence of length seqLen through chains of intermediaries, repeated
+// `reps` times towards a mutual contact.
+func MessageNetwork(seed int64, persons int, alphabet string, pairs, seqLen, reps int) *graph.DB {
+	r := NewRNG(seed)
+	d := graph.New()
+	for i := 0; i < persons; i++ {
+		d.Node(fmt.Sprintf("u%d", i))
+	}
+	al := []rune(alphabet)
+	// background noise
+	for i := 0; i < persons*2; i++ {
+		d.AddEdge(r.Intn(persons), al[r.Intn(len(al))], r.Intn(persons))
+	}
+	// hidden pairs
+	for p := 0; p < pairs; p++ {
+		v1 := d.Node(fmt.Sprintf("h%d_a", p))
+		v2 := d.Node(fmt.Sprintf("h%d_b", p))
+		mutual := d.Node(fmt.Sprintf("h%d_m", p))
+		var x, y strings.Builder
+		for i := 0; i < seqLen; i++ {
+			x.WriteRune(al[r.Intn(len(al))])
+			y.WriteRune(al[r.Intn(len(al))])
+		}
+		// v1 -x-> v2, v2 -y-> v1
+		d.AddPath(v1, x.String(), v2)
+		d.AddPath(v2, y.String(), v1)
+		// v1 -x^reps-> mutual, v2 -y^reps-> mutual
+		d.AddPath(v1, strings.Repeat(x.String(), reps), mutual)
+		d.AddPath(v2, strings.Repeat(y.String(), reps), mutual)
+	}
+	return d
+}
+
+// Path returns a single path labelled with word repeated `reps` times.
+func Path(word string, reps int) *graph.DB {
+	d := graph.New()
+	s := d.Node("s")
+	t := d.Node("t")
+	d.AddPath(s, strings.Repeat(word, reps), t)
+	return d
+}
+
+// Cycle returns a labelled cycle over the alphabet, for unbounded-image
+// workloads.
+func Cycle(alphabet string, length int) *graph.DB {
+	d := graph.New()
+	al := []rune(alphabet)
+	nodes := make([]int, length)
+	for i := range nodes {
+		nodes[i] = d.AddNode()
+	}
+	for i := range nodes {
+		d.AddEdge(nodes[i], al[i%len(al)], nodes[(i+1)%len(nodes)])
+	}
+	return d
+}
+
+// Layered returns a layered DAG with `layers` layers of `width` nodes and
+// random labelled arcs between consecutive layers; scaling families with
+// predictable diameter for the E6/E8 experiments.
+func Layered(seed int64, layers, width int, alphabet string) *graph.DB {
+	r := NewRNG(seed)
+	d := graph.New()
+	al := []rune(alphabet)
+	ids := make([][]int, layers)
+	for l := 0; l < layers; l++ {
+		ids[l] = make([]int, width)
+		for w := 0; w < width; w++ {
+			ids[l][w] = d.Node(fmt.Sprintf("l%d_%d", l, w))
+		}
+	}
+	for l := 0; l+1 < layers; l++ {
+		for w := 0; w < width; w++ {
+			// two outgoing arcs per node
+			for j := 0; j < 2; j++ {
+				d.AddEdge(ids[l][w], al[r.Intn(len(al))], ids[l+1][r.Intn(width)])
+			}
+		}
+	}
+	return d
+}

@@ -1,0 +1,83 @@
+package workload
+
+import "testing"
+
+func TestRandomDeterministic(t *testing.T) {
+	a := Random(5, 10, 20, "ab")
+	b := Random(5, 10, 20, "ab")
+	if a.NumNodes() != b.NumNodes() || a.NumEdges() != b.NumEdges() {
+		t.Fatal("same seed must give same graph")
+	}
+	if a.NumNodes() != 10 || a.NumEdges() != 20 {
+		t.Fatalf("nodes=%d edges=%d", a.NumNodes(), a.NumEdges())
+	}
+	c := Random(6, 10, 20, "ab")
+	_ = c // different seed is fine either way; just must not panic
+}
+
+func TestGenealogy(t *testing.T) {
+	g := Genealogy(1, 20)
+	if g.NumNodes() != 20 {
+		t.Fatalf("nodes = %d", g.NumNodes())
+	}
+	hasP, hasS := false, false
+	for _, r := range g.Alphabet() {
+		if r == 'p' {
+			hasP = true
+		}
+		if r == 's' {
+			hasS = true
+		}
+	}
+	if !hasP || !hasS {
+		t.Fatal("genealogy must have p and s arcs")
+	}
+}
+
+func TestMessageNetwork(t *testing.T) {
+	g := MessageNetwork(2, 10, "ab", 2, 3, 2)
+	if g.NumNodes() <= 10 {
+		t.Fatal("hidden-pair nodes missing")
+	}
+	// hidden pair paths must exist: h0_a reaches h0_b by a 3-message path
+	a, ok := g.Lookup("h0_a")
+	if !ok {
+		t.Fatal("h0_a missing")
+	}
+	m, ok := g.Lookup("h0_m")
+	if !ok {
+		t.Fatal("h0_m missing")
+	}
+	found := false
+	for _, w := range g.PathWordsBetween(a, m, 6) {
+		if len(w) == 6 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("hidden 6-step path to mutual contact missing")
+	}
+}
+
+func TestPathAndCycle(t *testing.T) {
+	p := Path("ab", 3)
+	s, _ := p.Lookup("s")
+	tt, _ := p.Lookup("t")
+	if !p.HasPath(s, "ababab", tt) {
+		t.Fatal("path mislabelled")
+	}
+	c := Cycle("abc", 6)
+	if c.NumNodes() != 6 || c.NumEdges() != 6 {
+		t.Fatalf("cycle size wrong: %d/%d", c.NumNodes(), c.NumEdges())
+	}
+}
+
+func TestLayered(t *testing.T) {
+	g := Layered(3, 4, 3, "ab")
+	if g.NumNodes() != 12 {
+		t.Fatalf("nodes = %d", g.NumNodes())
+	}
+	if g.NumEdges() != 3*3*2 {
+		t.Fatalf("edges = %d", g.NumEdges())
+	}
+}

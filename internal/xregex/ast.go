@@ -1,0 +1,368 @@
+// Package xregex implements regular expressions with backreferences (xregex,
+// Definition 3 of Schmid, PODS 2020) over a finite terminal alphabet Σ and a
+// set of string variables, together with the classical regular expressions
+// REΣ as the variable-free subset.
+//
+// On top of the AST the package provides: a parser and printer, the
+// ref-word semantics of §2.1 (Definitions 1 and 2), the syntactic fragment
+// classifiers of §5 (vstar-free, valt-free, variable-simple, simple, normal
+// form, basic definitions), Thompson compilation of classical expressions to
+// NFAs, conversion of NFAs back to classical expressions by state
+// elimination (needed for Lemma 12), word matching with witness variable
+// mappings, and the syntax-tree transformations used by the normal-form
+// construction (Lemmas 4–6) and the bounded-image instantiation (Lemma 10).
+package xregex
+
+import "sort"
+
+// Node is an xregex syntax tree. All implementations are pointer types;
+// trees are treated as immutable values — transformations build new trees.
+type Node interface{ node() }
+
+// Empty is ∅, the expression with L(∅) = ∅.
+type Empty struct{}
+
+// Eps is ε, the empty word.
+type Eps struct{}
+
+// Sym is a single terminal symbol a ∈ Σ.
+type Sym struct{ R rune }
+
+// Class is a character class: [abc] (Neg=false) matches any listed symbol;
+// [^abc] (Neg=true) matches any symbol of Σ not listed. The wildcard "."
+// is Class{Neg: true} with an empty set. Classes are syntactic sugar for
+// alternations of symbols, resolved against a concrete Σ at compile time.
+type Class struct {
+	Neg bool
+	Set []rune // sorted, unique
+}
+
+// Ref is a reference of string variable Var.
+type Ref struct{ Var string }
+
+// Def is a definition Var{Body} of string variable Var.
+type Def struct {
+	Var  string
+	Body Node
+}
+
+// Cat is concatenation of the Kids in order.
+type Cat struct{ Kids []Node }
+
+// Alt is alternation (∨) of the Kids.
+type Alt struct{ Kids []Node }
+
+// Plus is (Kid)+, one or more repetitions.
+type Plus struct{ Kid Node }
+
+// Star is (Kid)*, shorthand for (Kid)+ ∨ ε as in the paper.
+type Star struct{ Kid Node }
+
+// Opt is (Kid)?, shorthand for Kid ∨ ε.
+type Opt struct{ Kid Node }
+
+func (*Empty) node() {}
+func (*Eps) node()   {}
+func (*Sym) node()   {}
+func (*Class) node() {}
+func (*Ref) node()   {}
+func (*Def) node()   {}
+func (*Cat) node()   {}
+func (*Alt) node()   {}
+func (*Plus) node()  {}
+func (*Star) node()  {}
+func (*Opt) node()   {}
+
+// NewClass builds a Class with a sorted, deduplicated set.
+func NewClass(neg bool, set []rune) *Class {
+	s := append([]rune(nil), set...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	out := s[:0]
+	for i, r := range s {
+		if i == 0 || r != s[i-1] {
+			out = append(out, r)
+		}
+	}
+	return &Class{Neg: neg, Set: out}
+}
+
+// Word returns a Node matching exactly the word w (ε for the empty word).
+func Word(w string) Node {
+	rs := []rune(w)
+	if len(rs) == 0 {
+		return &Eps{}
+	}
+	if len(rs) == 1 {
+		return &Sym{R: rs[0]}
+	}
+	kids := make([]Node, len(rs))
+	for i, r := range rs {
+		kids[i] = &Sym{R: r}
+	}
+	return &Cat{Kids: kids}
+}
+
+// AnyWord returns a Node for Σ* relative to a symbolic wildcard (".*"), i.e.
+// Star of the negated-empty class. Σ is resolved at compile time.
+func AnyWord() Node { return &Star{Kid: &Class{Neg: true}} }
+
+// Vars returns the set of string variables occurring in n (references and
+// definitions), i.e. var(n) from Definition 3.
+func Vars(n Node) map[string]bool {
+	out := map[string]bool{}
+	addVars(n, out)
+	return out
+}
+
+func addVars(n Node, out map[string]bool) {
+	switch t := n.(type) {
+	case *Ref:
+		out[t.Var] = true
+	case *Def:
+		out[t.Var] = true
+		addVars(t.Body, out)
+	case *Cat:
+		for _, k := range t.Kids {
+			addVars(k, out)
+		}
+	case *Alt:
+		for _, k := range t.Kids {
+			addVars(k, out)
+		}
+	case *Plus:
+		addVars(t.Kid, out)
+	case *Star:
+		addVars(t.Kid, out)
+	case *Opt:
+		addVars(t.Kid, out)
+	}
+}
+
+// SortedVars returns var(n) as a sorted slice, for deterministic iteration.
+func SortedVars(n Node) []string {
+	m := Vars(n)
+	out := make([]string, 0, len(m))
+	for v := range m {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// HasVars reports whether n contains any variable reference or definition.
+func HasVars(n Node) bool {
+	switch t := n.(type) {
+	case *Ref, *Def:
+		return true
+	case *Cat:
+		for _, k := range t.Kids {
+			if HasVars(k) {
+				return true
+			}
+		}
+	case *Alt:
+		for _, k := range t.Kids {
+			if HasVars(k) {
+				return true
+			}
+		}
+	case *Plus:
+		return HasVars(t.Kid)
+	case *Star:
+		return HasVars(t.Kid)
+	case *Opt:
+		return HasVars(t.Kid)
+	}
+	return false
+}
+
+// ContainsDef reports whether n contains a definition of variable x.
+func ContainsDef(n Node, x string) bool {
+	switch t := n.(type) {
+	case *Def:
+		return t.Var == x || ContainsDef(t.Body, x)
+	case *Cat:
+		for _, k := range t.Kids {
+			if ContainsDef(k, x) {
+				return true
+			}
+		}
+	case *Alt:
+		for _, k := range t.Kids {
+			if ContainsDef(k, x) {
+				return true
+			}
+		}
+	case *Plus:
+		return ContainsDef(t.Kid, x)
+	case *Star:
+		return ContainsDef(t.Kid, x)
+	case *Opt:
+		return ContainsDef(t.Kid, x)
+	}
+	return false
+}
+
+// ContainsRef reports whether n contains a reference of variable x.
+func ContainsRef(n Node, x string) bool {
+	switch t := n.(type) {
+	case *Ref:
+		return t.Var == x
+	case *Def:
+		return ContainsRef(t.Body, x)
+	case *Cat:
+		for _, k := range t.Kids {
+			if ContainsRef(k, x) {
+				return true
+			}
+		}
+	case *Alt:
+		for _, k := range t.Kids {
+			if ContainsRef(k, x) {
+				return true
+			}
+		}
+	case *Plus:
+		return ContainsRef(t.Kid, x)
+	case *Star:
+		return ContainsRef(t.Kid, x)
+	case *Opt:
+		return ContainsRef(t.Kid, x)
+	}
+	return false
+}
+
+// DefinedVars returns the set of variables that have at least one definition
+// in n.
+func DefinedVars(n Node) map[string]bool {
+	out := map[string]bool{}
+	var walk func(Node)
+	walk = func(n Node) {
+		switch t := n.(type) {
+		case *Def:
+			out[t.Var] = true
+			walk(t.Body)
+		case *Cat:
+			for _, k := range t.Kids {
+				walk(k)
+			}
+		case *Alt:
+			for _, k := range t.Kids {
+				walk(k)
+			}
+		case *Plus:
+			walk(t.Kid)
+		case *Star:
+			walk(t.Kid)
+		case *Opt:
+			walk(t.Kid)
+		}
+	}
+	walk(n)
+	return out
+}
+
+// Size returns the number of AST nodes in n, the size measure |α| used in
+// the paper's blow-up bounds.
+func Size(n Node) int {
+	switch t := n.(type) {
+	case *Def:
+		return 1 + Size(t.Body)
+	case *Cat:
+		s := 1
+		for _, k := range t.Kids {
+			s += Size(k)
+		}
+		return s
+	case *Alt:
+		s := 1
+		for _, k := range t.Kids {
+			s += Size(k)
+		}
+		return s
+	case *Plus:
+		return 1 + Size(t.Kid)
+	case *Star:
+		return 1 + Size(t.Kid)
+	case *Opt:
+		return 1 + Size(t.Kid)
+	default:
+		return 1
+	}
+}
+
+// Clone returns a deep copy of n.
+func Clone(n Node) Node {
+	switch t := n.(type) {
+	case *Empty:
+		return &Empty{}
+	case *Eps:
+		return &Eps{}
+	case *Sym:
+		return &Sym{R: t.R}
+	case *Class:
+		return &Class{Neg: t.Neg, Set: append([]rune(nil), t.Set...)}
+	case *Ref:
+		return &Ref{Var: t.Var}
+	case *Def:
+		return &Def{Var: t.Var, Body: Clone(t.Body)}
+	case *Cat:
+		kids := make([]Node, len(t.Kids))
+		for i, k := range t.Kids {
+			kids[i] = Clone(k)
+		}
+		return &Cat{Kids: kids}
+	case *Alt:
+		kids := make([]Node, len(t.Kids))
+		for i, k := range t.Kids {
+			kids[i] = Clone(k)
+		}
+		return &Alt{Kids: kids}
+	case *Plus:
+		return &Plus{Kid: Clone(t.Kid)}
+	case *Star:
+		return &Star{Kid: Clone(t.Kid)}
+	case *Opt:
+		return &Opt{Kid: Clone(t.Kid)}
+	}
+	panic("xregex: unknown node type")
+}
+
+// IsClassical reports whether n is a classical regular expression (no
+// variable definitions or references), i.e. n ∈ REΣ.
+func IsClassical(n Node) bool { return !HasVars(n) }
+
+// Symbols returns the set of terminal symbols occurring in n (including
+// symbols listed in classes).
+func Symbols(n Node) map[rune]bool {
+	out := map[rune]bool{}
+	var walk func(Node)
+	walk = func(n Node) {
+		switch t := n.(type) {
+		case *Sym:
+			out[t.R] = true
+		case *Class:
+			for _, r := range t.Set {
+				out[r] = true
+			}
+		case *Def:
+			walk(t.Body)
+		case *Cat:
+			for _, k := range t.Kids {
+				walk(k)
+			}
+		case *Alt:
+			for _, k := range t.Kids {
+				walk(k)
+			}
+		case *Plus:
+			walk(t.Kid)
+		case *Star:
+			walk(t.Kid)
+		case *Opt:
+			walk(t.Kid)
+		}
+	}
+	walk(n)
+	return out
+}

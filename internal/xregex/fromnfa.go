@@ -1,0 +1,102 @@
+package xregex
+
+import "cxrpq/internal/automata"
+
+// FromNFA converts a rune-labelled NFA into a classical regular expression
+// with the same language, using the standard state-elimination algorithm on
+// a generalized NFA whose transitions carry expressions. It is used by the
+// Lemma 12 translation (ECRPQ^er → CXRPQ^vsf,fl), which needs a regular
+// expression for the intersection of the expressions in an equality class.
+//
+// The output can be large (state elimination is worst-case exponential); the
+// paper makes no conciseness claim for Lemma 12, only expressibility.
+func FromNFA(m *automata.NFA) Node {
+	m = m.Trim()
+	if m.IsEmpty() {
+		return &Empty{}
+	}
+	n := m.NumStates()
+	// Generalized NFA with fresh start (n) and fresh final (n+1).
+	gn := n + 2
+	start, final := n, n+1
+	// edge[i][j] = expression from i to j (nil means no edge).
+	edge := make([][]Node, gn)
+	for i := range edge {
+		edge[i] = make([]Node, gn)
+	}
+	add := func(i, j int, e Node) {
+		if edge[i][j] == nil {
+			edge[i][j] = e
+		} else {
+			edge[i][j] = Simplify(&Alt{Kids: []Node{edge[i][j], e}})
+		}
+	}
+	for p := 0; p < n; p++ {
+		for _, t := range m.Transitions(p) {
+			if t.Label == automata.Epsilon {
+				add(p, t.To, &Eps{})
+			} else {
+				add(p, t.To, &Sym{R: rune(t.Label)})
+			}
+		}
+	}
+	add(start, m.Start(), &Eps{})
+	for _, f := range m.Finals() {
+		add(f, final, &Eps{})
+	}
+	// Eliminate original states one by one.
+	alive := make([]bool, gn)
+	for i := 0; i < gn; i++ {
+		alive[i] = true
+	}
+	for k := 0; k < n; k++ {
+		loop := edge[k][k]
+		var loopStar Node
+		if loop != nil {
+			loopStar = Simplify(&Star{Kid: loop})
+		}
+		for i := 0; i < gn; i++ {
+			if !alive[i] || i == k || edge[i][k] == nil {
+				continue
+			}
+			for j := 0; j < gn; j++ {
+				if !alive[j] || j == k || edge[k][j] == nil {
+					continue
+				}
+				parts := []Node{edge[i][k]}
+				if loopStar != nil {
+					parts = append(parts, loopStar)
+				}
+				parts = append(parts, edge[k][j])
+				add(i, j, Simplify(&Cat{Kids: parts}))
+			}
+		}
+		alive[k] = false
+		for i := 0; i < gn; i++ {
+			edge[i][k] = nil
+			edge[k][i] = nil
+		}
+	}
+	if edge[start][final] == nil {
+		return &Empty{}
+	}
+	return Simplify(edge[start][final])
+}
+
+// IntersectionRegex returns a classical regular expression for
+// ⋂ L(exprs[i]) over the alphabet sigma, via NFA product and state
+// elimination. All expressions must be classical.
+func IntersectionRegex(sigma []rune, exprs ...Node) (Node, error) {
+	if len(exprs) == 0 {
+		return AnyWord(), nil
+	}
+	ms := make([]*automata.NFA, len(exprs))
+	for i, e := range exprs {
+		m, err := Compile(e, sigma)
+		if err != nil {
+			return nil, err
+		}
+		ms[i] = m
+	}
+	return FromNFA(automata.IntersectAll(ms...)), nil
+}

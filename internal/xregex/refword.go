@@ -1,0 +1,348 @@
+package xregex
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"cxrpq/internal/automata"
+)
+
+// TokKind distinguishes the four kinds of ref-word tokens (Definition 1):
+// terminal symbols, definition parentheses ⟨x and ⟩x, and references x.
+type TokKind int
+
+const (
+	TSym TokKind = iota
+	TOpen
+	TClose
+	TRef
+)
+
+// Token is one position of a ref-word.
+type Token struct {
+	Kind TokKind
+	Sym  rune   // for TSym
+	Var  string // for TOpen/TClose/TRef
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case TSym:
+		return string(t.Sym)
+	case TOpen:
+		return "<" + t.Var + ">"
+	case TClose:
+		return "</" + t.Var + ">"
+	case TRef:
+		return "$" + t.Var
+	}
+	return "?"
+}
+
+// RefWord is a subword-marked word over Σ and the variables (Definition 1).
+type RefWord []Token
+
+func (w RefWord) String() string {
+	var b strings.Builder
+	for _, t := range w {
+		b.WriteString(t.String())
+	}
+	return b.String()
+}
+
+// ValidateRefWord checks the conditions of Definition 1: each ⟨x/⟩x pair
+// occurs at most once, parentheses are well-nested, and the relation ≺w is
+// acyclic.
+func ValidateRefWord(w RefWord) error {
+	opened := map[string]bool{}
+	closed := map[string]bool{}
+	var stack []string
+	// ≺w edges: x ≺ y if a definition or reference of x occurs inside the
+	// definition of y.
+	rel := map[string]map[string]bool{}
+	addRel := func(x string) {
+		for _, y := range stack {
+			if x == y {
+				continue
+			}
+			if rel[x] == nil {
+				rel[x] = map[string]bool{}
+			}
+			rel[x][y] = true
+		}
+	}
+	for _, t := range w {
+		switch t.Kind {
+		case TOpen:
+			if opened[t.Var] {
+				return fmt.Errorf("refword: second definition of $%s", t.Var)
+			}
+			opened[t.Var] = true
+			addRel(t.Var)
+			stack = append(stack, t.Var)
+		case TClose:
+			if len(stack) == 0 || stack[len(stack)-1] != t.Var {
+				return fmt.Errorf("refword: unbalanced ⟩%s", t.Var)
+			}
+			stack = stack[:len(stack)-1]
+			closed[t.Var] = true
+		case TRef:
+			addRel(t.Var)
+		}
+	}
+	if len(stack) > 0 {
+		return fmt.Errorf("refword: unclosed definition of $%s", stack[len(stack)-1])
+	}
+	for v := range opened {
+		if !closed[v] {
+			return fmt.Errorf("refword: definition of $%s never closed", v)
+		}
+	}
+	// acyclicity of ≺w
+	state := map[string]int{}
+	var visit func(string) error
+	var vars []string
+	for x := range rel {
+		vars = append(vars, x)
+	}
+	sort.Strings(vars)
+	visit = func(v string) error {
+		switch state[v] {
+		case 1:
+			return fmt.Errorf("refword: cyclic variable dependency through $%s", v)
+		case 2:
+			return nil
+		}
+		state[v] = 1
+		var succ []string
+		for y := range rel[v] {
+			succ = append(succ, y)
+		}
+		sort.Strings(succ)
+		for _, y := range succ {
+			if err := visit(y); err != nil {
+				return err
+			}
+		}
+		state[v] = 2
+		return nil
+	}
+	for _, v := range vars {
+		if err := visit(v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Deref computes deref(w) per Definition 2 together with the variable
+// mapping vmap_w: the image of each variable that has a definition in w
+// (variables without definitions map to ε). It returns an error if w is not
+// a valid ref-word.
+func Deref(w RefWord) (string, map[string]string, error) {
+	if err := ValidateRefWord(w); err != nil {
+		return "", nil, err
+	}
+	vmap := map[string]string{}
+	toks := append(RefWord(nil), w...)
+
+	// Step 1: delete references of variables without definitions.
+	defined := map[string]bool{}
+	for _, t := range toks {
+		if t.Kind == TOpen {
+			defined[t.Var] = true
+		}
+	}
+	filtered := toks[:0]
+	for _, t := range toks {
+		if t.Kind == TRef && !defined[t.Var] {
+			continue
+		}
+		filtered = append(filtered, t)
+	}
+	toks = filtered
+
+	// Step 2: repeatedly resolve a definition whose content is terminal.
+	for {
+		// find innermost definition with terminal-only content
+		resolved := false
+		for i := 0; i < len(toks); i++ {
+			if toks[i].Kind != TOpen {
+				continue
+			}
+			x := toks[i].Var
+			j := i + 1
+			ok := true
+			for ; j < len(toks); j++ {
+				if toks[j].Kind == TClose && toks[j].Var == x {
+					break
+				}
+				if toks[j].Kind != TSym {
+					ok = false
+					break
+				}
+			}
+			if !ok || j >= len(toks) {
+				continue
+			}
+			var val strings.Builder
+			for k := i + 1; k < j; k++ {
+				val.WriteRune(toks[k].Sym)
+			}
+			vx := val.String()
+			vmap[x] = vx
+			// replace definition span and all references of x by vx
+			var next RefWord
+			for k := 0; k < len(toks); k++ {
+				if k == i {
+					next = appendWord(next, vx)
+					k = j // skip to close token (loop increments past it)
+					continue
+				}
+				if toks[k].Kind == TRef && toks[k].Var == x {
+					next = appendWord(next, vx)
+					continue
+				}
+				next = append(next, toks[k])
+			}
+			toks = next
+			resolved = true
+			break
+		}
+		if !resolved {
+			break
+		}
+	}
+	var out strings.Builder
+	for _, t := range toks {
+		if t.Kind != TSym {
+			return "", nil, fmt.Errorf("refword: deref did not terminate (leftover %s)", t)
+		}
+		out.WriteRune(t.Sym)
+	}
+	return out.String(), vmap, nil
+}
+
+func appendWord(w RefWord, s string) RefWord {
+	for _, r := range s {
+		w = append(w, Token{Kind: TSym, Sym: r})
+	}
+	return w
+}
+
+// refCodec maps ref-word tokens to automata labels: terminal runes map to
+// their code point, special tokens to negative codes.
+type refCodec struct {
+	codes  map[string]int32
+	tokens []Token
+}
+
+func newRefCodec() *refCodec { return &refCodec{codes: map[string]int32{}} }
+
+func (c *refCodec) code(t Token) int32 {
+	if t.Kind == TSym {
+		return int32(t.Sym)
+	}
+	key := t.String()
+	if code, ok := c.codes[key]; ok {
+		return code
+	}
+	code := int32(-2 - len(c.tokens))
+	c.codes[key] = code
+	c.tokens = append(c.tokens, t)
+	return code
+}
+
+func (c *refCodec) decode(code int32) Token {
+	if code >= 0 {
+		return Token{Kind: TSym, Sym: rune(code)}
+	}
+	return c.tokens[-2-code]
+}
+
+// RefNFA builds the NFA of the classical expression α_ref over the extended
+// alphabet (§3): variable definitions x{β} become ⟨x·β_ref·⟩x and
+// references become single tokens. sigma resolves character classes.
+func RefNFA(n Node, sigma []rune) (*automata.NFA, *refCodec) {
+	codec := newRefCodec()
+	m := automata.New(2)
+	m.SetStart(0)
+	m.SetFinal(1, true)
+	buildRef(m, n, 0, 1, sigma, codec)
+	return m, codec
+}
+
+func buildRef(m *automata.NFA, n Node, from, to int, sigma []rune, c *refCodec) {
+	switch t := n.(type) {
+	case *Empty:
+	case *Eps:
+		m.AddTr(from, automata.Epsilon, to)
+	case *Sym:
+		m.AddTr(from, int32(t.R), to)
+	case *Class:
+		for _, r := range ClassSymbols(t, sigma) {
+			m.AddTr(from, int32(r), to)
+		}
+	case *Ref:
+		m.AddTr(from, c.code(Token{Kind: TRef, Var: t.Var}), to)
+	case *Def:
+		p := m.AddState()
+		q := m.AddState()
+		m.AddTr(from, c.code(Token{Kind: TOpen, Var: t.Var}), p)
+		m.AddTr(q, c.code(Token{Kind: TClose, Var: t.Var}), to)
+		buildRef(m, t.Body, p, q, sigma, c)
+	case *Cat:
+		cur := from
+		for i, k := range t.Kids {
+			next := to
+			if i < len(t.Kids)-1 {
+				next = m.AddState()
+			}
+			buildRef(m, k, cur, next, sigma, c)
+			cur = next
+		}
+		if len(t.Kids) == 0 {
+			m.AddTr(from, automata.Epsilon, to)
+		}
+	case *Alt:
+		for _, k := range t.Kids {
+			buildRef(m, k, from, to, sigma, c)
+		}
+	case *Plus:
+		p := m.AddState()
+		q := m.AddState()
+		m.AddTr(from, automata.Epsilon, p)
+		m.AddTr(q, automata.Epsilon, to)
+		m.AddTr(q, automata.Epsilon, p)
+		buildRef(m, t.Kid, p, q, sigma, c)
+	case *Star:
+		p := m.AddState()
+		q := m.AddState()
+		m.AddTr(from, automata.Epsilon, p)
+		m.AddTr(q, automata.Epsilon, to)
+		m.AddTr(q, automata.Epsilon, p)
+		m.AddTr(from, automata.Epsilon, to)
+		buildRef(m, t.Kid, p, q, sigma, c)
+	case *Opt:
+		m.AddTr(from, automata.Epsilon, to)
+		buildRef(m, t.Kid, from, to, sigma, c)
+	}
+}
+
+// EnumerateRefWords returns ref-words of L_ref(n) up to the given token
+// length (and count, if maxCount > 0). Intended for tests and small
+// examples.
+func EnumerateRefWords(n Node, sigma []rune, maxLen, maxCount int) []RefWord {
+	m, codec := RefNFA(n, sigma)
+	words := m.EnumerateWords(maxLen, maxCount)
+	out := make([]RefWord, len(words))
+	for i, w := range words {
+		rw := make(RefWord, len(w))
+		for j, code := range w {
+			rw[j] = codec.decode(code)
+		}
+		out[i] = rw
+	}
+	return out
+}

@@ -1,0 +1,107 @@
+package xregex
+
+// Simplify rewrites n using the language-preserving ∅/ε algebra:
+//
+//	∅·r = r·∅ = ∅      ε·r = r·ε = r        (r∨∅) = r
+//	(∅)+ = ∅           (∅)* = (∅)? = ε      (ε)+ = (ε)* = ε
+//	x{∅} = ∅           Cat() = ε            Alt() = ∅
+//	[]   = ∅ (positive empty class)
+//
+// together with flattening of nested Cat/Alt. ∅-propagation through Cat and
+// Def nodes is exactly the "delete every node up to the nearest alternation,
+// then replace the alternation by its other child" surgery in the proof of
+// Lemma 10; Simplify is therefore used after every cutting step of the
+// bounded-image instantiation.
+func Simplify(n Node) Node {
+	switch t := n.(type) {
+	case *Empty, *Eps, *Sym, *Ref:
+		return n
+	case *Class:
+		if !t.Neg && len(t.Set) == 0 {
+			return &Empty{}
+		}
+		return n
+	case *Def:
+		body := Simplify(t.Body)
+		if isEmpty(body) {
+			return &Empty{}
+		}
+		return &Def{Var: t.Var, Body: body}
+	case *Cat:
+		var kids []Node
+		for _, k := range t.Kids {
+			s := Simplify(k)
+			switch st := s.(type) {
+			case *Empty:
+				return &Empty{}
+			case *Eps:
+				// drop
+			case *Cat:
+				kids = append(kids, st.Kids...)
+			default:
+				kids = append(kids, s)
+			}
+		}
+		switch len(kids) {
+		case 0:
+			return &Eps{}
+		case 1:
+			return kids[0]
+		}
+		return &Cat{Kids: kids}
+	case *Alt:
+		var kids []Node
+		for _, k := range t.Kids {
+			s := Simplify(k)
+			switch st := s.(type) {
+			case *Empty:
+				// drop
+			case *Alt:
+				kids = append(kids, st.Kids...)
+			default:
+				kids = append(kids, s)
+			}
+		}
+		switch len(kids) {
+		case 0:
+			return &Empty{}
+		case 1:
+			return kids[0]
+		}
+		return &Alt{Kids: kids}
+	case *Plus:
+		kid := Simplify(t.Kid)
+		switch kid.(type) {
+		case *Empty:
+			return &Empty{}
+		case *Eps:
+			return &Eps{}
+		}
+		return &Plus{Kid: kid}
+	case *Star:
+		kid := Simplify(t.Kid)
+		switch kid.(type) {
+		case *Empty, *Eps:
+			return &Eps{}
+		}
+		return &Star{Kid: kid}
+	case *Opt:
+		kid := Simplify(t.Kid)
+		switch kid.(type) {
+		case *Empty, *Eps:
+			return &Eps{}
+		}
+		return &Opt{Kid: kid}
+	}
+	panic("xregex: unknown node type")
+}
+
+func isEmpty(n Node) bool {
+	_, ok := n.(*Empty)
+	return ok
+}
+
+func isEps(n Node) bool {
+	_, ok := n.(*Eps)
+	return ok
+}
