@@ -6,11 +6,14 @@ package repro
 // EXPERIMENTS.md tables were produced from the same code via cmd/cxrpq-exp.
 
 import (
+	"os"
 	"testing"
 
+	"cxrpq/internal/automata"
 	"cxrpq/internal/crpq"
 	"cxrpq/internal/cxrpq"
 	"cxrpq/internal/ecrpq"
+	"cxrpq/internal/engine"
 	"cxrpq/internal/exp"
 	"cxrpq/internal/pattern"
 	"cxrpq/internal/separations"
@@ -193,5 +196,55 @@ func BenchmarkRegexCompile(b *testing.B) {
 		if _, err := xregex.Compile(n, sigma); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// --- engine core micro-benchmarks ---
+
+// BenchmarkEngineReach measures the integer-interned product-reachability
+// core on a mid-sized random graph (single source per iteration).
+func BenchmarkEngineReach(b *testing.B) {
+	db := workload.Random(7, 2000, 8000, "abc")
+	ix := db.Index()
+	m := xregex.MustCompile(xregex.MustParse("a(b|c)*(a|b)+"), []rune("abc"))
+	c := automata.NewSubsetCache(m)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		engine.Reach(ix, c, i%db.NumNodes(), true)
+	}
+}
+
+// BenchmarkEngineReachAll measures the parallel all-sources fan-out.
+func BenchmarkEngineReachAll(b *testing.B) {
+	db := workload.Random(7, 2000, 8000, "abc")
+	ix := db.Index()
+	m := xregex.MustCompile(xregex.MustParse("a(b|c)*(a|b)+"), []rune("abc"))
+	srcs := make([]int, db.NumNodes())
+	for i := range srcs {
+		srcs[i] = i
+	}
+	c := automata.NewSubsetCache(m)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		engine.ReachAll(ix, c, srcs, true)
+	}
+}
+
+// TestEmitBenchJSON writes the machine-readable experiment benchmark report
+// when BENCH_JSON names an output path (e.g. BENCH_JSON=BENCH_engine.json
+// go test -run TestEmitBenchJSON .), the same format cxrpq-exp -json emits.
+func TestEmitBenchJSON(t *testing.T) {
+	path := os.Getenv("BENCH_JSON")
+	if path == "" {
+		t.Skip("set BENCH_JSON=<path> to emit the benchmark report")
+	}
+	tts := exp.AllTimed(1)
+	for _, tt := range tts {
+		if tt.Table.Err != nil {
+			t.Fatalf("%s: %v", tt.Table.ID, tt.Table.Err)
+		}
+	}
+	if err := exp.WriteBenchJSON(path, tts, 1); err != nil {
+		t.Fatal(err)
 	}
 }

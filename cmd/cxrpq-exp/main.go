@@ -2,9 +2,13 @@
 // E1–E16 index in DESIGN.md) and prints one table per experiment. The
 // outputs recorded in EXPERIMENTS.md were produced by this command.
 //
+// With -json the per-experiment wall-clock times are additionally written
+// as a machine-readable report (the repo tracks one as BENCH_engine.json
+// so PRs can diff the perf trajectory).
+//
 // Usage:
 //
-//	cxrpq-exp [-scale 1] [-only E5,E11]
+//	cxrpq-exp [-scale 1] [-only E5,E11] [-json BENCH_engine.json]
 package main
 
 import (
@@ -19,6 +23,7 @@ import (
 func main() {
 	scale := flag.Int("scale", 1, "workload scale factor (1 = fast)")
 	only := flag.String("only", "", "comma-separated experiment IDs to run (default: all)")
+	jsonPath := flag.String("json", "", "write machine-readable benchmark results to this file")
 	flag.Parse()
 
 	want := map[string]bool{}
@@ -29,12 +34,19 @@ func main() {
 		}
 	}
 	failed := false
-	for _, t := range exp.All(*scale) {
-		if len(want) > 0 && !want[strings.ToUpper(t.ID)] {
+	tts := exp.AllTimed(*scale)
+	for _, tt := range tts {
+		if len(want) > 0 && !want[strings.ToUpper(tt.Table.ID)] {
 			continue
 		}
-		fmt.Println(t.Render())
-		if t.Err != nil {
+		fmt.Println(tt.Table.Render())
+		if tt.Table.Err != nil {
+			failed = true
+		}
+	}
+	if *jsonPath != "" {
+		if err := exp.WriteBenchJSON(*jsonPath, tts, *scale); err != nil {
+			fmt.Fprintln(os.Stderr, "cxrpq-exp:", err)
 			failed = true
 		}
 	}

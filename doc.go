@@ -3,13 +3,22 @@
 //	Markus L. Schmid, "Conjunctive Regular Path Queries with String
 //	Variables", PODS 2020 (arXiv:1912.09326).
 //
+// The module path is cxrpq (see go.mod); build and test with
+// `go build ./... && go test ./...` from a clean checkout.
+//
 // The implementation lives under internal/:
 //
-//	internal/automata    NFAs (products, emptiness, enumeration)
+//	internal/automata    NFAs (products, emptiness, enumeration) and the
+//	                     on-the-fly subset-construction cache (SubsetCache)
+//	                     that interns state sets as dense int ids
 //	internal/xregex      regular expressions with backreferences: AST,
 //	                     parser, ref-word semantics, fragment classifiers,
 //	                     compilation, Lemma 10 instantiation machinery
-//	internal/graph       graph databases (§2.2)
+//	internal/graph       graph databases (§2.2) with a label-indexed CSR
+//	                     adjacency view (Index) built once per DB revision
+//	internal/engine      the product-reachability core shared by every
+//	                     evaluation path: integer-interned graph×NFA BFS
+//	                     with bitset visited sets and a bounded worker pool
 //	internal/pattern     graph patterns / conjunctive path queries (§2.3)
 //	internal/crpq        CRPQs (Lemma 1 evaluation)
 //	internal/ecrpq       ECRPQs with regular relations; ECRPQ^er is the
@@ -17,11 +26,15 @@
 //	internal/cxrpq       the paper's contribution: CXRPQs, their fragments,
 //	                     evaluation algorithms (Thms 2/5/6, Cor 1), normal
 //	                     form (Lemmas 4-6, 8), translations (Lemmas 12-14)
+//	internal/oracle      brute-force reference implementations backing the
+//	                     conformance tests
 //	internal/reductions  executable hardness reductions (Thms 1/3/7)
 //	internal/separations Figure 5 separating queries and witness families
 //	internal/workload    synthetic graph generators
 //	internal/exp         the E1-E18 experiment harness (see DESIGN.md)
 //
-// bench_test.go in this directory exposes every experiment as a Go
-// benchmark; cmd/cxrpq-exp prints the tables recorded in EXPERIMENTS.md.
+// internal/README.md describes the architecture of the hot path. bench_test.go
+// in this directory exposes every experiment as a Go benchmark; cmd/cxrpq-exp
+// prints the tables recorded in EXPERIMENTS.md and, with -json, emits the
+// machine-readable benchmark report tracked as BENCH_engine.json.
 package repro

@@ -1,0 +1,3 @@
+module cxrpq
+
+go 1.24

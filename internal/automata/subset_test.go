@@ -1,0 +1,92 @@
+package automata
+
+import (
+	"sync"
+	"testing"
+)
+
+// abStarNFA builds an NFA for a(b|a)*b with an ε-transition thrown in.
+func abStarNFA() *NFA {
+	m := New(4)
+	m.AddTr(0, 'a', 1)
+	m.AddTr(1, Epsilon, 2)
+	m.AddTr(2, 'b', 2)
+	m.AddTr(2, 'a', 2)
+	m.AddTr(2, 'b', 3)
+	m.SetFinal(3, true)
+	return m
+}
+
+func TestSubsetCacheAgreesWithNFA(t *testing.T) {
+	m := abStarNFA()
+	c := NewSubsetCache(m)
+	words := [][]int32{
+		{}, {'a'}, {'b'}, {'a', 'b'}, {'a', 'a', 'b'}, {'a', 'b', 'b'},
+		{'b', 'a'}, {'a', 'a', 'a'}, {'a', 'b', 'a', 'b'},
+	}
+	for _, w := range words {
+		if got, want := c.Accepts(w), m.Accepts(w); got != want {
+			t.Fatalf("Accepts(%v) = %v, want %v", w, got, want)
+		}
+	}
+}
+
+func TestSubsetCacheInternsSets(t *testing.T) {
+	m := abStarNFA()
+	c := NewSubsetCache(m)
+	id1 := c.Step(c.Start(), 'a')
+	id2 := c.Step(c.Start(), 'a')
+	if id1 != id2 {
+		t.Fatalf("same transition returned distinct ids %d, %d", id1, id2)
+	}
+	if id1 == Dead {
+		t.Fatal("live transition reported Dead")
+	}
+	if c.Step(c.Start(), 'b') != Dead {
+		t.Fatal("dead transition not reported Dead")
+	}
+	if c.Final(c.Start()) {
+		t.Fatal("start set should not be final")
+	}
+	fin := c.Step(id1, 'b')
+	if fin == Dead || !c.Final(fin) {
+		t.Fatalf("ab should reach a final set, got id %d", fin)
+	}
+	set := c.Set(id1)
+	if !set.Contains(1) || !set.Contains(2) {
+		t.Fatalf("Set(%d) = %v, want the ε-closed {1,2}", id1, set)
+	}
+	if c.NumSets() < 2 {
+		t.Fatalf("NumSets = %d, want at least 2", c.NumSets())
+	}
+}
+
+func TestSubsetCacheConcurrentStep(t *testing.T) {
+	m := abStarNFA()
+	c := NewSubsetCache(m)
+	words := [][]int32{
+		{'a', 'b'}, {'a', 'a', 'b'}, {'a', 'b', 'b'}, {'b'}, {'a'},
+		{'a', 'b', 'a', 'b'}, {'a', 'a', 'a', 'b'},
+	}
+	var wg sync.WaitGroup
+	errs := make(chan string, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for rep := 0; rep < 50; rep++ {
+				for _, w := range words {
+					if got, want := c.Accepts(w), m.Accepts(w); got != want {
+						errs <- "concurrent Accepts disagrees with NFA"
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+}

@@ -4,8 +4,11 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"cxrpq/internal/ecrpq"
+	"cxrpq/internal/engine"
 	"cxrpq/internal/graph"
 	"cxrpq/internal/pattern"
 	"cxrpq/internal/xregex"
@@ -40,40 +43,157 @@ func EvalVsfBool(q *Query, db *graph.DB) (bool, error) {
 	return res.Len() > 0, nil
 }
 
+// evalVsf enumerates the branch combinations of Lemma 7's nondeterministic
+// guessing and evaluates them concurrently: each combination is an
+// independent ECRPQ^er evaluation, and all of them share the process-wide
+// compiled-NFA/subset caches and the database's label index, so the
+// determinization work done by one branch is immediately visible to the
+// others. Combinations are streamed through a bounded channel (their count
+// is exponential in the worst case), and for Boolean queries both the
+// workers and the enumeration stop at the first matching combination.
 func evalVsf(q *Query, db *graph.DB, boolOnly bool) (*pattern.TupleSet, error) {
 	c := q.CXRE()
 	if !c.IsVStarFree() {
 		return nil, fmt.Errorf("cxrpq: EvalVsf requires a vstar-free query (got %s)", q.Fragment())
 	}
 	origDefined := c.DefinedVars()
-	out := pattern.NewTupleSet()
-	err := branchCombos(c, func(combo CXRE) error {
+	evalCombo := func(combo CXRE) (*pattern.TupleSet, error) {
 		eq, err := comboToSimpleECRPQ(q, combo, origDefined)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		if boolOnly {
 			ok, err := ecrpq.EvalBool(eq, db)
+			if err != nil || !ok {
+				return nil, err
+			}
+			res := pattern.NewTupleSet()
+			res.Add(pattern.Tuple{})
+			return res, nil
+		}
+		return ecrpq.Eval(eq, db)
+	}
+
+	// Boolean semantics, identical on the sequential and parallel paths: a
+	// match anywhere wins (the query is satisfied regardless of what another
+	// branch combination would have reported); an error surfaces only when
+	// no combination matched.
+	out := pattern.NewTupleSet()
+	workers := engine.Workers(1 << 16)
+	if workers == 1 {
+		// sequential path: stream combos, stop at the first Boolean match
+		var deferred error
+		err := branchCombos(c, func(combo CXRE) error {
+			res, err := evalCombo(combo)
 			if err != nil {
+				if boolOnly {
+					if deferred == nil {
+						deferred = err
+					}
+					return nil // keep searching for a match
+				}
 				return err
 			}
-			if ok {
-				out.Add(pattern.Tuple{})
+			if res == nil {
+				return nil
+			}
+			for _, t := range res.Sorted() {
+				out.Add(t)
+			}
+			if boolOnly {
 				return errStop
 			}
 			return nil
+		})
+		if err != nil && err != errStop {
+			return nil, err
 		}
-		res, err := ecrpq.Eval(eq, db)
-		if err != nil {
-			return err
+		if boolOnly && out.Len() == 0 && deferred != nil {
+			return nil, deferred
 		}
-		for _, t := range res.Sorted() {
-			out.Add(t)
+		return out, nil
+	}
+
+	db.Index() // prebuild once before fanning out
+
+	type job struct {
+		idx   int
+		combo CXRE
+	}
+	jobs := make(chan job, 2*workers)
+	var stop atomic.Bool
+	var prodErr error
+	go func() {
+		i := 0
+		err := branchCombos(c, func(combo CXRE) error {
+			if stop.Load() {
+				return errStop
+			}
+			jobs <- job{i, combo}
+			i++
+			return nil
+		})
+		if err != nil && err != errStop {
+			prodErr = err // happens-before close(jobs)
 		}
-		return nil
-	})
-	if err != nil && err != errStop {
-		return nil, err
+		close(jobs)
+	}()
+
+	var mu sync.Mutex
+	matched := false // some combo matched (Boolean short-circuit)
+	errAt := -1
+	var firstErr error
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				if stop.Load() {
+					continue // drain
+				}
+				res, err := evalCombo(j.combo)
+				if err != nil {
+					mu.Lock()
+					if errAt < 0 || j.idx < errAt {
+						errAt, firstErr = j.idx, err
+					}
+					mu.Unlock()
+					// In Boolean mode an error must not cancel the search:
+					// a later combination may still match, and a match wins.
+					if !boolOnly {
+						stop.Store(true)
+					}
+					continue
+				}
+				if res == nil {
+					continue
+				}
+				mu.Lock()
+				for _, t := range res.Sorted() {
+					out.Add(t)
+				}
+				if boolOnly {
+					matched = true
+				}
+				mu.Unlock()
+				if boolOnly {
+					stop.Store(true)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	// A Boolean match wins over errors from other combinations: the query
+	// is satisfied regardless of what another branch would have reported.
+	if boolOnly && matched {
+		return out, nil
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if prodErr != nil {
+		return nil, prodErr
 	}
 	return out, nil
 }

@@ -3,6 +3,7 @@ package cxrpq
 import (
 	"sort"
 
+	"cxrpq/internal/automata"
 	"cxrpq/internal/xregex"
 )
 
@@ -54,11 +55,17 @@ func MatchTuple(c CXRE, words []string, sigma []rune) (map[string]string, bool) 
 	})
 
 	// Pruning automata: a defined variable's non-empty image must match some
-	// definition body with all variables relaxed to Σ*.
-	relaxed := map[string][]xregex.Node{}
+	// definition body with all variables relaxed to Σ*. The relaxed bodies do
+	// not depend on the assignment, so compile each once up front (sigma
+	// already contains every rune of every factor).
+	relaxed := map[string][]*automata.NFA{}
 	for x := range defined {
 		for _, body := range xregex.DefBodies(x, []xregex.Node(c)...) {
-			relaxed[x] = append(relaxed[x], relaxAllVars(body))
+			m, err := xregex.Compile(relaxAllVars(body), sigma)
+			if err != nil {
+				return nil, false
+			}
+			relaxed[x] = append(relaxed[x], m)
 		}
 	}
 
@@ -87,7 +94,7 @@ func MatchTuple(c CXRE, words []string, sigma []rune) (map[string]string, bool) 
 			if f != "" && defined[x] {
 				ok := false
 				for _, g := range relaxed[x] {
-					if m, err := xregex.Matches(g, f, xregex.MergeAlphabets(sigma, []rune(f))); err == nil && m {
+					if g.AcceptsString(f) {
 						ok = true
 						break
 					}

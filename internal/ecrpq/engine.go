@@ -1,10 +1,11 @@
 package ecrpq
 
 import (
-	"fmt"
+	"encoding/binary"
 	"sort"
 
 	"cxrpq/internal/automata"
+	"cxrpq/internal/engine"
 	"cxrpq/internal/graph"
 	"cxrpq/internal/pattern"
 	"cxrpq/internal/xregex"
@@ -16,10 +17,12 @@ import (
 //
 // The algorithm follows the product constructions behind the paper's NL
 // upper bounds, realized deterministically: ungrouped edges become binary
-// reachability relations via NFA×D product search; each relation group is
-// expanded by a synchronized product over D^s (lock-step moves for equality
-// relations; relation-NFA-driven moves with ⊥ masks for general regular
-// relations); a backtracking join over node variables combines them.
+// reachability relations solved by the integer-interned product core of
+// internal/engine (label-indexed CSR graph × on-the-fly determinized NFA);
+// each relation group is expanded by a synchronized product over D^s
+// (lock-step moves for equality relations; relation-NFA-driven moves with ⊥
+// masks for general regular relations); a backtracking join over node
+// variables combines them.
 func Eval(q *Query, db *graph.DB) (*pattern.TupleSet, error) {
 	ev, err := newEvaluator(q, db)
 	if err != nil {
@@ -80,11 +83,13 @@ func EvalUnionBool(u *Union, db *graph.DB) (bool, error) {
 type evaluator struct {
 	q     *Query
 	db    *graph.DB
+	ix    *graph.Index
 	sigma []rune
-	nfas  []*automata.NFA // per edge
-	rnfas []*automata.NFA // reversed, built lazily
-	fwd   []map[int][]int // per edge: memoized u -> targets
-	rev   []map[int][]int // per edge: memoized v -> sources
+	ents  []*compiledEntry // per edge: shared compiled NFA + subset caches
+	nfas  []*automata.NFA  // per edge, aliases ents[i].nfa (witness search)
+	fwd   []map[int][]int  // per edge: memoized u -> targets
+	rev   []map[int][]int  // per edge: memoized v -> sources
+	fwdOK []bool           // per edge: fwd memo covers every node
 	gmemo []map[string][][]int
 
 	inGroup []bool
@@ -98,20 +103,23 @@ func newEvaluator(q *Query, db *graph.DB) (*evaluator, error) {
 	ev := &evaluator{
 		q:       q,
 		db:      db,
+		ix:      db.Index(),
 		sigma:   sigma,
+		ents:    make([]*compiledEntry, len(q.Pattern.Edges)),
 		nfas:    make([]*automata.NFA, len(q.Pattern.Edges)),
-		rnfas:   make([]*automata.NFA, len(q.Pattern.Edges)),
 		fwd:     make([]map[int][]int, len(q.Pattern.Edges)),
 		rev:     make([]map[int][]int, len(q.Pattern.Edges)),
+		fwdOK:   make([]bool, len(q.Pattern.Edges)),
 		gmemo:   make([]map[string][][]int, len(q.Groups)),
 		inGroup: make([]bool, len(q.Pattern.Edges)),
 	}
 	for i, e := range q.Pattern.Edges {
-		m, err := xregex.Compile(e.Label, sigma)
+		ent, err := compiledFor(e.Label, sigma)
 		if err != nil {
 			return nil, err
 		}
-		ev.nfas[i] = m
+		ev.ents[i] = ent
+		ev.nfas[i] = ent.nfa
 		ev.fwd[i] = map[int][]int{}
 		ev.rev[i] = map[int][]int{}
 	}
@@ -124,103 +132,33 @@ func newEvaluator(q *Query, db *graph.DB) (*evaluator, error) {
 	return ev, nil
 }
 
-// reverse returns the reversed NFA of edge ei (lazy).
-func (ev *evaluator) reverse(ei int) *automata.NFA {
-	if ev.rnfas[ei] != nil {
-		return ev.rnfas[ei]
-	}
-	m := ev.nfas[ei]
-	r := automata.New(m.NumStates() + 1)
-	newStart := m.NumStates()
-	r.SetStart(newStart)
-	for p := 0; p < m.NumStates(); p++ {
-		for _, t := range m.Transitions(p) {
-			r.AddTr(t.To, t.Label, p)
-		}
-		if m.IsFinal(p) {
-			r.AddTr(newStart, automata.Epsilon, p)
-		}
-	}
-	r.SetFinal(m.Start(), true)
-	ev.rnfas[ei] = r
-	return r
-}
-
-// reachProduct runs the NFA×D product from (src, m.Start) and returns the
-// sorted graph nodes paired with an accepting NFA state. dir selects the
-// forward graph (out edges) or the reversed graph (in edges).
-func (ev *evaluator) reachProduct(m *automata.NFA, src int, forward bool) []int {
-	type cfg struct {
-		node int
-		set  string
-	}
-	start := m.EpsClosure(m.Start())
-	seen := map[cfg]bool{}
-	sets := map[string]automata.StateSet{}
-	key := func(s automata.StateSet) string {
-		k := s.Key()
-		sets[k] = s
-		return k
-	}
-	var hits []int
-	hitSet := map[int]bool{}
-	queue := []struct {
-		node int
-		set  automata.StateSet
-	}{{src, start}}
-	seen[cfg{src, key(start)}] = true
-	for len(queue) > 0 {
-		cur := queue[0]
-		queue = queue[1:]
-		if m.ContainsFinal(cur.set) && !hitSet[cur.node] {
-			hitSet[cur.node] = true
-			hits = append(hits, cur.node)
-		}
-		var edges []graph.Edge
-		if forward {
-			edges = ev.db.Out(cur.node)
-		} else {
-			edges = ev.db.In(cur.node)
-		}
-		// group moves by label to avoid recomputing Step per edge
-		bySym := map[rune][]int{}
-		for _, e := range edges {
-			if forward {
-				bySym[e.Label] = append(bySym[e.Label], e.To)
-			} else {
-				bySym[e.Label] = append(bySym[e.Label], e.From)
-			}
-		}
-		for sym, targets := range bySym {
-			next := m.Step(cur.set, int32(sym))
-			if len(next) == 0 {
-				continue
-			}
-			k := key(next)
-			for _, v := range targets {
-				c := cfg{v, k}
-				if !seen[c] {
-					seen[c] = true
-					queue = append(queue, struct {
-						node int
-						set  automata.StateSet
-					}{v, next})
-				}
-			}
-		}
-	}
-	sort.Ints(hits)
-	return hits
-}
-
 // forward returns the nodes v with a path u→v matching edge ei's regex.
 func (ev *evaluator) forward(ei, u int) []int {
 	if vs, ok := ev.fwd[ei][u]; ok {
 		return vs
 	}
-	vs := ev.reachProduct(ev.nfas[ei], u, true)
+	vs := engine.Reach(ev.ix, ev.ents[ei].cache, u, true)
 	ev.fwd[ei][u] = vs
 	return vs
+}
+
+// forwardAll fills the forward memo of edge ei for every node, fanning the
+// independent single-source searches out across the engine's worker pool.
+func (ev *evaluator) forwardAll(ei int) {
+	if ev.fwdOK[ei] {
+		return
+	}
+	var missing []int
+	for u := 0; u < ev.db.NumNodes(); u++ {
+		if _, ok := ev.fwd[ei][u]; !ok {
+			missing = append(missing, u)
+		}
+	}
+	res := engine.ReachAll(ev.ix, ev.ents[ei].cache, missing, true)
+	for i, u := range missing {
+		ev.fwd[ei][u] = res[i]
+	}
+	ev.fwdOK[ei] = true
 }
 
 // backward returns the nodes u with a path u→v matching edge ei's regex.
@@ -228,24 +166,31 @@ func (ev *evaluator) backward(ei, v int) []int {
 	if us, ok := ev.rev[ei][v]; ok {
 		return us
 	}
-	us := ev.reachProduct(ev.reverse(ei), v, false)
+	_, rc := ev.ents[ei].reverse()
+	us := engine.Reach(ev.ix, rc, v, false)
 	ev.rev[ei][v] = us
 	return us
 }
 
 func (ev *evaluator) hasEdgePath(ei, u, v int) bool {
-	for _, w := range ev.forward(ei, u) {
-		if w == v {
-			return true
-		}
+	ws := ev.forward(ei, u)
+	i := sort.SearchInts(ws, v)
+	return i < len(ws) && ws[i] == v
+}
+
+// intsKey encodes an integer tuple as a compact binary map key.
+func intsKey[T interface{ ~int | ~int32 }](xs []T) string {
+	buf := make([]byte, 4*len(xs))
+	for i, x := range xs {
+		binary.LittleEndian.PutUint32(buf[4*i:], uint32(x))
 	}
-	return false
+	return string(buf)
 }
 
 // expandGroup returns all end tuples reachable from the given source tuple
 // under the group's synchronized semantics, memoized.
 func (ev *evaluator) expandGroup(gi int, src []int) [][]int {
-	k := fmt.Sprint(src)
+	k := intsKey(src)
 	if res, ok := ev.gmemo[gi][k]; ok {
 		return res
 	}
@@ -263,91 +208,131 @@ func (ev *evaluator) expandGroup(gi int, src []int) [][]int {
 	return res
 }
 
-type prodState struct {
-	nodes []int
-	sets  []automata.StateSet
+// prodState and prodKey are retained for the witness-reconstruction product
+// searches (witness.go), which re-run the cold path with parent tracking.
+func prodKey(nodes []int, setKeys []string, extra string) string {
+	var b []byte
+	for _, n := range nodes {
+		b = binary.LittleEndian.AppendUint32(b, uint32(n))
+	}
+	for _, k := range setKeys {
+		b = append(b, 0xff)
+		b = append(b, k...)
+	}
+	b = append(b, 0xfe)
+	b = append(b, extra...)
+	return string(b)
 }
 
-func prodKey(nodes []int, setKeys []string, extra string) string {
-	return fmt.Sprint(nodes, setKeys, extra)
+// encodeNodesIDs writes the (node, set id) pair encoding into buf (reused
+// across calls), the shared layout of nodesIDsKey and relStateKey.
+func encodeNodesIDs(buf []byte, nodes, ids []int32) []byte {
+	buf = buf[:0]
+	for i := range nodes {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(nodes[i]))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(ids[i]))
+	}
+	return buf
+}
+
+// nodesIDsKey encodes a product configuration of (node, set id) pairs as a
+// compact binary key; buf is reused across calls.
+func nodesIDsKey(buf []byte, nodes, ids []int32) ([]byte, string) {
+	buf = encodeNodesIDs(buf, nodes, ids)
+	return buf, string(buf)
+}
+
+// relStateKey is nodesIDsKey plus the relation set id and the freeze mask.
+func relStateKey(buf []byte, nodes, ids []int32, rid int32, mask uint64) ([]byte, string) {
+	buf = encodeNodesIDs(buf, nodes, ids)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(rid))
+	buf = binary.LittleEndian.AppendUint64(buf, mask)
+	return buf, string(buf)
+}
+
+func toInts(nodes []int32) []int {
+	out := make([]int, len(nodes))
+	for i, x := range nodes {
+		out[i] = int(x)
+	}
+	return out
 }
 
 // expandEquality explores the lock-step product: all components consume the
 // same symbol in every step; acceptance requires every component NFA to
-// accept simultaneously (equal words have equal length).
+// accept simultaneously (equal words have equal length). The product runs
+// over interned DFA set ids and label-indexed adjacency spans.
 func (ev *evaluator) expandEquality(g Group, src []int) [][]int {
 	s := len(g.Edges)
-	ms := make([]*automata.NFA, s)
+	caches := make([]*automata.SubsetCache, s)
 	for i, ei := range g.Edges {
-		ms[i] = ev.nfas[ei]
+		caches[i] = ev.ents[ei].cache
 	}
-	startSets := make([]automata.StateSet, s)
-	keys := make([]string, s)
-	for i, m := range ms {
-		startSets[i] = m.EpsClosure(m.Start())
-		if len(startSets[i]) == 0 {
-			return nil
-		}
-		keys[i] = startSets[i].Key()
+	ix := ev.ix
+	nSyms := ix.NumSyms()
+
+	type state struct {
+		nodes []int32
+		ids   []int32
 	}
-	init := prodState{nodes: append([]int(nil), src...), sets: startSets}
-	seen := map[string]bool{prodKey(init.nodes, keys, ""): true}
-	queue := []prodState{init}
+	init := state{nodes: make([]int32, s), ids: make([]int32, s)}
+	for i := range init.nodes {
+		init.nodes[i] = int32(src[i])
+		init.ids[i] = caches[i].Start()
+	}
+	var kbuf []byte
+	var k string
+	kbuf, k = nodesIDsKey(kbuf, init.nodes, init.ids)
+	seen := map[string]bool{k: true}
+	queue := []state{init}
 	var out [][]int
 	outSeen := map[string]bool{}
-	for len(queue) > 0 {
-		cur := queue[0]
-		queue = queue[1:]
+	nextIDs := make([]int32, s)
+	opts := make([][]int32, s)
+	for qi := 0; qi < len(queue); qi++ {
+		cur := queue[qi]
 		allFinal := true
-		for i, m := range ms {
-			if !m.ContainsFinal(cur.sets[i]) {
+		for i := range caches {
+			if !caches[i].Final(cur.ids[i]) {
 				allFinal = false
 				break
 			}
 		}
 		if allFinal {
-			k := fmt.Sprint(cur.nodes)
+			k := intsKey(cur.nodes)
 			if !outSeen[k] {
 				outSeen[k] = true
-				out = append(out, append([]int(nil), cur.nodes...))
+				out = append(out, toInts(cur.nodes))
 			}
 		}
-		for _, sym := range ev.sigma {
-			nextSets := make([]automata.StateSet, s)
-			nextKeys := make([]string, s)
+		for sy := int32(0); sy < int32(nSyms); sy++ {
+			sym := int32(ix.Sym(sy))
 			ok := true
-			for i, m := range ms {
-				nextSets[i] = m.Step(cur.sets[i], int32(sym))
-				if len(nextSets[i]) == 0 {
-					ok = false
-					break
-				}
-				nextKeys[i] = nextSets[i].Key()
-			}
-			if !ok {
-				continue
-			}
-			// candidate next nodes per component
-			opts := make([][]int, s)
-			for i := range opts {
-				for _, e := range ev.db.Out(cur.nodes[i]) {
-					if e.Label == sym {
-						opts[i] = append(opts[i], e.To)
-					}
-				}
+			for i := range caches {
+				// candidate next nodes per component, from the label index
+				opts[i] = ix.OutByID(int(cur.nodes[i]), sy)
 				if len(opts[i]) == 0 {
 					ok = false
 					break
 				}
+				nextIDs[i] = caches[i].Step(cur.ids[i], sym)
+				if nextIDs[i] == automata.Dead {
+					ok = false
+					break
+				}
 			}
 			if !ok {
 				continue
 			}
-			ev.productNodes(opts, func(nodes []int) {
-				k := prodKey(nodes, nextKeys, "")
+			productNodes32(opts, func(nodes []int32) {
+				var k string
+				kbuf, k = nodesIDsKey(kbuf, nodes, nextIDs)
 				if !seen[k] {
 					seen[k] = true
-					queue = append(queue, prodState{nodes: append([]int(nil), nodes...), sets: nextSets})
+					queue = append(queue, state{
+						nodes: append([]int32(nil), nodes...),
+						ids:   append([]int32(nil), nextIDs...),
+					})
 				}
 			})
 		}
@@ -358,72 +343,66 @@ func (ev *evaluator) expandEquality(g Group, src []int) [][]int {
 // expandNFARel explores the padded product driven by the relation NFA:
 // components with a ⊥ column are frozen (their word has ended, so their
 // edge NFA must accept at freeze time); acceptance requires the relation
-// NFA to accept and every unfrozen component NFA to accept.
+// NFA to accept and every unfrozen component NFA to accept. Component and
+// relation automata run through their interned subset caches.
 func (ev *evaluator) expandNFARel(g Group, rel *NFARelation, src []int) [][]int {
 	s := len(g.Edges)
-	ms := make([]*automata.NFA, s)
+	caches := make([]*automata.SubsetCache, s)
 	for i, ei := range g.Edges {
-		ms[i] = ev.nfas[ei]
+		caches[i] = ev.ents[ei].cache
 	}
+	ix := ev.ix
+	rc := rel.subsetCache()
+	labels := rel.labelSet()
+
 	type state struct {
-		nodes []int
-		sets  []automata.StateSet
-		rset  automata.StateSet
+		nodes []int32
+		ids   []int32
+		rid   int32
 		mask  uint64
 	}
-	startSets := make([]automata.StateSet, s)
-	keys := make([]string, s)
-	for i, m := range ms {
-		startSets[i] = m.EpsClosure(m.Start())
-		if len(startSets[i]) == 0 {
-			return nil
-		}
-		keys[i] = startSets[i].Key()
+	init := state{nodes: make([]int32, s), ids: make([]int32, s), rid: rc.Start()}
+	for i := range init.nodes {
+		init.nodes[i] = int32(src[i])
+		init.ids[i] = caches[i].Start()
 	}
-	rstart := rel.M.EpsClosure(rel.M.Start())
-	key := func(st state) string {
-		ks := make([]string, s)
-		for i, set := range st.sets {
-			ks[i] = set.Key()
-		}
-		return prodKey(st.nodes, ks, fmt.Sprint(st.rset.Key(), st.mask))
-	}
-	init := state{nodes: append([]int(nil), src...), sets: startSets, rset: rstart}
-	seen := map[string]bool{key(init): true}
+	var kbuf []byte
+	var k string
+	kbuf, k = relStateKey(kbuf, init.nodes, init.ids, init.rid, 0)
+	seen := map[string]bool{k: true}
 	queue := []state{init}
-	labels := rel.M.Labels()
 	var out [][]int
 	outSeen := map[string]bool{}
-	for len(queue) > 0 {
-		cur := queue[0]
-		queue = queue[1:]
-		accept := rel.M.ContainsFinal(cur.rset)
+	nextIDs := make([]int32, s)
+	opts := make([][]int32, s)
+	selfOpts := make([]int32, s) // per-component single-node option backing
+	for qi := 0; qi < len(queue); qi++ {
+		cur := queue[qi]
+		accept := rc.Final(cur.rid)
 		if accept {
-			for i, m := range ms {
+			for i := range caches {
 				if cur.mask&(1<<uint(i)) != 0 {
 					continue
 				}
-				if !m.ContainsFinal(cur.sets[i]) {
+				if !caches[i].Final(cur.ids[i]) {
 					accept = false
 					break
 				}
 			}
 		}
 		if accept {
-			k := fmt.Sprint(cur.nodes)
+			k := intsKey(cur.nodes)
 			if !outSeen[k] {
 				outSeen[k] = true
-				out = append(out, append([]int(nil), cur.nodes...))
+				out = append(out, toInts(cur.nodes))
 			}
 		}
 		for _, code := range labels {
-			rnext := rel.M.Step(cur.rset, code)
-			if len(rnext) == 0 {
+			rnext := rc.Step(cur.rid, code)
+			if rnext == automata.Dead {
 				continue
 			}
 			tuple := rel.codec.decode(code)
-			nextSets := make([]automata.StateSet, s)
-			opts := make([][]int, s)
 			mask := cur.mask
 			ok := true
 			for i := range tuple {
@@ -431,30 +410,27 @@ func (ev *evaluator) expandNFARel(g Group, rel *NFARelation, src []int) [][]int 
 					// component i is (or becomes) frozen; its word must be
 					// complete, i.e. its NFA accepting at freeze time
 					if mask&(1<<uint(i)) == 0 {
-						if !ms[i].ContainsFinal(cur.sets[i]) {
+						if !caches[i].Final(cur.ids[i]) {
 							ok = false
 							break
 						}
 						mask |= 1 << uint(i)
 					}
-					nextSets[i] = cur.sets[i]
-					opts[i] = []int{cur.nodes[i]}
+					nextIDs[i] = cur.ids[i]
+					selfOpts[i] = cur.nodes[i]
+					opts[i] = selfOpts[i : i+1]
 					continue
 				}
 				if mask&(1<<uint(i)) != 0 {
 					ok = false // symbol after ⊥ in the same column
 					break
 				}
-				nextSets[i] = ms[i].Step(cur.sets[i], int32(tuple[i]))
-				if len(nextSets[i]) == 0 {
+				nextIDs[i] = caches[i].Step(cur.ids[i], int32(tuple[i]))
+				if nextIDs[i] == automata.Dead {
 					ok = false
 					break
 				}
-				for _, e := range ev.db.Out(cur.nodes[i]) {
-					if e.Label == tuple[i] {
-						opts[i] = append(opts[i], e.To)
-					}
-				}
+				opts[i] = ix.OutByLabel(int(cur.nodes[i]), tuple[i])
 				if len(opts[i]) == 0 {
 					ok = false
 					break
@@ -463,12 +439,17 @@ func (ev *evaluator) expandNFARel(g Group, rel *NFARelation, src []int) [][]int 
 			if !ok {
 				continue
 			}
-			ev.productNodes(opts, func(nodes []int) {
-				st := state{nodes: append([]int(nil), nodes...), sets: nextSets, rset: rnext, mask: mask}
-				k := key(st)
+			productNodes32(opts, func(nodes []int32) {
+				var k string
+				kbuf, k = relStateKey(kbuf, nodes, nextIDs, rnext, mask)
 				if !seen[k] {
 					seen[k] = true
-					queue = append(queue, st)
+					queue = append(queue, state{
+						nodes: append([]int32(nil), nodes...),
+						ids:   append([]int32(nil), nextIDs...),
+						rid:   rnext,
+						mask:  mask,
+					})
 				}
 			})
 		}
@@ -476,7 +457,25 @@ func (ev *evaluator) expandNFARel(g Group, rel *NFARelation, src []int) [][]int 
 	return out
 }
 
-// productNodes enumerates the cartesian product of node options.
+// productNodes32 enumerates the cartesian product of node options.
+func productNodes32(opts [][]int32, f func([]int32)) {
+	nodes := make([]int32, len(opts))
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(opts) {
+			f(nodes)
+			return
+		}
+		for _, v := range opts[i] {
+			nodes[i] = v
+			rec(i + 1)
+		}
+	}
+	rec(0)
+}
+
+// productNodes enumerates the cartesian product of node options (witness
+// reconstruction still uses the int-slice form).
 func (ev *evaluator) productNodes(opts [][]int, f func([]int)) {
 	nodes := make([]int, len(opts))
 	var rec func(i int)
@@ -605,6 +604,9 @@ func (ev *evaluator) satisfyEdge(ei int, assign map[string]int, cont func()) {
 		}
 		delete(assign, e.From)
 	default:
+		// both ends unbound: fan the per-source searches out in parallel
+		// before the sequential join consumes them.
+		ev.forwardAll(ei)
 		for u := 0; u < ev.db.NumNodes(); u++ {
 			assign[e.From] = u
 			targets := ev.forward(ei, u)

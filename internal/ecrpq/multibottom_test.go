@@ -1,0 +1,57 @@
+package ecrpq_test
+
+import (
+	"testing"
+
+	"cxrpq/internal/ecrpq"
+	"cxrpq/internal/graph"
+	"cxrpq/internal/oracle"
+	"cxrpq/internal/pattern"
+)
+
+// multiBottomRelation builds the arity-3 relation {(a^n, ε, ε) : n ≥ 1}:
+// every transition tuple carries two ⊥ columns, so two components freeze in
+// the same product step. Regression test for the frozen-component option
+// buffers aliasing each other (components 2 and 3 must stay at their own
+// source nodes, not each other's).
+func multiBottomRelation() *ecrpq.NFARelation {
+	b := ecrpq.NewRelationBuilder(3)
+	s1 := b.AddState()
+	b.SetFinal(s1)
+	if err := b.AddTr(0, []rune{'a', ecrpq.Bottom, ecrpq.Bottom}, s1); err != nil {
+		panic(err)
+	}
+	if err := b.AddTr(s1, []rune{'a', ecrpq.Bottom, ecrpq.Bottom}, s1); err != nil {
+		panic(err)
+	}
+	return b.Build()
+}
+
+func TestExpandNFARelMultiBottomAgainstOracle(t *testing.T) {
+	db := graph.MustParse("n0 a n1\nn1 a n2")
+	q := &ecrpq.Query{
+		Pattern: pattern.MustParseQuery(
+			"ans(x1, y1, x2, y2, x3, y3)\nx1 y1 : a*\nx2 y2 : a*\nx3 y3 : a*"),
+		Groups: []ecrpq.Group{{Edges: []int{0, 1, 2}, Rel: multiBottomRelation()}},
+	}
+	got, err := ecrpq.Eval(q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := oracle.EvalECRPQ(q, db, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Fatalf("engine %v\noracle %v", got.Sorted(), want.Sorted())
+	}
+	// Frozen components must end where they started.
+	for _, tup := range got.Sorted() {
+		if tup[2] != tup[3] || tup[4] != tup[5] {
+			t.Fatalf("frozen component moved: %v", tup)
+		}
+	}
+	if got.Len() == 0 {
+		t.Fatal("expected matches (n0-a->n1-a->n2 satisfies component 1)")
+	}
+}

@@ -8,6 +8,7 @@ package ecrpq
 
 import (
 	"fmt"
+	"sync"
 
 	"cxrpq/internal/automata"
 )
@@ -37,11 +38,29 @@ type NFARelation struct {
 	N     int
 	M     *automata.NFA
 	codec *tupleCodec
+
+	subsetOnce sync.Once
+	subset     *automata.SubsetCache
+	labelsOnce sync.Once
+	labels     []int32
 }
 
 // Arity returns the arity of the relation.
 func (r *NFARelation) Arity() int      { return r.N }
 func (r *NFARelation) relKind() string { return "nfa" }
+
+// subsetCache returns the relation NFA's interned determinization cache,
+// built once and shared by every evaluation of the relation.
+func (r *NFARelation) subsetCache() *automata.SubsetCache {
+	r.subsetOnce.Do(func() { r.subset = automata.NewSubsetCache(r.M) })
+	return r.subset
+}
+
+// labelSet returns the relation NFA's tuple-symbol alphabet, computed once.
+func (r *NFARelation) labelSet() []int32 {
+	r.labelsOnce.Do(func() { r.labels = r.M.Labels() })
+	return r.labels
+}
 
 // tupleCodec maps tuples of runes (with Bottom) to automata labels.
 type tupleCodec struct {

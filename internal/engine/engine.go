@@ -1,0 +1,181 @@
+// Package engine is the product-reachability core shared by every
+// evaluation path in the library: CRPQs (Lemma 1), the ECRPQ^er
+// synchronized-product engine, and the CXRPQ fragment algorithms all bottom
+// out in reachability over the product of a graph database with an
+// automaton. The engine runs that search over integer-interned machinery —
+// a label-indexed CSR graph view (graph.Index), an on-the-fly subset
+// construction with dense set ids (automata.SubsetCache), and per-set-id
+// node bitsets for the visited structure — and fans independent searches
+// out across a bounded worker pool.
+package engine
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"cxrpq/internal/automata"
+	"cxrpq/internal/graph"
+)
+
+// unknown marks a transition not yet copied from the shared SubsetCache
+// into a Reach call's lock-free local table.
+const unknown int32 = -2
+
+// Reach returns the sorted graph nodes v reachable from src through a path
+// whose label is accepted by the automaton behind c: paths follow out-edges
+// when forward is true and in-edges otherwise (the caller supplies the
+// reversed automaton for backward searches). It is the integer-interned
+// replacement for the string-keyed (node, state-set) BFS.
+func Reach(ix *graph.Index, c *automata.SubsetCache, src int, forward bool) []int {
+	n := ix.NumNodes()
+	if src < 0 || src >= n {
+		return nil
+	}
+	nSyms := ix.NumSyms()
+	words := (n + 63) / 64
+
+	// visited[id] is a bitset over nodes for DFA set id; ids are dense and
+	// appear in discovery order, so the slice grows lazily.
+	var visited [][]uint64
+	ensure := func(id int32) []uint64 {
+		for int(id) >= len(visited) {
+			visited = append(visited, nil)
+		}
+		if visited[id] == nil {
+			visited[id] = make([]uint64, words)
+		}
+		return visited[id]
+	}
+	// local copies the shared (lock-guarded) transition table into a dense
+	// per-call array so the BFS inner loop stays lock-free after first use.
+	var local [][]int32
+	localFor := func(id int32) []int32 {
+		for int(id) >= len(local) {
+			local = append(local, nil)
+		}
+		if local[id] == nil {
+			row := make([]int32, nSyms)
+			for s := range row {
+				row[s] = unknown
+			}
+			local[id] = row
+		}
+		return local[id]
+	}
+
+	type cfg struct {
+		node int32
+		id   int32
+	}
+	startID := c.Start()
+	queue := []cfg{{int32(src), startID}}
+	ensure(startID)[src/64] |= 1 << (src % 64)
+
+	hitBits := make([]uint64, words)
+	var hits []int
+	for qi := 0; qi < len(queue); qi++ {
+		cur := queue[qi]
+		if c.Final(cur.id) && hitBits[cur.node/64]&(1<<(cur.node%64)) == 0 {
+			hitBits[cur.node/64] |= 1 << (cur.node % 64)
+			hits = append(hits, int(cur.node))
+		}
+		row := localFor(cur.id)
+		for s := int32(0); s < int32(nSyms); s++ {
+			var tgts []int32
+			if forward {
+				tgts = ix.OutByID(int(cur.node), s)
+			} else {
+				tgts = ix.InByID(int(cur.node), s)
+			}
+			if len(tgts) == 0 {
+				continue
+			}
+			nid := row[s]
+			if nid == unknown {
+				nid = c.Step(cur.id, int32(ix.Sym(s)))
+				row[s] = nid
+			}
+			if nid == automata.Dead {
+				continue
+			}
+			vb := ensure(nid)
+			for _, v := range tgts {
+				if vb[v/64]&(1<<(uint(v)%64)) == 0 {
+					vb[v/64] |= 1 << (uint(v) % 64)
+					queue = append(queue, cfg{v, nid})
+				}
+			}
+		}
+	}
+	sort.Ints(hits)
+	return hits
+}
+
+// ReachAll runs Reach from every source in srcs, fanning the independent
+// searches out across the worker pool, and returns the per-source results
+// in input order.
+func ReachAll(ix *graph.Index, c *automata.SubsetCache, srcs []int, forward bool) [][]int {
+	out := make([][]int, len(srcs))
+	Fan(len(srcs), func(i int) {
+		out[i] = Reach(ix, c, srcs[i], forward)
+	})
+	return out
+}
+
+// maxWorkers bounds the engine's fan-out; 0 means GOMAXPROCS.
+var maxWorkers atomic.Int64
+
+// SetMaxWorkers bounds the worker pool used by Fan/ReachAll (0 restores the
+// default of GOMAXPROCS). It returns the previous bound.
+func SetMaxWorkers(n int) int {
+	return int(maxWorkers.Swap(int64(n)))
+}
+
+// Workers returns the effective worker-pool size for n independent tasks.
+func Workers(n int) int {
+	w := int(maxWorkers.Load())
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Fan runs f(0..n-1) across the bounded worker pool and waits for all calls
+// to finish. f must be safe for concurrent invocation on distinct indices;
+// with a single worker (or n == 1) the calls run inline in order.
+func Fan(n int, f func(i int)) {
+	if n <= 0 {
+		return
+	}
+	w := Workers(n)
+	if w == 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for k := 0; k < w; k++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				f(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,247 @@
+package engine_test
+
+import (
+	"testing"
+
+	"cxrpq/internal/automata"
+	"cxrpq/internal/engine"
+	"cxrpq/internal/graph"
+	"cxrpq/internal/workload"
+	"cxrpq/internal/xregex"
+)
+
+// referenceReach is the pre-refactor product BFS kept verbatim as the
+// test-only reference implementation: it explores (node, NFA-state-set)
+// configurations keyed by strings and regroups edge labels at every visited
+// node. The engine's integer-interned Reach must agree with it exactly.
+func referenceReach(db *graph.DB, m *automata.NFA, src int, forward bool) []int {
+	type cfg struct {
+		node int
+		set  string
+	}
+	start := m.EpsClosure(m.Start())
+	seen := map[cfg]bool{}
+	var hits []int
+	hitSet := map[int]bool{}
+	queue := []struct {
+		node int
+		set  automata.StateSet
+	}{{src, start}}
+	seen[cfg{src, start.Key()}] = true
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if m.ContainsFinal(cur.set) && !hitSet[cur.node] {
+			hitSet[cur.node] = true
+			hits = append(hits, cur.node)
+		}
+		var edges []graph.Edge
+		if forward {
+			edges = db.Out(cur.node)
+		} else {
+			edges = db.In(cur.node)
+		}
+		bySym := map[rune][]int{}
+		for _, e := range edges {
+			if forward {
+				bySym[e.Label] = append(bySym[e.Label], e.To)
+			} else {
+				bySym[e.Label] = append(bySym[e.Label], e.From)
+			}
+		}
+		for sym, targets := range bySym {
+			next := m.Step(cur.set, int32(sym))
+			if len(next) == 0 {
+				continue
+			}
+			k := next.Key()
+			for _, v := range targets {
+				c := cfg{v, k}
+				if !seen[c] {
+					seen[c] = true
+					queue = append(queue, struct {
+						node int
+						set  automata.StateSet
+					}{v, next})
+				}
+			}
+		}
+	}
+	// The reference collected hits in BFS order; Reach returns them sorted.
+	sortInts(hits)
+	return hits
+}
+
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// reverseNFA mirrors the engine-side reversal used for backward searches.
+func reverseNFA(m *automata.NFA) *automata.NFA {
+	r := automata.New(m.NumStates() + 1)
+	newStart := m.NumStates()
+	r.SetStart(newStart)
+	for p := 0; p < m.NumStates(); p++ {
+		for _, t := range m.Transitions(p) {
+			r.AddTr(t.To, t.Label, p)
+		}
+		if m.IsFinal(p) {
+			r.AddTr(newStart, automata.Epsilon, p)
+		}
+	}
+	r.SetFinal(m.Start(), true)
+	return r
+}
+
+// randNode generates a random classical regex AST over letters.
+func randNode(r interface{ Intn(int) int }, letters string, depth int) xregex.Node {
+	if depth <= 0 {
+		return xregex.Word(string(letters[r.Intn(len(letters))]))
+	}
+	switch r.Intn(8) {
+	case 0:
+		return &xregex.Cat{Kids: []xregex.Node{
+			randNode(r, letters, depth-1), randNode(r, letters, depth-1),
+		}}
+	case 1:
+		return &xregex.Alt{Kids: []xregex.Node{
+			randNode(r, letters, depth-1), randNode(r, letters, depth-1),
+		}}
+	case 2:
+		return &xregex.Star{Kid: randNode(r, letters, depth-1)}
+	case 3:
+		return &xregex.Plus{Kid: randNode(r, letters, depth-1)}
+	case 4:
+		return &xregex.Opt{Kid: randNode(r, letters, depth-1)}
+	case 5:
+		return xregex.Word("")
+	default:
+		return xregex.Word(string(letters[r.Intn(len(letters))]))
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestReachAgreesWithReference is the differential property test of the
+// refactor: on randomized graphs and regexes, the integer-interned engine
+// must compute exactly the same reachability sets as the legacy map-based
+// BFS, forward and backward, from every source.
+func TestReachAgreesWithReference(t *testing.T) {
+	const letters = "abc"
+	for seed := int64(0); seed < 40; seed++ {
+		rng := workload.NewRNG(seed*77 + 13)
+		db := workload.Random(seed, 4+rng.Intn(8), 6+rng.Intn(20), letters)
+		n := randNode(rng, letters, 1+rng.Intn(3))
+		m, err := xregex.Compile(n, []rune(letters))
+		if err != nil {
+			t.Fatalf("seed %d: compile: %v", seed, err)
+		}
+		ix := db.Index()
+		fc := automata.NewSubsetCache(m)
+		rm := reverseNFA(m)
+		rc := automata.NewSubsetCache(rm)
+		for src := 0; src < db.NumNodes(); src++ {
+			got := engine.Reach(ix, fc, src, true)
+			want := referenceReach(db, m, src, true)
+			if !equalInts(got, want) {
+				t.Fatalf("seed %d regex %s: forward Reach(%d) = %v, reference %v",
+					seed, xregex.String(n), src, got, want)
+			}
+			got = engine.Reach(ix, rc, src, false)
+			want = referenceReach(db, rm, src, false)
+			if !equalInts(got, want) {
+				t.Fatalf("seed %d regex %s: backward Reach(%d) = %v, reference %v",
+					seed, xregex.String(n), src, got, want)
+			}
+		}
+	}
+}
+
+// TestReachAllMatchesReach checks that the parallel fan-out returns exactly
+// the per-source results, for every worker-pool width.
+func TestReachAllMatchesReach(t *testing.T) {
+	const letters = "ab"
+	db := workload.Random(5, 14, 40, letters)
+	m := xregex.MustCompile(xregex.MustParse("a(a|b)*b"), []rune(letters))
+	ix := db.Index()
+	srcs := make([]int, db.NumNodes())
+	for i := range srcs {
+		srcs[i] = i
+	}
+	want := make([][]int, len(srcs))
+	seq := automata.NewSubsetCache(m)
+	for i, s := range srcs {
+		want[i] = engine.Reach(ix, seq, s, true)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		prev := engine.SetMaxWorkers(workers)
+		got := engine.ReachAll(ix, automata.NewSubsetCache(m), srcs, true)
+		engine.SetMaxWorkers(prev)
+		for i := range srcs {
+			if !equalInts(got[i], want[i]) {
+				t.Fatalf("workers=%d: ReachAll[%d] = %v, want %v", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestReachSharedCacheConcurrent hammers one shared SubsetCache from many
+// goroutines (via ReachAll) and checks the results stay correct — the cache
+// is the piece shared across parallel branch evaluations.
+func TestReachSharedCacheConcurrent(t *testing.T) {
+	const letters = "abc"
+	db := workload.Random(9, 30, 120, letters)
+	m := xregex.MustCompile(xregex.MustParse("(a|b)(a|b|c)*c?"), []rune(letters))
+	ix := db.Index()
+	shared := automata.NewSubsetCache(m)
+	srcs := make([]int, 0, db.NumNodes()*4)
+	for r := 0; r < 4; r++ {
+		for i := 0; i < db.NumNodes(); i++ {
+			srcs = append(srcs, i)
+		}
+	}
+	got := engine.ReachAll(ix, shared, srcs, true)
+	for i, s := range srcs {
+		want := referenceReach(db, m, s, true)
+		if !equalInts(got[i], want) {
+			t.Fatalf("concurrent ReachAll[%d] (src %d) = %v, want %v", i, s, got[i], want)
+		}
+	}
+}
+
+func TestFanCoversAllIndices(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 100} {
+		hit := make([]int32, n)
+		engine.Fan(n, func(i int) { hit[i]++ })
+		for i, h := range hit {
+			if h != 1 {
+				t.Fatalf("n=%d: index %d ran %d times", n, i, h)
+			}
+		}
+	}
+}
+
+func TestWorkersBounds(t *testing.T) {
+	prev := engine.SetMaxWorkers(3)
+	defer engine.SetMaxWorkers(prev)
+	if w := engine.Workers(10); w != 3 {
+		t.Fatalf("Workers(10) = %d, want 3", w)
+	}
+	if w := engine.Workers(2); w != 2 {
+		t.Fatalf("Workers(2) = %d, want 2", w)
+	}
+}

@@ -457,13 +457,21 @@ func E18PathSemantics(scale int) *Table {
 	return t
 }
 
+// Registry lists every experiment in index order; All, AllTimed and the
+// benchmark JSON emitter all run from it.
+var Registry = []func(int) *Table{
+	E01Figure1, E02Figure2, E03Theorem1, E04Theorem3,
+	E05NormalForm, E06VsfEval, E07VsfFlat, E08BoundedEval,
+	E09HittingSet, E10LogBounded, E11Figure5, E12Separations,
+	E13Fig7, E14Lemma12, E15Lemma13, E16Lemma14,
+	E17Ablations, E18PathSemantics,
+}
+
 // All runs every experiment at the given scale.
 func All(scale int) []*Table {
-	return []*Table{
-		E01Figure1(scale), E02Figure2(scale), E03Theorem1(scale), E04Theorem3(scale),
-		E05NormalForm(scale), E06VsfEval(scale), E07VsfFlat(scale), E08BoundedEval(scale),
-		E09HittingSet(scale), E10LogBounded(scale), E11Figure5(scale), E12Separations(scale),
-		E13Fig7(scale), E14Lemma12(scale), E15Lemma13(scale), E16Lemma14(scale),
-		E17Ablations(scale), E18PathSemantics(scale),
+	out := make([]*Table, len(Registry))
+	for i, f := range Registry {
+		out[i] = f(scale)
 	}
+	return out
 }

@@ -1,0 +1,64 @@
+package exp
+
+import (
+	"encoding/json"
+	"os"
+	"time"
+)
+
+// TimedTable is one experiment's result table with its wall-clock run time.
+type TimedTable struct {
+	Table  *Table
+	Millis float64
+}
+
+// AllTimed runs every experiment at the given scale, timing each.
+func AllTimed(scale int) []TimedTable {
+	out := make([]TimedTable, len(Registry))
+	for i, f := range Registry {
+		start := time.Now()
+		t := f(scale)
+		out[i] = TimedTable{Table: t, Millis: float64(time.Since(start).Microseconds()) / 1000}
+	}
+	return out
+}
+
+// BenchResult is one experiment's entry in the machine-readable benchmark
+// report tracked across PRs (BENCH_engine.json).
+type BenchResult struct {
+	ID     string  `json:"id"`
+	Title  string  `json:"title"`
+	Millis float64 `json:"ms"`
+	Error  string  `json:"error,omitempty"`
+}
+
+// BenchReport is the machine-readable benchmark report.
+type BenchReport struct {
+	Scale       int           `json:"scale"`
+	TotalMillis float64       `json:"total_ms"`
+	Results     []BenchResult `json:"results"`
+}
+
+// Report converts timed tables into a benchmark report.
+func Report(tts []TimedTable, scale int) *BenchReport {
+	rep := &BenchReport{Scale: scale}
+	for _, tt := range tts {
+		r := BenchResult{ID: tt.Table.ID, Title: tt.Table.Title, Millis: tt.Millis}
+		if tt.Table.Err != nil {
+			r.Error = tt.Table.Err.Error()
+		}
+		rep.TotalMillis += tt.Millis
+		rep.Results = append(rep.Results, r)
+	}
+	return rep
+}
+
+// WriteBenchJSON writes the report for the timed tables to path as indented
+// JSON (the BENCH_engine.json format future PRs diff against).
+func WriteBenchJSON(path string, tts []TimedTable, scale int) error {
+	data, err := json.MarshalIndent(Report(tts, scale), "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

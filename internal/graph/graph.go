@@ -10,6 +10,7 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Edge is a single arc (From, Label, To).
@@ -27,6 +28,11 @@ type DB struct {
 	in     [][]Edge       // adjacency by target
 	nEdges int
 	sigma  map[rune]bool
+
+	version    uint64 // bumped on every mutation
+	idxMu      sync.Mutex
+	idx        *Index
+	idxVersion uint64
 }
 
 // New returns an empty graph database.
@@ -44,6 +50,7 @@ func (d *DB) Node(name string) int {
 	d.byName[name] = id
 	d.out = append(d.out, nil)
 	d.in = append(d.in, nil)
+	d.version++
 	return id
 }
 
@@ -66,6 +73,21 @@ func (d *DB) AddEdge(from int, label rune, to int) {
 	d.in[to] = append(d.in[to], e)
 	d.nEdges++
 	d.sigma[label] = true
+	d.version++
+}
+
+// Index returns the label-indexed CSR adjacency view of the database,
+// building it on first use and rebuilding it after mutations. The returned
+// Index is immutable and safe for concurrent readers; concurrent Index
+// calls are safe as long as no goroutine is mutating the DB.
+func (d *DB) Index() *Index {
+	d.idxMu.Lock()
+	defer d.idxMu.Unlock()
+	if d.idx == nil || d.idxVersion != d.version {
+		d.idx = buildIndex(d)
+		d.idxVersion = d.version
+	}
+	return d.idx
 }
 
 // AddEdgeNames adds an arc between named nodes, creating them as needed.

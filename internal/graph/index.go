@@ -1,0 +1,120 @@
+package graph
+
+import "sort"
+
+// Index is an immutable label-indexed adjacency view of a DB in CSR
+// (compressed sparse row) form: for every (node, label) pair the outgoing
+// and incoming neighbour lists are contiguous int32 slices, and labels are
+// interned as dense symbol ids. It is built once per DB revision (see
+// DB.Index) and replaces the per-BFS-step label grouping that the product
+// engines previously recomputed at every visited node.
+//
+// All methods are safe for concurrent use; the returned slices are views
+// into shared storage and must not be modified.
+type Index struct {
+	n     int
+	syms  []rune
+	symID map[rune]int32
+	out   labelCSR
+	in    labelCSR
+}
+
+// labelCSR stores, for each (node, symbol id) pair, a span into a flat
+// target array: targets of (u, s) are tgt[off[u*S+s]:off[u*S+s+1]].
+type labelCSR struct {
+	off []int32
+	tgt []int32
+}
+
+func (c *labelCSR) span(u int, s int32, nSyms int) []int32 {
+	i := u*nSyms + int(s)
+	return c.tgt[c.off[i]:c.off[i+1]]
+}
+
+func buildIndex(d *DB) *Index {
+	n := d.NumNodes()
+	syms := d.Alphabet()
+	symID := make(map[rune]int32, len(syms))
+	for i, r := range syms {
+		symID[r] = int32(i)
+	}
+	ix := &Index{n: n, syms: syms, symID: symID}
+	ix.out = buildCSR(n, len(syms), symID, d.out, func(e Edge) int { return e.To })
+	ix.in = buildCSR(n, len(syms), symID, d.in, func(e Edge) int { return e.From })
+	return ix
+}
+
+func buildCSR(n, nSyms int, symID map[rune]int32, adj [][]Edge, endpoint func(Edge) int) labelCSR {
+	off := make([]int32, n*nSyms+1)
+	for u := 0; u < n; u++ {
+		for _, e := range adj[u] {
+			off[u*nSyms+int(symID[e.Label])+1]++
+		}
+	}
+	for i := 1; i < len(off); i++ {
+		off[i] += off[i-1]
+	}
+	tgt := make([]int32, off[len(off)-1])
+	fill := make([]int32, n*nSyms)
+	for u := 0; u < n; u++ {
+		for _, e := range adj[u] {
+			i := u*nSyms + int(symID[e.Label])
+			tgt[off[i]+fill[i]] = int32(endpoint(e))
+			fill[i]++
+		}
+	}
+	return labelCSR{off: off, tgt: tgt}
+}
+
+// NumNodes returns the number of nodes covered by the index.
+func (ix *Index) NumNodes() int { return ix.n }
+
+// NumSyms returns the number of distinct edge labels.
+func (ix *Index) NumSyms() int { return len(ix.syms) }
+
+// Sym returns the rune for symbol id s.
+func (ix *Index) Sym(s int32) rune { return ix.syms[s] }
+
+// SymID returns the dense id of label r, or false if r labels no edge.
+func (ix *Index) SymID(r rune) (int32, bool) {
+	s, ok := ix.symID[r]
+	return s, ok
+}
+
+// OutByID returns the targets of u's outgoing edges labelled with symbol id s.
+func (ix *Index) OutByID(u int, s int32) []int32 { return ix.out.span(u, s, len(ix.syms)) }
+
+// InByID returns the sources of u's incoming edges labelled with symbol id s.
+func (ix *Index) InByID(u int, s int32) []int32 { return ix.in.span(u, s, len(ix.syms)) }
+
+// OutByLabel returns the targets of u's outgoing edges labelled r.
+func (ix *Index) OutByLabel(u int, r rune) []int32 {
+	if s, ok := ix.symID[r]; ok {
+		return ix.out.span(u, s, len(ix.syms))
+	}
+	return nil
+}
+
+// InByLabel returns the sources of u's incoming edges labelled r.
+func (ix *Index) InByLabel(u int, r rune) []int32 {
+	if s, ok := ix.symID[r]; ok {
+		return ix.in.span(u, s, len(ix.syms))
+	}
+	return nil
+}
+
+// OutDegree returns the number of outgoing edges of u with symbol id s.
+func (ix *Index) OutDegree(u int, s int32) int { return len(ix.OutByID(u, s)) }
+
+// SortSpans sorts every neighbour span in place (deterministic iteration
+// order for tests; the engines do not rely on it).
+func (ix *Index) SortSpans() {
+	for u := 0; u < ix.n; u++ {
+		for s := int32(0); s < int32(len(ix.syms)); s++ {
+			span := ix.out.span(u, s, len(ix.syms))
+			sort.Slice(span, func(i, j int) bool { return span[i] < span[j] })
+			span = ix.in.span(u, s, len(ix.syms))
+			sort.Slice(span, func(i, j int) bool { return span[i] < span[j] })
+		}
+	}
+}

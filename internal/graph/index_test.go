@@ -1,0 +1,104 @@
+package graph
+
+import (
+	"sort"
+	"testing"
+)
+
+func collect(edges []Edge, label rune, to bool) []int32 {
+	var out []int32
+	for _, e := range edges {
+		if e.Label != label {
+			continue
+		}
+		if to {
+			out = append(out, int32(e.To))
+		} else {
+			out = append(out, int32(e.From))
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func sorted32(xs []int32) []int32 {
+	out := append([]int32(nil), xs...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func equal32(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestIndexMatchesAdjacency(t *testing.T) {
+	d := MustParse(`
+a x b
+a y c
+b x c
+c x a
+c x b
+b y a
+`)
+	ix := d.Index()
+	if ix.NumNodes() != d.NumNodes() {
+		t.Fatalf("NumNodes = %d, want %d", ix.NumNodes(), d.NumNodes())
+	}
+	for u := 0; u < d.NumNodes(); u++ {
+		for _, r := range d.Alphabet() {
+			if got, want := sorted32(ix.OutByLabel(u, r)), collect(d.Out(u), r, true); !equal32(got, want) {
+				t.Fatalf("OutByLabel(%d, %c) = %v, want %v", u, r, got, want)
+			}
+			if got, want := sorted32(ix.InByLabel(u, r)), collect(d.In(u), r, false); !equal32(got, want) {
+				t.Fatalf("InByLabel(%d, %c) = %v, want %v", u, r, got, want)
+			}
+		}
+	}
+	if got := ix.OutByLabel(0, 'z'); got != nil {
+		t.Fatalf("OutByLabel with unknown label = %v, want nil", got)
+	}
+}
+
+func TestIndexSymInterning(t *testing.T) {
+	d := MustParse("a x b\nb y c")
+	ix := d.Index()
+	if ix.NumSyms() != 2 {
+		t.Fatalf("NumSyms = %d, want 2", ix.NumSyms())
+	}
+	for s := int32(0); s < int32(ix.NumSyms()); s++ {
+		r := ix.Sym(s)
+		id, ok := ix.SymID(r)
+		if !ok || id != s {
+			t.Fatalf("SymID(Sym(%d)) = %d,%v", s, id, ok)
+		}
+	}
+	if _, ok := ix.SymID('z'); ok {
+		t.Fatal("SymID('z') should not resolve")
+	}
+}
+
+func TestIndexRebuildsAfterMutation(t *testing.T) {
+	d := MustParse("a x b")
+	ix1 := d.Index()
+	if ix1 != d.Index() {
+		t.Fatal("Index should be cached while the DB is unchanged")
+	}
+	d.AddEdgeNames("b", 'y', "c")
+	ix2 := d.Index()
+	if ix1 == ix2 {
+		t.Fatal("Index should rebuild after AddEdge")
+	}
+	b, _ := d.Lookup("b")
+	c, _ := d.Lookup("c")
+	if got := ix2.OutByLabel(b, 'y'); len(got) != 1 || got[0] != int32(c) {
+		t.Fatalf("OutByLabel after mutation = %v, want [%d]", got, c)
+	}
+}

@@ -1,6 +1,9 @@
 package oracle
 
 import (
+	"fmt"
+	"strings"
+
 	"cxrpq/internal/cxrpq"
 	"cxrpq/internal/graph"
 	"cxrpq/internal/pattern"
@@ -20,6 +23,29 @@ func EvalCXRPQ(q *cxrpq.Query, db *graph.DB, maxLen int) (*pattern.TupleSet, err
 	sigma := db.Alphabet()
 	vars := q.Pattern.Vars()
 	out := pattern.NewTupleSet()
+
+	// MatchTupleBool is a pure function of the word tuple (c and sigma are
+	// fixed per call), and the same word tuples recur across morphisms, so
+	// memoize verdicts. This keeps the oracle brute force in spirit while
+	// removing the repeated re-derivations.
+	matchMemo := map[string]bool{}
+	matchKey := func(choice []string) string {
+		var b strings.Builder
+		for _, w := range choice {
+			fmt.Fprintf(&b, "%d:", len(w))
+			b.WriteString(w)
+		}
+		return b.String()
+	}
+	match := func(choice []string) bool {
+		k := matchKey(choice)
+		if v, ok := matchMemo[k]; ok {
+			return v
+		}
+		v := cxrpq.MatchTupleBool(c, choice, sigma)
+		matchMemo[k] = v
+		return v
+	}
 
 	assign := map[string]int{}
 	var rec func(i int)
@@ -43,7 +69,7 @@ func EvalCXRPQ(q *cxrpq.Query, db *graph.DB, maxLen int) (*pattern.TupleSet, err
 		var pick func(ei int) bool
 		pick = func(ei int) bool {
 			if ei == len(choice) {
-				return cxrpq.MatchTupleBool(c, choice, sigma)
+				return match(choice)
 			}
 			for _, w := range words[ei] {
 				choice[ei] = w
