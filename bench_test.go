@@ -16,6 +16,7 @@ import (
 	"cxrpq/internal/engine"
 	"cxrpq/internal/exp"
 	"cxrpq/internal/pattern"
+	"cxrpq/internal/reductions"
 	"cxrpq/internal/separations"
 	"cxrpq/internal/workload"
 	"cxrpq/internal/xregex"
@@ -103,6 +104,39 @@ func BenchmarkBoundedEval(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := cxrpq.EvalBounded(q, db, 2); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEvalBounded exercises the prefix-incremental bounded engine on a
+// three-atom query whose variables spread across edges, so atoms become
+// determined (and prune) at different enumeration depths and the relation
+// cache is shared across mappings.
+func BenchmarkEvalBounded(b *testing.B) {
+	db := workload.Random(19, 14, 40, "abc")
+	q := cxrpq.MustParse("ans(s, t)\ns m : $x{(a|b)+}\nm t : $y{a|c}b?\nt s : ($x|$y)c*")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cxrpq.EvalBounded(q, db, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE9HittingSet runs the Theorem 7 reduction end-to-end on the
+// hardest scale-1 instance (10 string variables under CXRPQ^≤1 semantics) —
+// the suite's former perf cliff and the headline workload of the bounded
+// engine.
+func BenchmarkE9HittingSet(b *testing.B) {
+	h := &reductions.HittingSetInstance{N: 3, Sets: [][]int{{0}, {2}}, K: 2}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		got, err := h.SolveViaReduction()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !got {
+			b.Fatal("instance has a hitting set")
 		}
 	}
 }

@@ -25,7 +25,10 @@
 //	                     synchronized-product evaluation core
 //	internal/cxrpq       the paper's contribution: CXRPQs, their fragments,
 //	                     evaluation algorithms (Thms 2/5/6, Cor 1), normal
-//	                     form (Lemmas 4-6, 8), translations (Lemmas 12-14)
+//	                     form (Lemmas 4-6, 8), translations (Lemmas 12-14);
+//	                     bounded.go is the prefix-incremental CXRPQ^≤k
+//	                     engine (shared atom-relation cache, relaxed-atom
+//	                     subtree pruning, parallel mapping enumeration)
 //	internal/oracle      brute-force reference implementations backing the
 //	                     conformance tests
 //	internal/reductions  executable hardness reductions (Thms 1/3/7)

@@ -1,0 +1,568 @@
+package cxrpq
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"cxrpq/internal/ecrpq"
+	"cxrpq/internal/engine"
+	"cxrpq/internal/graph"
+	"cxrpq/internal/pattern"
+	"cxrpq/internal/xregex"
+)
+
+// This file is the prefix-incremental CXRPQ^≤k evaluation engine behind
+// EvalBounded, EvalBoundedBool, CheckBounded and ExplainBounded. The
+// Theorem 6 guess of v̄ ∈ (Σ^≤k)^n is still an enumeration in ≺-topological
+// order with the two sound candidate filters (images must label paths of D;
+// non-empty images of defined variables must match a definition body with
+// the assigned prefix substituted), but the per-mapping work is restructured
+// around three observations:
+//
+//  1. An atom (pattern edge) is fully instantiated as soon as the prefix
+//     covers all variables occurring in it — its Lemma 10 surgery and its
+//     reachability relation can be computed right then, and an atom whose
+//     instantiated language is empty on D prunes the entire subtree before
+//     any deeper variable is guessed.
+//  2. Exponentially many mappings agree on an atom's instantiated label
+//     (ε-images collapse, only the images matter — not how the enumeration
+//     reached them), so per-atom relations are memoized in a bounded,
+//     session-scoped cache keyed by the canonical print of the label.
+//  3. A complete mapping then needs only a join over the cached relations
+//     (ecrpq.JoinRelations), not a fresh CRPQ evaluation.
+//
+// Disjoint enumeration subtrees are fanned across the engine worker pool
+// with the same stop-flag short-circuit protocol as evalVsf.
+//
+// EvalBoundedNaive (eval.go) remains the literal Theorem 6 rendering and the
+// differential baseline: the two must agree on full tuple sets.
+
+const (
+	// boundedRelCap bounds the session relation cache; on overflow the
+	// whole epoch is dropped (entries are pure caches).
+	boundedRelCap = 8192
+	// boundedFeasCap bounds the session feasibility memo.
+	boundedFeasCap = 1 << 16
+	// boundedMaxJobs caps the number of enumeration-prefix jobs generated
+	// for the parallel fan-out.
+	boundedMaxJobs = 4096
+)
+
+// boundedEngine holds the per-evaluation immutable schedule plus the shared
+// caches and result sink. All mutable enumeration state lives in
+// boundedState, one per worker subtree.
+type boundedEngine struct {
+	q        *Query
+	db       *graph.DB
+	c        CXRE
+	sigma    []rune
+	boolOnly bool
+	seq      bool           // force sequential enumeration (witness search)
+	pre      map[string]int // pre-bound node variables (CheckBounded)
+
+	vars   []string // string variables in ≺-topological order
+	labels []string // candidate images: words labelling paths of D
+
+	edgeVars   [][]string       // per edge: sorted variables occurring in its label
+	stepEdges  [][]int          // stepEdges[i]: edges determined once vars[:i] are assigned
+	touchEdges [][]int          // touchEdges[i]: edges touched but not yet determined at step i
+	stepChecks [][]string       // defined vars whose force-condition resolves at step i
+	defEdges   map[string][]int // var -> edges syntactically defining it
+	defined    map[string]bool  // tuple-level defined variables
+	defBodies  map[string][]xregex.Node
+	refAny     map[string]bool // free var: referenced anywhere at all
+
+	// leaf consumes a complete mapping; the default joins the cached atom
+	// relations, ExplainBounded swaps in a witness search.
+	leaf      func(st *boundedState) error
+	joinOrder []int // leaf join edge order, fixed per session
+
+	stop atomic.Bool
+
+	relMu sync.Mutex
+	rels  map[string]*ecrpq.EdgeRel
+
+	feasMu sync.Mutex
+	feas   map[string]bool
+
+	outMu sync.Mutex
+	out   *pattern.TupleSet
+}
+
+// boundedState is the mutable state of one enumeration subtree: the partial
+// assignment and, per edge, the instantiated label, its relation and the
+// defined variables whose definitions survived the Lemma 10 cut. Entries for
+// edge ei are valid whenever the current prefix covers ei's ready step.
+type boundedState struct {
+	e        *boundedEngine
+	assign   map[string]string
+	insts    []xregex.Node
+	rels     []*ecrpq.EdgeRel
+	survived []map[string]bool
+}
+
+func newBoundedEngine(q *Query, db *graph.DB, k int, boolOnly bool, pre map[string]int) (*boundedEngine, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	if k < 0 {
+		return nil, fmt.Errorf("cxrpq: negative image bound %d", k)
+	}
+	c := q.CXRE()
+	vars, err := xregex.TopoVars([]xregex.Node(c)...)
+	if err != nil {
+		return nil, err
+	}
+	e := &boundedEngine{
+		q:        q,
+		db:       db,
+		c:        c,
+		sigma:    xregex.MergeAlphabets(db.Alphabet(), c.Alphabet()),
+		boolOnly: boolOnly,
+		pre:      pre,
+		vars:     vars,
+		// Images must label paths of D (they are factors of matching words).
+		labels:     db.PathLabels(k, 0),
+		edgeVars:   make([][]string, len(c)),
+		stepEdges:  make([][]int, len(vars)+1),
+		touchEdges: make([][]int, len(vars)+1),
+		stepChecks: make([][]string, len(vars)+1),
+		defEdges:   map[string][]int{},
+		defined:    c.DefinedVars(),
+		defBodies:  map[string][]xregex.Node{},
+		refAny:     map[string]bool{},
+		rels:       map[string]*ecrpq.EdgeRel{},
+		feas:       map[string]bool{},
+		out:        pattern.NewTupleSet(),
+	}
+	e.leaf = e.joinLeaf
+	e.joinOrder = ecrpq.JoinOrder(q.Pattern, pre)
+
+	pos := map[string]int{}
+	for i, x := range vars {
+		pos[x] = i
+	}
+	nodes := []xregex.Node(c)
+	all := catAll(c)
+	for _, x := range vars {
+		bodies := xregex.DefBodies(x, nodes...)
+		e.defBodies[x] = bodies
+		if len(bodies) == 0 {
+			e.refAny[x] = xregex.ContainsRef(all, x)
+		}
+	}
+	ready := make([]int, len(nodes))
+	for ei, n := range nodes {
+		vs := xregex.SortedVars(n)
+		e.edgeVars[ei] = vs
+		for _, x := range vs {
+			if pos[x]+1 > ready[ei] {
+				ready[ei] = pos[x] + 1
+			}
+		}
+		e.stepEdges[ready[ei]] = append(e.stepEdges[ready[ei]], ei)
+		for x := range xregex.DefinedVars(n) {
+			e.defEdges[x] = append(e.defEdges[x], ei)
+		}
+		// Partial pruning schedule: re-relax an undetermined edge whenever
+		// one of its variables was just assigned (and once up front, at
+		// step 0, with everything relaxed).
+		if ready[ei] > 0 {
+			e.touchEdges[0] = append(e.touchEdges[0], ei)
+		}
+		for _, x := range vs {
+			if pos[x]+1 < ready[ei] {
+				e.touchEdges[pos[x]+1] = append(e.touchEdges[pos[x]+1], ei)
+			}
+		}
+	}
+	// The tuple-level Step 2 condition of Lemma 10 — a variable with a
+	// non-empty image must have a surviving definition in SOME component —
+	// resolves as soon as every component defining the variable has been
+	// instantiated.
+	for x, eis := range e.defEdges {
+		last := 0
+		for _, ei := range eis {
+			if ready[ei] > last {
+				last = ready[ei]
+			}
+		}
+		e.stepChecks[last] = append(e.stepChecks[last], x)
+	}
+	return e, nil
+}
+
+func (e *boundedEngine) newState() *boundedState {
+	ne := len(e.c)
+	return &boundedState{
+		e:        e,
+		assign:   map[string]string{},
+		insts:    make([]xregex.Node, ne),
+		rels:     make([]*ecrpq.EdgeRel, ne),
+		survived: make([]map[string]bool, ne),
+	}
+}
+
+// instantiateEdge runs the Lemma 10 surgery for edge ei under the current
+// (prefix) assignment — sound because all of ei's variables are assigned at
+// its ready step — and resolves the edge's reachability relation through the
+// session cache. It reports false when the subtree is pruned: the label is
+// ∅, or it labels no path of D.
+func (st *boundedState) instantiateEdge(ei int) (bool, error) {
+	e := st.e
+	cut, err := xregex.CutFailedDefs(e.c[ei], st.assign, e.sigma)
+	if err != nil {
+		return false, err
+	}
+	cut = xregex.Simplify(cut)
+	var surv map[string]bool
+	for _, x := range e.edgeVars[ei] {
+		if !e.defined[x] || st.assign[x] == "" {
+			continue
+		}
+		if xregex.ContainsDef(cut, x) {
+			if surv == nil {
+				surv = map[string]bool{}
+			}
+			surv[x] = true
+			cut = xregex.Simplify(xregex.ForceVar(cut, x))
+		}
+	}
+	st.survived[ei] = surv
+	inst := xregex.Simplify(xregex.SubstituteAllVars(cut, st.assign))
+	st.insts[ei] = inst
+	rel, err := e.relationFor(inst)
+	if err != nil {
+		return false, err
+	}
+	st.rels[ei] = rel
+	return !rel.Empty(), nil
+}
+
+// relaxCut over-approximates the Lemma 10 instantiation of n under a
+// ≺-downward-closed partial assignment: assigned definitions are cut exactly
+// (their bodies only contain ≺-smaller, hence assigned, variables) and
+// replaced by their images, while unassigned definitions and references are
+// relaxed to Σ*. The result is classical and its language contains the exact
+// instantiated language of every completion of the prefix, so an empty
+// relation on D prunes the whole subtree.
+func relaxCut(n xregex.Node, assign map[string]string, sigma []rune) (xregex.Node, error) {
+	switch t := n.(type) {
+	case *xregex.Ref:
+		if w, ok := assign[t.Var]; ok {
+			return xregex.Word(w), nil
+		}
+		return xregex.AnyWord(), nil
+	case *xregex.Def:
+		w, ok := assign[t.Var]
+		if !ok {
+			return xregex.AnyWord(), nil
+		}
+		body, err := relaxCut(t.Body, assign, sigma)
+		if err != nil {
+			return nil, err
+		}
+		m, err := xregex.Matches(xregex.Simplify(body), w, sigma)
+		if err != nil {
+			return nil, err
+		}
+		if !m {
+			return &xregex.Empty{}, nil
+		}
+		return xregex.Word(w), nil
+	case *xregex.Cat:
+		kids := make([]xregex.Node, len(t.Kids))
+		for i, k := range t.Kids {
+			nk, err := relaxCut(k, assign, sigma)
+			if err != nil {
+				return nil, err
+			}
+			kids[i] = nk
+		}
+		return &xregex.Cat{Kids: kids}, nil
+	case *xregex.Alt:
+		kids := make([]xregex.Node, len(t.Kids))
+		for i, k := range t.Kids {
+			nk, err := relaxCut(k, assign, sigma)
+			if err != nil {
+				return nil, err
+			}
+			kids[i] = nk
+		}
+		return &xregex.Alt{Kids: kids}, nil
+	case *xregex.Plus:
+		kid, err := relaxCut(t.Kid, assign, sigma)
+		if err != nil {
+			return nil, err
+		}
+		return &xregex.Plus{Kid: kid}, nil
+	case *xregex.Star:
+		kid, err := relaxCut(t.Kid, assign, sigma)
+		if err != nil {
+			return nil, err
+		}
+		return &xregex.Star{Kid: kid}, nil
+	case *xregex.Opt:
+		kid, err := relaxCut(t.Kid, assign, sigma)
+		if err != nil {
+			return nil, err
+		}
+		return &xregex.Opt{Kid: kid}, nil
+	default:
+		return n, nil
+	}
+}
+
+// pruneRelaxed checks the Σ*-relaxed partial instantiation of edge ei
+// against D. It reports false when the relaxed atom labels no path at all —
+// no completion of the current prefix can satisfy the atom.
+func (st *boundedState) pruneRelaxed(ei int) (bool, error) {
+	e := st.e
+	relaxed, err := relaxCut(e.c[ei], st.assign, e.sigma)
+	if err != nil {
+		return false, err
+	}
+	rel, err := e.relationFor(xregex.Simplify(relaxed))
+	if err != nil {
+		return false, err
+	}
+	return !rel.Empty(), nil
+}
+
+// processStep instantiates the edges that become determined once vars[:i]
+// are assigned, applies the force-condition checks that resolve at this
+// step, and runs the relaxed-atom pruning for edges the step touched but
+// did not determine. It reports false when the whole subtree is pruned.
+func (st *boundedState) processStep(i int) (bool, error) {
+	e := st.e
+	for _, ei := range e.stepEdges[i] {
+		ok, err := st.instantiateEdge(ei)
+		if err != nil || !ok {
+			return false, err
+		}
+	}
+	for _, ei := range e.touchEdges[i] {
+		ok, err := st.pruneRelaxed(ei)
+		if err != nil || !ok {
+			return false, err
+		}
+	}
+	for _, x := range e.stepChecks[i] {
+		if st.assign[x] == "" {
+			continue
+		}
+		found := false
+		for _, ei := range e.defEdges[x] {
+			if st.survived[ei][x] {
+				found = true
+				break
+			}
+		}
+		if !found {
+			// no surviving definition can produce the non-empty image: the
+			// instantiated tuple is (∅, …, ∅)
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// relationFor resolves the relation of an instantiated label through the
+// session cache, keyed by the canonical print — the sharing point for all
+// mappings that agree on the label.
+func (e *boundedEngine) relationFor(inst xregex.Node) (*ecrpq.EdgeRel, error) {
+	key := xregex.String(inst)
+	e.relMu.Lock()
+	if r, ok := e.rels[key]; ok {
+		e.relMu.Unlock()
+		return r, nil
+	}
+	e.relMu.Unlock()
+	r, err := ecrpq.RelationFor(e.db, inst, e.sigma)
+	if err != nil {
+		return nil, err
+	}
+	e.relMu.Lock()
+	defer e.relMu.Unlock()
+	if old, ok := e.rels[key]; ok { // raced with another worker
+		return old, nil
+	}
+	if len(e.rels) >= boundedRelCap {
+		e.rels = map[string]*ecrpq.EdgeRel{}
+	}
+	e.rels[key] = r
+	return r, nil
+}
+
+// feasible is the sound candidate filter of the Theorem 6 enumeration: a
+// non-empty image of a defined variable must match one of its definition
+// bodies with previously assigned variables substituted and the rest relaxed
+// to Σ* (all variables in a definition body precede the defined variable in
+// ≺-topological order, so the check is exact relative to the prefix). Checks
+// are memoized per (relaxed body, word) — the relaxed print is exactly the
+// signature of the assignment restricted to the body's variables — and run
+// through the process-wide compiled-NFA cache.
+func (e *boundedEngine) feasible(x, w string, assign map[string]string) bool {
+	if w == "" {
+		return true
+	}
+	bodies := e.defBodies[x]
+	if len(bodies) == 0 {
+		// free variable: only useful if referenced at all
+		return e.refAny[x]
+	}
+	for _, body := range bodies {
+		relaxed := relaxUnassigned(body, assign)
+		key := xregex.String(relaxed) + "\x00" + w
+		e.feasMu.Lock()
+		res, ok := e.feas[key]
+		e.feasMu.Unlock()
+		if !ok {
+			m, err := xregex.Matches(relaxed, w, e.sigma)
+			res = err == nil && m
+			e.feasMu.Lock()
+			if len(e.feas) >= boundedFeasCap {
+				e.feas = map[string]bool{}
+			}
+			e.feas[key] = res
+			e.feasMu.Unlock()
+		}
+		if res {
+			return true
+		}
+	}
+	return false
+}
+
+// rec enumerates images for vars[i:] depth-first with prefix pruning.
+func (st *boundedState) rec(i int) error {
+	e := st.e
+	if e.stop.Load() {
+		return nil
+	}
+	if i == len(e.vars) {
+		return e.leaf(st)
+	}
+	x := e.vars[i]
+	for _, w := range e.labels {
+		if e.stop.Load() {
+			break
+		}
+		if !e.feasible(x, w, st.assign) {
+			continue
+		}
+		st.assign[x] = w
+		ok, err := st.processStep(i + 1)
+		if err != nil {
+			return err
+		}
+		if ok {
+			if err := st.rec(i + 1); err != nil {
+				return err
+			}
+		}
+	}
+	delete(st.assign, x)
+	return nil
+}
+
+// joinLeaf is the default leaf: join the cached atom relations and merge the
+// answers into the shared result set.
+func (e *boundedEngine) joinLeaf(st *boundedState) error {
+	res := ecrpq.JoinRelations(e.q.Pattern, st.rels, e.joinOrder, e.pre, e.boolOnly)
+	if res.Len() == 0 {
+		return nil
+	}
+	tuples := res.Sorted() // materialize outside the critical section
+	e.outMu.Lock()
+	for _, t := range tuples {
+		e.out.Add(t)
+	}
+	e.outMu.Unlock()
+	if e.boolOnly {
+		e.stop.Store(true)
+	}
+	return nil
+}
+
+// run drives the enumeration: sequentially for a single worker (or when a
+// deterministic first witness is required), otherwise by expanding feasible
+// assignment prefixes into jobs and fanning the disjoint subtrees across the
+// engine worker pool with Boolean short-circuit.
+func (e *boundedEngine) run() (*pattern.TupleSet, error) {
+	st := e.newState()
+	ok, err := st.processStep(0)
+	if err != nil || !ok {
+		return e.out, err
+	}
+	if len(e.vars) == 0 {
+		return e.out, e.leaf(st)
+	}
+
+	pool := engine.Workers(1 << 16)
+	if pool == 1 || e.seq {
+		return e.out, st.rec(0)
+	}
+
+	// Expand prefixes breadth-first (feasibility-filtered only; the workers
+	// replay them with the full atom pruning, which is cache-warm by then)
+	// until there are enough disjoint subtrees to keep the pool busy.
+	jobs := [][]string{nil}
+	depth := 0
+	for depth < len(e.vars) && len(jobs) < 2*pool && len(jobs)*len(e.labels) <= boundedMaxJobs {
+		var next [][]string
+		partial := map[string]string{}
+		for _, p := range jobs {
+			for x := range partial {
+				delete(partial, x)
+			}
+			for j, w := range p {
+				partial[e.vars[j]] = w
+			}
+			for _, w := range e.labels {
+				if e.feasible(e.vars[depth], w, partial) {
+					np := make([]string, depth+1)
+					copy(np, p)
+					np[depth] = w
+					next = append(next, np)
+				}
+			}
+		}
+		jobs = next
+		depth++
+		if len(jobs) == 0 {
+			return e.out, nil
+		}
+	}
+
+	var errMu sync.Mutex
+	errAt := -1
+	var firstErr error
+	engine.Fan(len(jobs), func(ji int) {
+		if e.stop.Load() {
+			return
+		}
+		st := e.newState()
+		ok, err := st.processStep(0)
+		for j := 0; err == nil && ok && j < depth; j++ {
+			st.assign[e.vars[j]] = jobs[ji][j]
+			ok, err = st.processStep(j + 1)
+		}
+		if err == nil && ok {
+			err = st.rec(depth)
+		}
+		if err != nil {
+			errMu.Lock()
+			if errAt < 0 || ji < errAt {
+				errAt, firstErr = ji, err
+			}
+			errMu.Unlock()
+			e.stop.Store(true)
+		}
+	})
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return e.out, nil
+}

@@ -76,40 +76,26 @@ func evalBoundedCheck(q *Query, db *graph.DB, k int, t pattern.Tuple) (bool, err
 	if len(t) != len(q.Pattern.Out) {
 		return false, fmt.Errorf("cxrpq: tuple arity %d, query arity %d", len(t), len(q.Pattern.Out))
 	}
-	// Reuse the bounded enumeration, but replace the per-mapping CRPQ
-	// evaluation by a CRPQ check of the tuple.
-	c := q.CXRE()
-	sigma := mergeDBAlphabet(db, c)
-	vars, err := topoVarsOf(c)
+	// The prefix-incremental engine with the output variables pre-bound:
+	// each leaf join only searches for one extension of the tuple.
+	pre := map[string]int{}
+	for i, z := range q.Pattern.Out {
+		v := t[i]
+		if v < 0 || v >= db.NumNodes() {
+			return false, fmt.Errorf("cxrpq: node id %d out of range", v)
+		}
+		if prev, ok := pre[z]; ok && prev != v {
+			return false, nil // same output variable bound to two nodes
+		}
+		pre[z] = v
+	}
+	e, err := newBoundedEngine(q, db, k, true, pre)
 	if err != nil {
 		return false, err
 	}
-	labels := db.PathLabels(k, 0)
-	assign := map[string]string{}
-	var rec func(i int) (bool, error)
-	rec = func(i int) (bool, error) {
-		if i == len(vars) {
-			inst, err := q.InstantiateCRPQ(assign, sigma)
-			if err != nil {
-				return false, err
-			}
-			return ecrpq.Check(&ecrpq.Query{Pattern: inst.Pattern}, db, t)
-		}
-		for _, w := range labels {
-			if !imageFeasible(c, vars[i], w, assign, sigma) {
-				continue
-			}
-			assign[vars[i]] = w
-			ok, err := rec(i + 1)
-			if err != nil {
-				return false, err
-			}
-			if ok {
-				return true, nil
-			}
-		}
-		delete(assign, vars[i])
-		return false, nil
+	res, err := e.run()
+	if err != nil {
+		return false, err
 	}
-	return rec(0)
+	return res.Len() > 0, nil
 }

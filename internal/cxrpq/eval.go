@@ -238,85 +238,20 @@ func logBound(db *graph.DB) int {
 	return int(math.Ceil(math.Log2(float64(size))))
 }
 
+// evalBounded runs the prefix-incremental bounded engine (bounded.go):
+// atoms are instantiated and pruned as soon as the ≺-topological prefix
+// determines their variables, relations are shared across mappings through
+// the session cache, and disjoint subtrees are evaluated in parallel.
 func evalBounded(q *Query, db *graph.DB, k int, boolOnly bool) (*pattern.TupleSet, error) {
-	if err := q.Validate(); err != nil {
-		return nil, err
-	}
-	if k < 0 {
-		return nil, fmt.Errorf("cxrpq: negative image bound %d", k)
-	}
-	c := q.CXRE()
-	sigma := xregex.MergeAlphabets(db.Alphabet(), c.Alphabet())
-	vars, err := xregex.TopoVars([]xregex.Node(c)...)
+	e, err := newBoundedEngine(q, db, k, boolOnly, nil)
 	if err != nil {
 		return nil, err
 	}
-	// Images must label paths of D (they are factors of matching words).
-	labels := db.PathLabels(k, 0)
-
-	out := pattern.NewTupleSet()
-	stop := false
-	assign := map[string]string{}
-	var rec func(i int) error
-	rec = func(i int) error {
-		if stop {
-			return nil
-		}
-		if i == len(vars) {
-			inst, err := q.InstantiateCRPQ(assign, sigma)
-			if err != nil {
-				return err
-			}
-			allEmpty := true
-			for _, e := range inst.Pattern.Edges {
-				if _, empty := e.Label.(*xregex.Empty); !empty {
-					allEmpty = false
-					break
-				}
-			}
-			if allEmpty {
-				return nil
-			}
-			if boolOnly {
-				ok, err := inst.EvalBool(db)
-				if err != nil {
-					return err
-				}
-				if ok {
-					out.Add(pattern.Tuple{})
-					stop = true
-				}
-				return nil
-			}
-			res, err := inst.Eval(db)
-			if err != nil {
-				return err
-			}
-			for _, t := range res.Sorted() {
-				out.Add(t)
-			}
-			return nil
-		}
-		x := vars[i]
-		for _, w := range labels {
-			if !imageFeasible(c, x, w, assign, sigma) {
-				continue
-			}
-			assign[x] = w
-			if err := rec(i + 1); err != nil {
-				return err
-			}
-			if stop {
-				return nil
-			}
-		}
-		delete(assign, x)
-		return nil
-	}
-	if err := rec(0); err != nil {
+	res, err := e.run()
+	if err != nil {
 		return nil, err
 	}
-	return out, nil
+	return res, nil
 }
 
 func catAll(c CXRE) xregex.Node {
@@ -326,35 +261,6 @@ func catAll(c CXRE) xregex.Node {
 // mergeDBAlphabet returns the combined alphabet of a database and a tuple.
 func mergeDBAlphabet(db *graph.DB, c CXRE) []rune {
 	return xregex.MergeAlphabets(db.Alphabet(), c.Alphabet())
-}
-
-// topoVarsOf returns the tuple's variables in ≺-topological order.
-func topoVarsOf(c CXRE) ([]string, error) {
-	return xregex.TopoVars([]xregex.Node(c)...)
-}
-
-// imageFeasible is the sound candidate filter of the Theorem 6 enumeration:
-// a non-empty image of a defined variable must match one of its definition
-// bodies with previously assigned variables substituted (all variables in a
-// definition body precede the defined variable in ≺-topological order, so
-// the check is exact relative to the partial assignment).
-func imageFeasible(c CXRE, x, w string, assign map[string]string, sigma []rune) bool {
-	if w == "" {
-		return true
-	}
-	bodies := xregex.DefBodies(x, []xregex.Node(c)...)
-	if len(bodies) == 0 {
-		// free variable: only useful if referenced at all
-		return xregex.ContainsRef(catAll(c), x)
-	}
-	for _, body := range bodies {
-		relaxedBody := relaxUnassigned(body, assign)
-		wsigma := xregex.InstantiationAlphabet(xregex.MergeAlphabets(sigma, []rune(w)), assign)
-		if m, err := xregex.Matches(relaxedBody, w, wsigma); err == nil && m {
-			return true
-		}
-	}
-	return false
 }
 
 // relaxUnassigned substitutes assigned variables by their literal images and
@@ -471,7 +377,9 @@ func EvalAny(q *Query, db *graph.DB, maxImage int) (res *pattern.TupleSet, cappe
 	if err != nil {
 		return nil, false, err
 	}
-	capped = len(db.PathLabels(maxImage+1, 0)) > len(db.PathLabels(maxImage, 0))
+	// A word of length maxImage+1 labels a path iff D has a path that long;
+	// one frontier sweep replaces the two full PathLabels enumerations.
+	capped = db.HasPathOfLen(maxImage + 1)
 	return res, capped, nil
 }
 

@@ -66,55 +66,40 @@ func ExplainVsf(q *Query, db *graph.DB, t pattern.Tuple) (*Explanation, bool, er
 }
 
 // ExplainBounded searches for one match under CXRPQ^≤k semantics and
-// reconstructs its witness (images come from the Theorem 6 enumeration).
+// reconstructs its witness (images come from the Theorem 6 enumeration). It
+// runs the prefix-incremental bounded engine sequentially — so the witness
+// is the first one in enumeration order — with a leaf that searches the
+// instantiated CRPQ for a concrete path witness instead of joining cached
+// relations; the engine's subtree pruning (an atom with an empty relation
+// has no witness below it) applies unchanged.
 func ExplainBounded(q *Query, db *graph.DB, k int, t pattern.Tuple) (*Explanation, bool, error) {
-	if err := q.Validate(); err != nil {
-		return nil, false, err
-	}
-	c := q.CXRE()
-	sigma := mergeDBAlphabet(db, c)
-	vars, err := topoVarsOf(c)
+	e, err := newBoundedEngine(q, db, k, false, nil)
 	if err != nil {
 		return nil, false, err
 	}
-	labels := db.PathLabels(k, 0)
-	assign := map[string]string{}
+	e.seq = true
 	var result *Explanation
-	var rec func(i int) error
-	rec = func(i int) error {
-		if i == len(vars) {
-			inst, err := q.InstantiateCRPQ(assign, sigma)
-			if err != nil {
-				return err
-			}
-			eq := &ecrpq.Query{Pattern: inst.Pattern}
-			w, ok, err := ecrpq.FindWitness(eq, db, t)
-			if err != nil {
-				return err
-			}
-			if !ok {
-				return nil
-			}
-			images := map[string]string{}
-			for x, v := range assign {
-				images[x] = v
-			}
-			result = &Explanation{NodeOf: w.NodeOf, Words: w.Words, Images: images}
-			return errStop
+	e.leaf = func(st *boundedState) error {
+		g := &pattern.Graph{Out: append([]string(nil), q.Pattern.Out...)}
+		for i, pe := range q.Pattern.Edges {
+			g.Edges = append(g.Edges, pattern.Edge{From: pe.From, To: pe.To, Label: st.insts[i]})
 		}
-		for _, w := range labels {
-			if !imageFeasible(c, vars[i], w, assign, sigma) {
-				continue
-			}
-			assign[vars[i]] = w
-			if err := rec(i + 1); err != nil {
-				return err
-			}
+		w, ok, err := ecrpq.FindWitness(&ecrpq.Query{Pattern: g}, db, t)
+		if err != nil {
+			return err
 		}
-		delete(assign, vars[i])
+		if !ok {
+			return nil
+		}
+		images := map[string]string{}
+		for x, v := range st.assign {
+			images[x] = v
+		}
+		result = &Explanation{NodeOf: w.NodeOf, Words: w.Words, Images: images}
+		e.stop.Store(true)
 		return nil
 	}
-	if err := rec(0); err != nil && err != errStop {
+	if _, err := e.run(); err != nil {
 		return nil, false, err
 	}
 	return result, result != nil, nil

@@ -1,0 +1,229 @@
+package ecrpq
+
+import (
+	"sort"
+	"sync"
+
+	"cxrpq/internal/engine"
+	"cxrpq/internal/graph"
+	"cxrpq/internal/pattern"
+	"cxrpq/internal/xregex"
+)
+
+// EdgeRel is the materialized binary reachability relation of one classical
+// regular expression over a database: Forward(u) lists (sorted) the nodes v
+// such that some path u→v matches the expression. It is the unit of sharing
+// of the bounded-evaluation engine: exponentially many variable mappings of
+// a CXRPQ^≤k enumeration instantiate the same classical label, and all of
+// them join over the same EdgeRel instead of re-running the product search.
+// An EdgeRel is immutable after RelationFor returns and safe for concurrent
+// readers.
+type EdgeRel struct {
+	fwd  [][]int
+	size int
+
+	revOnce sync.Once
+	rev     [][]int
+}
+
+// RelationFor computes the full relation of label over db, fanning the
+// per-source product searches across the engine worker pool and reusing the
+// process-wide compiled-NFA/subset caches. The ∅ expression short-circuits
+// to the empty relation without touching the automata layer.
+func RelationFor(db *graph.DB, label xregex.Node, sigma []rune) (*EdgeRel, error) {
+	n := db.NumNodes()
+	r := &EdgeRel{fwd: make([][]int, n)}
+	if _, empty := label.(*xregex.Empty); empty {
+		return r, nil
+	}
+	ent, err := compiledFor(label, sigma)
+	if err != nil {
+		return nil, err
+	}
+	ix := db.Index()
+	srcs := make([]int, n)
+	for i := range srcs {
+		srcs[i] = i
+	}
+	res := engine.ReachAll(ix, ent.cache, srcs, true)
+	for u, vs := range res {
+		r.fwd[u] = vs
+		r.size += len(vs)
+	}
+	return r, nil
+}
+
+// Empty reports whether the relation holds for no pair at all.
+func (r *EdgeRel) Empty() bool { return r.size == 0 }
+
+// Size returns the number of pairs in the relation.
+func (r *EdgeRel) Size() int { return r.size }
+
+// NumNodes returns the number of database nodes the relation ranges over.
+func (r *EdgeRel) NumNodes() int { return len(r.fwd) }
+
+// Forward returns the sorted targets reachable from u (caller must not
+// modify).
+func (r *EdgeRel) Forward(u int) []int {
+	if u < 0 || u >= len(r.fwd) {
+		return nil
+	}
+	return r.fwd[u]
+}
+
+// Backward returns the sorted sources that reach v, building the reverse
+// index from the forward lists on first use (no second automaton pass).
+func (r *EdgeRel) Backward(v int) []int {
+	r.revOnce.Do(func() {
+		r.rev = make([][]int, len(r.fwd))
+		for u, vs := range r.fwd {
+			for _, w := range vs {
+				r.rev[w] = append(r.rev[w], u) // u ascending ⇒ lists sorted
+			}
+		}
+	})
+	if v < 0 || v >= len(r.rev) {
+		return nil
+	}
+	return r.rev[v]
+}
+
+// Has reports whether (u, v) is in the relation.
+func (r *EdgeRel) Has(u, v int) bool {
+	ws := r.Forward(u)
+	i := sort.SearchInts(ws, v)
+	return i < len(ws) && ws[i] == v
+}
+
+// JoinOrder returns a greedy edge order for joining g with the node
+// variables of pre already bound: most-bound edges first — the same
+// heuristic as the full evaluator. The order depends only on the pattern and
+// the pre-bound variable set, so callers that join many relation vectors
+// over one pattern (the bounded engine joins one per complete mapping)
+// compute it once.
+func JoinOrder(g *pattern.Graph, pre map[string]int) []int {
+	bound := map[string]bool{}
+	for z := range pre {
+		bound[z] = true
+	}
+	remaining := make([]int, len(g.Edges))
+	for i := range remaining {
+		remaining[i] = i
+	}
+	var order []int
+	for len(remaining) > 0 {
+		best, bestScore := -1, -1
+		for idx, ei := range remaining {
+			e := g.Edges[ei]
+			score := 0
+			if bound[e.From] {
+				score += 2
+			}
+			if bound[e.To] {
+				score++
+			}
+			if score > bestScore {
+				bestScore, best = score, idx
+			}
+		}
+		ei := remaining[best]
+		remaining = append(remaining[:best], remaining[best+1:]...)
+		bound[g.Edges[ei].From], bound[g.Edges[ei].To] = true, true
+		order = append(order, ei)
+	}
+	return order
+}
+
+// JoinRelations runs the backtracking join of a relation-free pattern over
+// precomputed per-edge relations (the leaf step of the bounded-evaluation
+// engine), visiting edges in the given order (see JoinOrder) and enumerating
+// node variables from the relation rows. pre pre-binds node variables
+// (Check-style); with boolOnly the join stops at the first complete
+// assignment.
+func JoinRelations(g *pattern.Graph, rels []*EdgeRel, order []int, pre map[string]int, boolOnly bool) *pattern.TupleSet {
+	out := pattern.NewTupleSet()
+	assign := map[string]int{}
+	for z, v := range pre {
+		assign[z] = v
+	}
+	stop := false
+	var rec func(ci int)
+	rec = func(ci int) {
+		if stop {
+			return
+		}
+		if ci == len(order) {
+			t := make(pattern.Tuple, len(g.Out))
+			for i, z := range g.Out {
+				v, ok := assign[z]
+				if !ok {
+					return // output var not constrained; Validate prevents this
+				}
+				t[i] = v
+			}
+			out.Add(t)
+			if boolOnly {
+				stop = true
+			}
+			return
+		}
+		ei := order[ci]
+		e := g.Edges[ei]
+		r := rels[ei]
+		u, uok := assign[e.From]
+		v, vok := assign[e.To]
+		switch {
+		case uok && vok:
+			if r.Has(u, v) {
+				rec(ci + 1)
+			}
+		case uok:
+			for _, w := range r.Forward(u) {
+				assign[e.To] = w
+				rec(ci + 1)
+				if stop {
+					break
+				}
+			}
+			delete(assign, e.To)
+		case vok:
+			for _, w := range r.Backward(v) {
+				assign[e.From] = w
+				rec(ci + 1)
+				if stop {
+					break
+				}
+			}
+			delete(assign, e.From)
+		default:
+			for u := 0; u < r.NumNodes(); u++ {
+				if stop {
+					break
+				}
+				if e.From == e.To {
+					if r.Has(u, u) {
+						assign[e.From] = u
+						rec(ci + 1)
+					}
+					continue
+				}
+				ws := r.Forward(u)
+				if len(ws) == 0 {
+					continue
+				}
+				assign[e.From] = u
+				for _, w := range ws {
+					assign[e.To] = w
+					rec(ci + 1)
+					if stop {
+						break
+					}
+				}
+				delete(assign, e.To)
+			}
+			delete(assign, e.From)
+		}
+	}
+	rec(0)
+	return out
+}

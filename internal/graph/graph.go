@@ -8,6 +8,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math/bits"
 	"sort"
 	"strings"
 	"sync"
@@ -165,45 +166,57 @@ func (d *DB) HasPath(u int, word string, v int) bool {
 
 // PathLabels returns the set of distinct words of length ≤ maxLen that
 // label at least one path in D, capped at maxWords entries (<= 0 means
-// unlimited). Used for candidate pruning in the CXRPQ^≤k evaluation: every
-// variable image must label a path of D.
+// unlimited), in length-then-lexicographic order. Used for candidate
+// pruning in the CXRPQ^≤k evaluation: every variable image must label a
+// path of D.
+//
+// The walk is level-synchronous over the label-indexed CSR view: each live
+// word carries one bitset of end nodes, and a word's extensions come from
+// the per-symbol adjacency spans of its set bits. Words within a level are
+// pairwise distinct by construction (a parent word has exactly one
+// extension per symbol), and since parents are lexicographically ordered
+// and symbol ids are interned from the sorted alphabet, each level is
+// emitted already sorted.
 func (d *DB) PathLabels(maxLen, maxWords int) []string {
+	out := []string{""}
+	n := d.NumNodes()
+	if maxLen <= 0 || n == 0 {
+		return out
+	}
+	ix := d.Index()
+	nSyms := ix.NumSyms()
+	words := (n + 63) / 64
 	type cfg struct {
 		word  string
-		nodes map[int]bool
+		nodes []uint64
 	}
-	all := map[int]bool{}
-	for i := 0; i < d.NumNodes(); i++ {
-		all[i] = true
+	all := make([]uint64, words)
+	for u := 0; u < n; u++ {
+		all[u/64] |= 1 << (u % 64)
 	}
 	level := []cfg{{"", all}}
-	out := []string{""}
-	for length := 1; length <= maxLen; length++ {
+	for length := 1; length <= maxLen && len(level) > 0; length++ {
 		var next []cfg
-		byWord := map[string]int{}
 		for _, c := range level {
-			bySym := map[rune]map[int]bool{}
-			for u := range c.nodes {
-				for _, e := range d.out[u] {
-					if bySym[e.Label] == nil {
-						bySym[e.Label] = map[int]bool{}
+			for s := int32(0); s < int32(nSyms); s++ {
+				var nb []uint64
+				for wi, bs := range c.nodes {
+					for bs != 0 {
+						u := wi*64 + bits.TrailingZeros64(bs)
+						bs &= bs - 1
+						for _, v := range ix.OutByID(u, s) {
+							if nb == nil {
+								nb = make([]uint64, words)
+							}
+							nb[v/64] |= 1 << (uint(v) % 64)
+						}
 					}
-					bySym[e.Label][e.To] = true
 				}
-			}
-			for r, nodes := range bySym {
-				w := c.word + string(r)
-				if i, ok := byWord[w]; ok {
-					for n := range nodes {
-						next[i].nodes[n] = true
-					}
-					continue
+				if nb != nil {
+					next = append(next, cfg{c.word + string(ix.Sym(s)), nb})
 				}
-				byWord[w] = len(next)
-				next = append(next, cfg{w, nodes})
 			}
 		}
-		sort.Slice(next, func(i, j int) bool { return next[i].word < next[j].word })
 		for _, c := range next {
 			out = append(out, c.word)
 			if maxWords > 0 && len(out) >= maxWords {
@@ -213,6 +226,41 @@ func (d *DB) PathLabels(maxLen, maxWords int) []string {
 		level = next
 	}
 	return out
+}
+
+// HasPathOfLen reports whether D contains a path of exactly n edges (and
+// hence of every shorter length). It is the single-pass frontier sweep that
+// replaces comparing PathLabels(n) against PathLabels(n-1): only node
+// bitsets are propagated, no words are materialized.
+func (d *DB) HasPathOfLen(n int) bool {
+	if n <= 0 {
+		return d.NumNodes() > 0 // length-0 paths exist at every node
+	}
+	nn := d.NumNodes()
+	words := (nn + 63) / 64
+	cur := make([]uint64, words)
+	for u := 0; u < nn; u++ {
+		cur[u/64] |= 1 << (u % 64)
+	}
+	for step := 0; step < n; step++ {
+		next := make([]uint64, words)
+		any := false
+		for wi, bs := range cur {
+			for bs != 0 {
+				u := wi*64 + bits.TrailingZeros64(bs)
+				bs &= bs - 1
+				for _, e := range d.out[u] {
+					next[e.To/64] |= 1 << (uint(e.To) % 64)
+					any = true
+				}
+			}
+		}
+		if !any {
+			return false
+		}
+		cur = next
+	}
+	return true
 }
 
 // Write serialises the database in the textual format accepted by Read:

@@ -94,6 +94,51 @@ func TestPathLabels(t *testing.T) {
 	}
 }
 
+func TestPathLabelsOrdered(t *testing.T) {
+	// length-then-lexicographic order, ε first (the bitset walk must emit
+	// each level already sorted)
+	d := MustParse("a x b\nb y c\nc x a\na z c")
+	labels := d.PathLabels(2, 0)
+	for i := 1; i < len(labels); i++ {
+		a, b := labels[i-1], labels[i]
+		if len(a) > len(b) || (len(a) == len(b) && a >= b) {
+			t.Fatalf("labels out of order at %d: %q before %q (all: %v)", i, a, b, labels)
+		}
+	}
+}
+
+func TestHasPathOfLen(t *testing.T) {
+	// chain of 3 edges: paths of every length up to 3, none longer
+	d := MustParse("n0 a n1\nn1 b n2\nn2 a n3")
+	for n := 0; n <= 3; n++ {
+		if !d.HasPathOfLen(n) {
+			t.Errorf("chain has a path of length %d", n)
+		}
+	}
+	if d.HasPathOfLen(4) {
+		t.Error("chain has no path of length 4")
+	}
+	// a cycle has paths of every length
+	c := MustParse("a x b\nb x a")
+	if !c.HasPathOfLen(100) {
+		t.Error("cycle has paths of every length")
+	}
+	// agree with the PathLabels-growth definition
+	for n := 1; n <= 5; n++ {
+		want := len(d.PathLabels(n, 0)) > len(d.PathLabels(n-1, 0))
+		if got := d.HasPathOfLen(n); got != want {
+			t.Errorf("HasPathOfLen(%d) = %v, PathLabels growth says %v", n, got, want)
+		}
+	}
+	empty := New()
+	if empty.HasPathOfLen(1) {
+		t.Error("empty graph has no paths")
+	}
+	if !MustParse("a x a").HasPathOfLen(0) {
+		t.Error("length-0 paths exist at every node")
+	}
+}
+
 func TestPathWordsBetween(t *testing.T) {
 	d := MustParse("a x b\nb y c\na z c")
 	ai, _ := d.Lookup("a")

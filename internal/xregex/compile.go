@@ -123,13 +123,19 @@ func build(m *automata.NFA, n Node, from, to int, sigma []rune) error {
 }
 
 // Matches reports whether the classical expression n matches w, resolving
-// classes against sigma.
+// classes against sigma. Compiled automata are shared through the
+// process-wide cache (see matchcache.go) and the word runs through the
+// interned deterministic transition table.
 func Matches(n Node, w string, sigma []rune) (bool, error) {
-	m, err := Compile(n, sigma)
+	c, err := subsetFor(n, sigma)
 	if err != nil {
 		return false, err
 	}
-	return m.AcceptsString(w), nil
+	word := make([]int32, 0, len(w))
+	for _, r := range w {
+		word = append(word, int32(r))
+	}
+	return c.Accepts(word), nil
 }
 
 // MergeAlphabets unions rune alphabets, sorted and deduplicated.

@@ -1,0 +1,54 @@
+package xregex
+
+import (
+	"sync"
+
+	"cxrpq/internal/automata"
+)
+
+// This file backs Matches with a process-wide bounded cache of compiled
+// classical expressions and their subset-construction caches. Membership
+// tests are the innermost primitive of the Lemma 10 instantiation machinery
+// (CutFailedDefs runs one per definition per variable mapping) and of the
+// Theorem 6 candidate filters, and the same small expressions recur across
+// the exponentially many mappings of a bounded enumeration — compiling a
+// fresh Thompson NFA per call dominated those paths. Entries are keyed by
+// the canonical print plus the alphabet, so the determinization work warmed
+// by one caller is shared by every concurrent one.
+
+// matchCacheCap bounds the process-wide cache; on overflow the whole epoch
+// is dropped (cheap, and correct because entries are pure caches).
+const matchCacheCap = 4096
+
+var (
+	matchMu    sync.Mutex
+	matchCache = map[string]*automata.SubsetCache{}
+)
+
+// subsetFor returns the shared determinization cache for the classical
+// expression n over sigma, compiling it on first use.
+func subsetFor(n Node, sigma []rune) (*automata.SubsetCache, error) {
+	key := String(n) + "\x00" + string(sigma)
+	matchMu.Lock()
+	if c, ok := matchCache[key]; ok {
+		matchMu.Unlock()
+		return c, nil
+	}
+	matchMu.Unlock()
+
+	m, err := Compile(n, sigma)
+	if err != nil {
+		return nil, err
+	}
+	c := automata.NewSubsetCache(m)
+	matchMu.Lock()
+	defer matchMu.Unlock()
+	if old, ok := matchCache[key]; ok { // raced with another compiler
+		return old, nil
+	}
+	if len(matchCache) >= matchCacheCap {
+		matchCache = map[string]*automata.SubsetCache{}
+	}
+	matchCache[key] = c
+	return c, nil
+}
