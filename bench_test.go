@@ -264,6 +264,50 @@ func BenchmarkEngineReachAll(b *testing.B) {
 	}
 }
 
+// BenchmarkPreparedReuse measures the prepared-query subsystem on the
+// E2/E6/E9 workloads: "oneshot" re-prepares and re-derives everything per
+// iteration, "prepared" binds a Session once and re-evaluates through its
+// caches. The acceptance floor for PR 3 is prepared ≥ 1.5x faster on every
+// workload (see E19 in BENCH_engine.json for the recorded ratios).
+func BenchmarkPreparedReuse(b *testing.B) {
+	items, err := exp.PreparedReuseItems(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, it := range items {
+		b.Run(it.Name+"/oneshot", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := it.OneShot(it.Query, it.DB); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(it.Name+"/prepared", func(b *testing.B) {
+			sess := cxrpq.MustPrepare(it.Query).Bind(it.DB)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := it.Session(sess); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		// Result cache disabled: isolates the structural reuse (plan +
+		// relation/feasibility caches), so a regression there cannot hide
+		// behind whole-result cache hits.
+		b.Run(it.Name+"/prepared-norc", func(b *testing.B) {
+			sess := cxrpq.MustPrepare(it.Query).BindOpts(it.DB, cxrpq.SessionOptions{ResultCacheCap: -1})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := it.Session(sess); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkE19PreparedReuse(b *testing.B) { benchTable(b, exp.E19PreparedReuse) }
+
 // TestEmitBenchJSON writes the machine-readable experiment benchmark report
 // when BENCH_JSON names an output path (e.g. BENCH_JSON=BENCH_engine.json
 // go test -run TestEmitBenchJSON .), the same format cxrpq-exp -json emits.

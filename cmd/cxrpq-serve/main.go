@@ -1,0 +1,67 @@
+// Command cxrpq-serve is a concurrent CXRPQ evaluation server over the
+// prepared-query subsystem (cxrpq.Prepare / Plan.Bind / Session): an
+// HTTP/JSON front-end with a per-database session pool, automatic session
+// invalidation on database updates, and a bounded in-flight limiter.
+//
+// Usage:
+//
+//	cxrpq-serve [-addr :8080] [-db name=path]... [-inflight 64] [-sessions 128]
+//
+// Databases are the textual graph format (one "from label to" triple per
+// line); requests may alternatively carry an inline graph. Quickstart:
+//
+//	cxrpq-serve -addr :8080 &
+//	curl -s localhost:8080/query -d '{
+//	  "graph": "u a v\nu a w",
+//	  "query": "ans()\nu1 v1 : $x{a|b}\nu1 w1 : $x",
+//	  "mode": "bool"
+//	}'
+//
+// See internal/README.md for the endpoint reference.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"cxrpq/internal/graph"
+)
+
+type dbFlags []string
+
+func (d *dbFlags) String() string     { return fmt.Sprint([]string(*d)) }
+func (d *dbFlags) Set(v string) error { *d = append(*d, v); return nil }
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	inflight := flag.Int("inflight", 64, "max concurrent query/update requests (excess is shed with 429)")
+	sessions := flag.Int("sessions", 128, "pooled prepared sessions per database")
+	var dbs dbFlags
+	flag.Var(&dbs, "db", "named database as name=path (repeatable)")
+	flag.Parse()
+
+	srv := newServer(serverOptions{maxInflight: *inflight, sessionCap: *sessions})
+	for _, v := range dbs {
+		name, path, err := parseDBFlag(v)
+		if err != nil {
+			log.Fatal(err)
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			log.Fatalf("open %s: %v", path, err)
+		}
+		db, err := graph.Read(f)
+		f.Close()
+		if err != nil {
+			log.Fatalf("parse %s: %v", path, err)
+		}
+		srv.addDB(name, db)
+		log.Printf("loaded db %q: %d nodes, %d edges", name, db.NumNodes(), db.NumEdges())
+	}
+
+	log.Printf("cxrpq-serve listening on %s (%d dbs, inflight=%d)", *addr, len(dbs), *inflight)
+	log.Fatal(http.ListenAndServe(*addr, srv.handler()))
+}

@@ -1,0 +1,187 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"cxrpq/internal/graph"
+)
+
+func testServer(t *testing.T) (*server, *httptest.Server) {
+	t.Helper()
+	srv := newServer(serverOptions{maxInflight: 8, sessionCap: 16})
+	srv.addDB("g1", graph.MustParse("u a v\nu a w\nv b w"))
+	ts := httptest.NewServer(srv.handler())
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+func postJSON(t *testing.T, url, body string) (int, map[string]any) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	return resp.StatusCode, out
+}
+
+func TestQueryEvalNamedDB(t *testing.T) {
+	srv, ts := testServer(t)
+	body := `{"db":"g1","query":"ans(x, y)\nx y : a"}`
+	code, out := postJSON(t, ts.URL+"/query", body)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %v", code, out)
+	}
+	if out["count"].(float64) != 2 {
+		t.Fatalf("count = %v, want 2", out["count"])
+	}
+	if out["fragment"] != "CRPQ" {
+		t.Fatalf("fragment = %v", out["fragment"])
+	}
+	// The same query again must be served by the pooled session.
+	code, _ = postJSON(t, ts.URL+"/query", body)
+	if code != http.StatusOK {
+		t.Fatal("second query failed")
+	}
+	e, _ := srv.entry("g1")
+	e.sessMu.Lock()
+	n := len(e.sessions)
+	e.sessMu.Unlock()
+	if n != 1 {
+		t.Fatalf("session pool has %d entries, want 1", n)
+	}
+}
+
+func TestQueryVariableAndModes(t *testing.T) {
+	_, ts := testServer(t)
+	// string-variable query, Boolean mode
+	code, out := postJSON(t, ts.URL+"/query",
+		`{"db":"g1","query":"ans()\nu1 v1 : $x{a|b}\nu1 w1 : $x","mode":"bool"}`)
+	if code != http.StatusOK || out["bool"] != true {
+		t.Fatalf("bool query: %d %v", code, out)
+	}
+	// check mode with a tuple of node names
+	code, out = postJSON(t, ts.URL+"/query",
+		`{"db":"g1","query":"ans(x, y)\nx y : a","mode":"check","tuple":["u","v"]}`)
+	if code != http.StatusOK || out["bool"] != true {
+		t.Fatalf("check member: %d %v", code, out)
+	}
+	code, out = postJSON(t, ts.URL+"/query",
+		`{"db":"g1","query":"ans(x, y)\nx y : a","mode":"check","tuple":["v","u"]}`)
+	if code != http.StatusOK || out["bool"] != false {
+		t.Fatalf("check non-member: %d %v", code, out)
+	}
+	// explain mode
+	code, out = postJSON(t, ts.URL+"/query",
+		`{"db":"g1","query":"ans()\nu1 v1 : $x{a|b}\nu1 w1 : $x","mode":"explain"}`)
+	if code != http.StatusOK || out["bool"] != true || out["explanation"] == nil {
+		t.Fatalf("explain: %d %v", code, out)
+	}
+	// bounded semantics on a general-fragment query
+	code, out = postJSON(t, ts.URL+"/query",
+		`{"db":"g1","query":"ans()\nu1 v1 : $x{a|b}\nv1 w1 : $x+b?","semantics":"bounded","k":2,"mode":"bool"}`)
+	if code != http.StatusOK {
+		t.Fatalf("bounded: %d %v", code, out)
+	}
+}
+
+func TestQueryInlineGraph(t *testing.T) {
+	_, ts := testServer(t)
+	code, out := postJSON(t, ts.URL+"/query",
+		`{"graph":"s a t","query":"ans(x, y)\nx y : a"}`)
+	if code != http.StatusOK || out["count"].(float64) != 1 {
+		t.Fatalf("inline graph: %d %v", code, out)
+	}
+	answers := out["answers"].([]any)
+	row := answers[0].([]any)
+	if row[0] != "s" || row[1] != "t" {
+		t.Fatalf("answers = %v", answers)
+	}
+}
+
+func TestQueryErrors(t *testing.T) {
+	_, ts := testServer(t)
+	for _, tc := range []struct {
+		body string
+		code int
+	}{
+		{`{"query":"ans()\nx y : a"}`, http.StatusBadRequest},                                    // no db/graph
+		{`{"db":"nope","query":"ans()\nx y : a"}`, http.StatusNotFound},                          // unknown db
+		{`{"db":"g1","query":"not a query"}`, http.StatusBadRequest},                             // parse error
+		{`{"db":"g1","query":"ans()\nx y : a","mode":"zap"}`, http.StatusBadRequest},             // bad mode
+		{`{"db":"g1","query":"ans()\nx y : a","semantics":"bounded"}`, http.StatusBadRequest},    // k missing
+		{`{"db":"g1","query":"ans()\nx y : $x{a|b}($x)+","mode":"bool"}`, http.StatusBadRequest}, // general fragment without bounded/log
+	} {
+		code, out := postJSON(t, ts.URL+"/query", tc.body)
+		if code != tc.code {
+			t.Errorf("%s: status %d (%v), want %d", tc.body, code, out, tc.code)
+		}
+	}
+}
+
+func TestUpdateInvalidatesSessions(t *testing.T) {
+	_, ts := testServer(t)
+	q := `{"db":"g1","query":"ans(x, y)\nx y : b"}`
+	code, out := postJSON(t, ts.URL+"/query", q)
+	if code != http.StatusOK || out["count"].(float64) != 1 {
+		t.Fatalf("before update: %d %v", code, out)
+	}
+	code, out = postJSON(t, ts.URL+"/update", `{"db":"g1","edges":"w b u\nu b z"}`)
+	if code != http.StatusOK {
+		t.Fatalf("update: %d %v", code, out)
+	}
+	code, out = postJSON(t, ts.URL+"/query", q)
+	if code != http.StatusOK || out["count"].(float64) != 3 {
+		t.Fatalf("after update: %d %v (want count 3)", code, out)
+	}
+}
+
+func TestInflightLimiter(t *testing.T) {
+	srv, ts := testServer(t)
+	// Fill every admission slot, then any query must be shed with 429.
+	for i := 0; i < srv.opts.maxInflight; i++ {
+		srv.inflight <- struct{}{}
+	}
+	code, out := postJSON(t, ts.URL+"/query", `{"db":"g1","query":"ans()\nx y : a"}`)
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("status %d (%v), want 429", code, out)
+	}
+	for i := 0; i < srv.opts.maxInflight; i++ {
+		<-srv.inflight
+	}
+	code, _ = postJSON(t, ts.URL+"/query", `{"db":"g1","query":"ans()\nx y : a"}`)
+	if code != http.StatusOK {
+		t.Fatalf("after release: status %d", code)
+	}
+}
+
+func TestHealthzAndStats(t *testing.T) {
+	_, ts := testServer(t)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %v %v", err, resp)
+	}
+	resp.Body.Close()
+	postJSON(t, ts.URL+"/query", `{"db":"g1","query":"ans()\nx y : a","mode":"bool"}`)
+	resp, err = http.Get(ts.URL + "/stats")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats: %v %v", err, resp)
+	}
+	var st map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	dbs := st["dbs"].([]any)
+	if len(dbs) != 1 || dbs[0].(map[string]any)["name"] != "g1" {
+		t.Fatalf("stats dbs = %v", dbs)
+	}
+}

@@ -1,0 +1,435 @@
+package main
+
+// The HTTP/JSON front-end over the prepared-query subsystem: named graph
+// databases are loaded at startup (or mutated through /update), and every
+// (database, query text) pair is served by a pooled cxrpq.Session, so
+// repeated queries reuse the compiled plan and the per-database relation
+// caches. A bounded in-flight limiter sheds load with 429 instead of
+// queueing unboundedly; session invalidation after /update is automatic
+// (sessions observe the graph.DB revision bump).
+//
+//	POST /query   {"db":"g1","query":"ans(x,y)\nx y : a","mode":"eval"}
+//	POST /update  {"db":"g1","edges":"u a v\nv b w"}
+//	GET  /healthz
+//	GET  /stats
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"cxrpq/internal/cxrpq"
+	"cxrpq/internal/graph"
+	"cxrpq/internal/pattern"
+	"cxrpq/internal/xregex"
+)
+
+type serverOptions struct {
+	maxInflight int // concurrent /query+/update requests admitted
+	sessionCap  int // pooled sessions per database
+}
+
+func defaultOptions() serverOptions {
+	return serverOptions{maxInflight: 64, sessionCap: 128}
+}
+
+// dbEntry is one named database with its session pool. Queries hold the
+// read lock; /update holds the write lock, so mutations are quiescent with
+// respect to evaluations (the Session invalidation contract).
+type dbEntry struct {
+	name string
+
+	mu sync.RWMutex
+	db *graph.DB
+
+	sessMu   sync.Mutex
+	sessions map[string]*cxrpq.Session // query text -> bound session
+}
+
+// session returns the pooled session for a query text, preparing and
+// binding it on first use. The pool is bounded: on overflow the whole pool
+// is dropped (sessions are pure caches).
+func (e *dbEntry) session(src string, cap int) (*cxrpq.Session, error) {
+	e.sessMu.Lock()
+	if s, ok := e.sessions[src]; ok {
+		e.sessMu.Unlock()
+		return s, nil
+	}
+	e.sessMu.Unlock()
+	// Compile outside the lock: preparing a plan walks the whole query, and
+	// holding sessMu through it would serialize pooled lookups behind it.
+	p, err := cxrpq.PrepareSrc(src)
+	if err != nil {
+		return nil, err
+	}
+	e.sessMu.Lock()
+	defer e.sessMu.Unlock()
+	if s, ok := e.sessions[src]; ok { // raced with another compiler
+		return s, nil
+	}
+	if len(e.sessions) >= cap {
+		e.sessions = map[string]*cxrpq.Session{}
+	}
+	s := p.Bind(e.db)
+	e.sessions[src] = s
+	return s, nil
+}
+
+type server struct {
+	opts     serverOptions
+	inflight chan struct{}
+	start    time.Time
+
+	mu  sync.Mutex
+	dbs map[string]*dbEntry
+}
+
+func newServer(opts serverOptions) *server {
+	if opts.maxInflight <= 0 {
+		opts.maxInflight = defaultOptions().maxInflight
+	}
+	if opts.sessionCap <= 0 {
+		opts.sessionCap = defaultOptions().sessionCap
+	}
+	return &server{
+		opts:     opts,
+		inflight: make(chan struct{}, opts.maxInflight),
+		start:    time.Now(),
+		dbs:      map[string]*dbEntry{},
+	}
+}
+
+// addDB registers a named database.
+func (s *server) addDB(name string, db *graph.DB) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.dbs[name] = &dbEntry{name: name, db: db, sessions: map[string]*cxrpq.Session{}}
+}
+
+func (s *server) entry(name string) (*dbEntry, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.dbs[name]
+	return e, ok
+}
+
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", s.limited(s.handleQuery))
+	mux.HandleFunc("/update", s.limited(s.handleUpdate))
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/stats", s.handleStats)
+	return mux
+}
+
+// limited wraps a handler with the bounded in-flight admission gate: when
+// maxInflight requests are already running, the request is shed with 429
+// rather than queued.
+func (s *server) limited(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case s.inflight <- struct{}{}:
+			defer func() { <-s.inflight }()
+			h(w, r)
+		default:
+			writeErr(w, http.StatusTooManyRequests, fmt.Errorf("server busy: %d requests in flight", s.opts.maxInflight))
+		}
+	}
+}
+
+type queryRequest struct {
+	DB        string   `json:"db,omitempty"`        // named database, or
+	Graph     string   `json:"graph,omitempty"`     // inline graph (one "from label to" per line)
+	Query     string   `json:"query"`               // textual CXRPQ
+	Mode      string   `json:"mode,omitempty"`      // eval (default) | bool | check | explain
+	Semantics string   `json:"semantics,omitempty"` // auto (default) | bounded | log
+	K         *int     `json:"k,omitempty"`         // image bound, required for semantics=bounded (k ≥ 0)
+	Tuple     []string `json:"tuple,omitempty"`     // node names (check/explain)
+}
+
+type explanationJSON struct {
+	Nodes  map[string]string `json:"nodes"`            // node variable -> node name
+	Words  []string          `json:"words"`            // per query edge
+	Images map[string]string `json:"images,omitempty"` // string variable -> image
+}
+
+type queryResponse struct {
+	Fragment    string           `json:"fragment"`
+	Count       int              `json:"count"`
+	Answers     [][]string       `json:"answers,omitempty"`
+	Bool        *bool            `json:"bool,omitempty"`
+	Explanation *explanationJSON `json:"explanation,omitempty"`
+	ElapsedMS   float64          `json:"elapsed_ms"`
+}
+
+type errResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errResponse{Error: err.Error()})
+}
+
+func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
+		return
+	}
+	var req queryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad request body: %v", err))
+		return
+	}
+	if req.Query == "" {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("missing query"))
+		return
+	}
+
+	// Resolve the database: a pooled named one, or an inline one-off graph.
+	var sess *cxrpq.Session
+	var db *graph.DB
+	var unlock func()
+	switch {
+	case req.DB != "" && req.Graph != "":
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("give either db or graph, not both"))
+		return
+	case req.DB != "":
+		e, ok := s.entry(req.DB)
+		if !ok {
+			writeErr(w, http.StatusNotFound, fmt.Errorf("unknown db %q", req.DB))
+			return
+		}
+		e.mu.RLock()
+		unlock = e.mu.RUnlock
+		db = e.db
+		var err error
+		sess, err = e.session(req.Query, s.opts.sessionCap)
+		if err != nil {
+			unlock()
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+	case req.Graph != "":
+		var err error
+		db, err = graph.Parse(req.Graph)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		p, err := cxrpq.PrepareSrc(req.Query)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		sess = p.Bind(db)
+		unlock = func() {}
+	default:
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("missing db or graph"))
+		return
+	}
+	defer unlock()
+
+	sem, k, err := resolveSemantics(req.Semantics, req.K)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	op := req.Mode
+	if op == "" {
+		op = "eval"
+	}
+	switch op {
+	case "eval", "bool", "check", "explain":
+	default:
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("unknown mode %q", op))
+		return
+	}
+	var tuple pattern.Tuple
+	if op == "check" || (op == "explain" && len(req.Tuple) > 0) {
+		tuple = make(pattern.Tuple, len(req.Tuple))
+		for i, name := range req.Tuple {
+			id, ok := db.Lookup(name)
+			if !ok {
+				writeErr(w, http.StatusBadRequest, fmt.Errorf("unknown node %q", name))
+				return
+			}
+			tuple[i] = id
+		}
+	}
+
+	start := time.Now()
+	resp := sess.Do(cxrpq.Request{Op: op, Semantics: sem, K: k, Tuple: tuple})
+	if resp.Err != nil {
+		writeErr(w, http.StatusBadRequest, resp.Err)
+		return
+	}
+	out := queryResponse{
+		Fragment:  sess.Fragment(),
+		ElapsedMS: float64(time.Since(start).Microseconds()) / 1000,
+	}
+	switch op {
+	case "eval":
+		out.Count = resp.Tuples.Len()
+		for _, t := range resp.Tuples.Sorted() {
+			row := make([]string, len(t))
+			for i, v := range t {
+				row[i] = db.Name(v)
+			}
+			out.Answers = append(out.Answers, row)
+		}
+	case "bool", "check":
+		b := resp.OK
+		out.Bool = &b
+		if b {
+			out.Count = 1
+		}
+	case "explain":
+		b := resp.OK
+		out.Bool = &b
+		if resp.Explanation != nil {
+			ex := &explanationJSON{Nodes: map[string]string{}, Words: resp.Explanation.Words, Images: resp.Explanation.Images}
+			for v, id := range resp.Explanation.NodeOf {
+				ex.Nodes[v] = db.Name(id)
+			}
+			out.Explanation = ex
+			out.Count = 1
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// resolveSemantics validates the request's semantics/k pair and maps it
+// onto a Session batch-request: a k is accepted exactly when
+// semantics=bounded, where any k ≥ 0 is legal (k = 0 restricts images to ε).
+func resolveSemantics(semantics string, k *int) (string, int, error) {
+	switch semantics {
+	case "", "auto":
+		if k != nil {
+			return "", 0, fmt.Errorf("k requires semantics=bounded")
+		}
+		return "auto", 0, nil
+	case "bounded":
+		if k == nil || *k < 0 {
+			return "", 0, fmt.Errorf("semantics=bounded requires k >= 0")
+		}
+		return "bounded", *k, nil
+	case "log":
+		if k != nil {
+			return "", 0, fmt.Errorf("k requires semantics=bounded")
+		}
+		return "log", 0, nil
+	default:
+		return "", 0, fmt.Errorf("unknown semantics %q", semantics)
+	}
+}
+
+type updateRequest struct {
+	DB    string `json:"db"`
+	Edges string `json:"edges"` // one "from label to" per line; nodes created as needed
+}
+
+type updateResponse struct {
+	DB       string `json:"db"`
+	Revision uint64 `json:"revision"`
+	Nodes    int    `json:"nodes"`
+	Edges    int    `json:"edges"`
+}
+
+func (s *server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
+		return
+	}
+	var req updateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad request body: %v", err))
+		return
+	}
+	e, ok := s.entry(req.DB)
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("unknown db %q", req.DB))
+		return
+	}
+	add, err := graph.Parse(req.Edges)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	// Apply under the write lock: no query is in flight, so the sessions'
+	// revision check on their next call safely drops the stale caches.
+	e.mu.Lock()
+	for u := 0; u < add.NumNodes(); u++ {
+		for _, edge := range add.Out(u) {
+			e.db.AddEdgeNames(add.Name(edge.From), edge.Label, add.Name(edge.To))
+		}
+	}
+	resp := updateResponse{DB: e.name, Revision: e.db.Revision(), Nodes: e.db.NumNodes(), Edges: e.db.NumEdges()}
+	e.mu.Unlock()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":    "ok",
+		"uptime_ms": float64(time.Since(s.start).Microseconds()) / 1000,
+	})
+}
+
+type dbStats struct {
+	Name     string `json:"name"`
+	Nodes    int    `json:"nodes"`
+	Edges    int    `json:"edges"`
+	Revision uint64 `json:"revision"`
+	Sessions int    `json:"sessions"`
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	names := make([]string, 0, len(s.dbs))
+	for name := range s.dbs {
+		names = append(names, name)
+	}
+	s.mu.Unlock()
+	sort.Strings(names)
+	var dbs []dbStats
+	for _, name := range names {
+		e, ok := s.entry(name)
+		if !ok {
+			continue
+		}
+		e.mu.RLock()
+		st := dbStats{Name: e.name, Nodes: e.db.NumNodes(), Edges: e.db.NumEdges(), Revision: e.db.Revision()}
+		e.mu.RUnlock()
+		e.sessMu.Lock()
+		st.Sessions = len(e.sessions)
+		e.sessMu.Unlock()
+		dbs = append(dbs, st)
+	}
+	mc := xregex.MatchCacheInfo()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"dbs":         dbs,
+		"match_cache": map[string]any{"hits": mc.Hits, "misses": mc.Misses, "size": mc.Size},
+		"inflight":    len(s.inflight),
+	})
+}
+
+// parseDBFlag splits a -db flag value "name=path".
+func parseDBFlag(v string) (name, path string, err error) {
+	i := strings.IndexByte(v, '=')
+	if i <= 0 || i == len(v)-1 {
+		return "", "", fmt.Errorf("bad -db value %q, want name=path", v)
+	}
+	return v[:i], v[i+1:], nil
+}

@@ -28,16 +28,32 @@
 //	                     form (Lemmas 4-6, 8), translations (Lemmas 12-14);
 //	                     bounded.go is the prefix-incremental CXRPQ^≤k
 //	                     engine (shared atom-relation cache, relaxed-atom
-//	                     subtree pruning, parallel mapping enumeration)
+//	                     subtree pruning, parallel mapping enumeration);
+//	                     plan.go/session.go are the prepared-query
+//	                     subsystem: Prepare(q) compiles an immutable Plan
+//	                     (fragment class, bounded schedule, fragment
+//	                     translations), Plan.Bind(db) yields a
+//	                     concurrency-safe Session owning the per-database
+//	                     caches (atom relations, feasibility memo, result
+//	                     cache) with revision-checked invalidation; every
+//	                     one-shot entry point is a thin wrapper over them
 //	internal/oracle      brute-force reference implementations backing the
 //	                     conformance tests
 //	internal/reductions  executable hardness reductions (Thms 1/3/7)
 //	internal/separations Figure 5 separating queries and witness families
-//	internal/workload    synthetic graph generators
-//	internal/exp         the E1-E18 experiment harness (see DESIGN.md)
+//	internal/workload    synthetic graph generators and the random query
+//	                     generator (RandomQuery) behind the differential
+//	                     fuzz harness
+//	internal/exp         the E1-E19 experiment harness (see DESIGN.md)
 //
-// internal/README.md describes the architecture of the hot path. bench_test.go
-// in this directory exposes every experiment as a Go benchmark; cmd/cxrpq-exp
-// prints the tables recorded in EXPERIMENTS.md and, with -json, emits the
-// machine-readable benchmark report tracked as BENCH_engine.json.
+// cmd/cxrpq-serve is the concurrent HTTP/JSON evaluation server over the
+// prepared-query subsystem: a per-database pool of prepared sessions, a
+// bounded in-flight limiter, and /update mutations with automatic session
+// invalidation (see the quickstart in internal/README.md).
+//
+// internal/README.md describes the architecture of the hot path and the
+// Plan/Session lifecycle. bench_test.go in this directory exposes every
+// experiment as a Go benchmark; cmd/cxrpq-exp prints the tables recorded in
+// EXPERIMENTS.md and, with -json, emits the machine-readable benchmark
+// report tracked as BENCH_engine.json.
 package repro

@@ -32,37 +32,36 @@ import (
 //  3. A complete mapping then needs only a join over the cached relations
 //     (ecrpq.JoinRelations), not a fresh CRPQ evaluation.
 //
+// Since PR 3 the engine is split along the prepared-query boundary
+// (plan.go / session.go): boundedPlan holds everything derivable from the
+// query alone (the ≺-topological order and the instantiation/pruning/check
+// schedule), computed once by Prepare; sessionCaches holds the per-database
+// memos (atom relations, feasibility verdicts, path-label candidates),
+// owned by a Session and shared across calls and across concurrent engine
+// runs. A boundedEngine is the cheap per-call object tying one run's
+// enumeration state and result sink to those two.
+//
 // Disjoint enumeration subtrees are fanned across the engine worker pool
-// with the same stop-flag short-circuit protocol as evalVsf.
+// with the same stop-flag short-circuit protocol as the vstar-free path.
 //
 // EvalBoundedNaive (eval.go) remains the literal Theorem 6 rendering and the
 // differential baseline: the two must agree on full tuple sets.
 
 const (
-	// boundedRelCap bounds the session relation cache; on overflow the
-	// whole epoch is dropped (entries are pure caches).
-	boundedRelCap = 8192
-	// boundedFeasCap bounds the session feasibility memo.
-	boundedFeasCap = 1 << 16
 	// boundedMaxJobs caps the number of enumeration-prefix jobs generated
 	// for the parallel fan-out.
 	boundedMaxJobs = 4096
 )
 
-// boundedEngine holds the per-evaluation immutable schedule plus the shared
-// caches and result sink. All mutable enumeration state lives in
-// boundedState, one per worker subtree.
-type boundedEngine struct {
-	q        *Query
-	db       *graph.DB
-	c        CXRE
-	sigma    []rune
-	boolOnly bool
-	seq      bool           // force sequential enumeration (witness search)
-	pre      map[string]int // pre-bound node variables (CheckBounded)
+// boundedPlan is the immutable, database-independent part of the bounded
+// engine: the enumeration order and the per-step instantiation, pruning and
+// force-condition schedule. It is computed once per query by Prepare (or by
+// the one-shot wrappers) and shared by every Session and engine run.
+type boundedPlan struct {
+	q *Query
+	c CXRE
 
-	vars   []string // string variables in ≺-topological order
-	labels []string // candidate images: words labelling paths of D
+	vars []string // string variables in ≺-topological order
 
 	edgeVars   [][]string       // per edge: sorted variables occurring in its label
 	stepEdges  [][]int          // stepEdges[i]: edges determined once vars[:i] are assigned
@@ -73,18 +72,107 @@ type boundedEngine struct {
 	defBodies  map[string][]xregex.Node
 	refAny     map[string]bool // free var: referenced anywhere at all
 
+	joinOrder []int // leaf join edge order for pre == nil, fixed per plan
+}
+
+// planBounded computes q's bounded-evaluation schedule. The query is
+// already validated (Prepare, the only caller's entry point, validates).
+func planBounded(q *Query) (*boundedPlan, error) {
+	c := q.CXRE()
+	vars, err := xregex.TopoVars([]xregex.Node(c)...)
+	if err != nil {
+		return nil, err
+	}
+	p := &boundedPlan{
+		q:          q,
+		c:          c,
+		vars:       vars,
+		edgeVars:   make([][]string, len(c)),
+		stepEdges:  make([][]int, len(vars)+1),
+		touchEdges: make([][]int, len(vars)+1),
+		stepChecks: make([][]string, len(vars)+1),
+		defEdges:   map[string][]int{},
+		defined:    c.DefinedVars(),
+		defBodies:  map[string][]xregex.Node{},
+		refAny:     map[string]bool{},
+		joinOrder:  ecrpq.JoinOrder(q.Pattern, nil),
+	}
+
+	pos := map[string]int{}
+	for i, x := range vars {
+		pos[x] = i
+	}
+	nodes := []xregex.Node(c)
+	all := catAll(c)
+	for _, x := range vars {
+		bodies := xregex.DefBodies(x, nodes...)
+		p.defBodies[x] = bodies
+		if len(bodies) == 0 {
+			p.refAny[x] = xregex.ContainsRef(all, x)
+		}
+	}
+	ready := make([]int, len(nodes))
+	for ei, n := range nodes {
+		vs := xregex.SortedVars(n)
+		p.edgeVars[ei] = vs
+		for _, x := range vs {
+			if pos[x]+1 > ready[ei] {
+				ready[ei] = pos[x] + 1
+			}
+		}
+		p.stepEdges[ready[ei]] = append(p.stepEdges[ready[ei]], ei)
+		for x := range xregex.DefinedVars(n) {
+			p.defEdges[x] = append(p.defEdges[x], ei)
+		}
+		// Partial pruning schedule: re-relax an undetermined edge whenever
+		// one of its variables was just assigned (and once up front, at
+		// step 0, with everything relaxed).
+		if ready[ei] > 0 {
+			p.touchEdges[0] = append(p.touchEdges[0], ei)
+		}
+		for _, x := range vs {
+			if pos[x]+1 < ready[ei] {
+				p.touchEdges[pos[x]+1] = append(p.touchEdges[pos[x]+1], ei)
+			}
+		}
+	}
+	// The tuple-level Step 2 condition of Lemma 10 — a variable with a
+	// non-empty image must have a surviving definition in SOME component —
+	// resolves as soon as every component defining the variable has been
+	// instantiated.
+	for x, eis := range p.defEdges {
+		last := 0
+		for _, ei := range eis {
+			if ready[ei] > last {
+				last = ready[ei]
+			}
+		}
+		p.stepChecks[last] = append(p.stepChecks[last], x)
+	}
+	return p, nil
+}
+
+// boundedEngine is one evaluation run: the plan plus the database binding,
+// the session caches, the per-run options and the result sink. All mutable
+// enumeration state lives in boundedState, one per worker subtree.
+type boundedEngine struct {
+	p        *boundedPlan
+	db       *graph.DB
+	sigma    []rune
+	boolOnly bool
+	seq      bool           // force sequential enumeration (witness search)
+	pre      map[string]int // pre-bound node variables (CheckBounded)
+
+	labels []string // candidate images: words labelling paths of D
+
+	caches *sessionCaches // per-DB memos, shared across runs of one Session
+
 	// leaf consumes a complete mapping; the default joins the cached atom
 	// relations, ExplainBounded swaps in a witness search.
 	leaf      func(st *boundedState) error
-	joinOrder []int // leaf join edge order, fixed per session
+	joinOrder []int // leaf join edge order for this run
 
 	stop atomic.Bool
-
-	relMu sync.Mutex
-	rels  map[string]*ecrpq.EdgeRel
-
-	feasMu sync.Mutex
-	feas   map[string]bool
 
 	outMu sync.Mutex
 	out   *pattern.TupleSet
@@ -102,99 +190,35 @@ type boundedState struct {
 	survived []map[string]bool
 }
 
-func newBoundedEngine(q *Query, db *graph.DB, k int, boolOnly bool, pre map[string]int) (*boundedEngine, error) {
-	if err := q.Validate(); err != nil {
-		return nil, err
-	}
+// newBoundedEngine binds a bounded plan to a database for one run. caches
+// may be shared with other concurrent runs (a Session's cache set) or fresh
+// (the one-shot wrappers).
+func newBoundedEngine(p *boundedPlan, db *graph.DB, k int, boolOnly bool, pre map[string]int, caches *sessionCaches, sigma []rune) (*boundedEngine, error) {
 	if k < 0 {
 		return nil, fmt.Errorf("cxrpq: negative image bound %d", k)
 	}
-	c := q.CXRE()
-	vars, err := xregex.TopoVars([]xregex.Node(c)...)
-	if err != nil {
-		return nil, err
-	}
 	e := &boundedEngine{
-		q:        q,
+		p:        p,
 		db:       db,
-		c:        c,
-		sigma:    xregex.MergeAlphabets(db.Alphabet(), c.Alphabet()),
+		sigma:    sigma,
 		boolOnly: boolOnly,
 		pre:      pre,
-		vars:     vars,
 		// Images must label paths of D (they are factors of matching words).
-		labels:     db.PathLabels(k, 0),
-		edgeVars:   make([][]string, len(c)),
-		stepEdges:  make([][]int, len(vars)+1),
-		touchEdges: make([][]int, len(vars)+1),
-		stepChecks: make([][]string, len(vars)+1),
-		defEdges:   map[string][]int{},
-		defined:    c.DefinedVars(),
-		defBodies:  map[string][]xregex.Node{},
-		refAny:     map[string]bool{},
-		rels:       map[string]*ecrpq.EdgeRel{},
-		feas:       map[string]bool{},
-		out:        pattern.NewTupleSet(),
+		labels: caches.labelsFor(db, k),
+		caches: caches,
+		out:    pattern.NewTupleSet(),
 	}
 	e.leaf = e.joinLeaf
-	e.joinOrder = ecrpq.JoinOrder(q.Pattern, pre)
-
-	pos := map[string]int{}
-	for i, x := range vars {
-		pos[x] = i
-	}
-	nodes := []xregex.Node(c)
-	all := catAll(c)
-	for _, x := range vars {
-		bodies := xregex.DefBodies(x, nodes...)
-		e.defBodies[x] = bodies
-		if len(bodies) == 0 {
-			e.refAny[x] = xregex.ContainsRef(all, x)
-		}
-	}
-	ready := make([]int, len(nodes))
-	for ei, n := range nodes {
-		vs := xregex.SortedVars(n)
-		e.edgeVars[ei] = vs
-		for _, x := range vs {
-			if pos[x]+1 > ready[ei] {
-				ready[ei] = pos[x] + 1
-			}
-		}
-		e.stepEdges[ready[ei]] = append(e.stepEdges[ready[ei]], ei)
-		for x := range xregex.DefinedVars(n) {
-			e.defEdges[x] = append(e.defEdges[x], ei)
-		}
-		// Partial pruning schedule: re-relax an undetermined edge whenever
-		// one of its variables was just assigned (and once up front, at
-		// step 0, with everything relaxed).
-		if ready[ei] > 0 {
-			e.touchEdges[0] = append(e.touchEdges[0], ei)
-		}
-		for _, x := range vs {
-			if pos[x]+1 < ready[ei] {
-				e.touchEdges[pos[x]+1] = append(e.touchEdges[pos[x]+1], ei)
-			}
-		}
-	}
-	// The tuple-level Step 2 condition of Lemma 10 — a variable with a
-	// non-empty image must have a surviving definition in SOME component —
-	// resolves as soon as every component defining the variable has been
-	// instantiated.
-	for x, eis := range e.defEdges {
-		last := 0
-		for _, ei := range eis {
-			if ready[ei] > last {
-				last = ready[ei]
-			}
-		}
-		e.stepChecks[last] = append(e.stepChecks[last], x)
+	if pre == nil {
+		e.joinOrder = p.joinOrder
+	} else {
+		e.joinOrder = ecrpq.JoinOrder(p.q.Pattern, pre)
 	}
 	return e, nil
 }
 
 func (e *boundedEngine) newState() *boundedState {
-	ne := len(e.c)
+	ne := len(e.p.c)
 	return &boundedState{
 		e:        e,
 		assign:   map[string]string{},
@@ -211,14 +235,14 @@ func (e *boundedEngine) newState() *boundedState {
 // ∅, or it labels no path of D.
 func (st *boundedState) instantiateEdge(ei int) (bool, error) {
 	e := st.e
-	cut, err := xregex.CutFailedDefs(e.c[ei], st.assign, e.sigma)
+	cut, err := xregex.CutFailedDefs(e.p.c[ei], st.assign, e.sigma)
 	if err != nil {
 		return false, err
 	}
 	cut = xregex.Simplify(cut)
 	var surv map[string]bool
-	for _, x := range e.edgeVars[ei] {
-		if !e.defined[x] || st.assign[x] == "" {
+	for _, x := range e.p.edgeVars[ei] {
+		if !e.p.defined[x] || st.assign[x] == "" {
 			continue
 		}
 		if xregex.ContainsDef(cut, x) {
@@ -319,7 +343,7 @@ func relaxCut(n xregex.Node, assign map[string]string, sigma []rune) (xregex.Nod
 // no completion of the current prefix can satisfy the atom.
 func (st *boundedState) pruneRelaxed(ei int) (bool, error) {
 	e := st.e
-	relaxed, err := relaxCut(e.c[ei], st.assign, e.sigma)
+	relaxed, err := relaxCut(e.p.c[ei], st.assign, e.sigma)
 	if err != nil {
 		return false, err
 	}
@@ -336,24 +360,24 @@ func (st *boundedState) pruneRelaxed(ei int) (bool, error) {
 // did not determine. It reports false when the whole subtree is pruned.
 func (st *boundedState) processStep(i int) (bool, error) {
 	e := st.e
-	for _, ei := range e.stepEdges[i] {
+	for _, ei := range e.p.stepEdges[i] {
 		ok, err := st.instantiateEdge(ei)
 		if err != nil || !ok {
 			return false, err
 		}
 	}
-	for _, ei := range e.touchEdges[i] {
+	for _, ei := range e.p.touchEdges[i] {
 		ok, err := st.pruneRelaxed(ei)
 		if err != nil || !ok {
 			return false, err
 		}
 	}
-	for _, x := range e.stepChecks[i] {
+	for _, x := range e.p.stepChecks[i] {
 		if st.assign[x] == "" {
 			continue
 		}
 		found := false
-		for _, ei := range e.defEdges[x] {
+		for _, ei := range e.p.defEdges[x] {
 			if st.survived[ei][x] {
 				found = true
 				break
@@ -369,30 +393,10 @@ func (st *boundedState) processStep(i int) (bool, error) {
 }
 
 // relationFor resolves the relation of an instantiated label through the
-// session cache, keyed by the canonical print — the sharing point for all
-// mappings that agree on the label.
+// session relation cache, keyed by the canonical print — the sharing point
+// for all mappings (and all Session calls) that agree on the label.
 func (e *boundedEngine) relationFor(inst xregex.Node) (*ecrpq.EdgeRel, error) {
-	key := xregex.String(inst)
-	e.relMu.Lock()
-	if r, ok := e.rels[key]; ok {
-		e.relMu.Unlock()
-		return r, nil
-	}
-	e.relMu.Unlock()
-	r, err := ecrpq.RelationFor(e.db, inst, e.sigma)
-	if err != nil {
-		return nil, err
-	}
-	e.relMu.Lock()
-	defer e.relMu.Unlock()
-	if old, ok := e.rels[key]; ok { // raced with another worker
-		return old, nil
-	}
-	if len(e.rels) >= boundedRelCap {
-		e.rels = map[string]*ecrpq.EdgeRel{}
-	}
-	e.rels[key] = r
-	return r, nil
+	return e.caches.rels.For(e.db, inst, e.sigma)
 }
 
 // feasible is the sound candidate filter of the Theorem 6 enumeration: a
@@ -400,34 +404,31 @@ func (e *boundedEngine) relationFor(inst xregex.Node) (*ecrpq.EdgeRel, error) {
 // bodies with previously assigned variables substituted and the rest relaxed
 // to Σ* (all variables in a definition body precede the defined variable in
 // ≺-topological order, so the check is exact relative to the prefix). Checks
-// are memoized per (relaxed body, word) — the relaxed print is exactly the
-// signature of the assignment restricted to the body's variables — and run
-// through the process-wide compiled-NFA cache.
+// are memoized per (relaxed body, word) in the session feasibility memo —
+// the relaxed print is exactly the signature of the assignment restricted to
+// the body's variables — and run through the process-wide compiled-NFA
+// cache.
 func (e *boundedEngine) feasible(x, w string, assign map[string]string) bool {
 	if w == "" {
 		return true
 	}
-	bodies := e.defBodies[x]
+	bodies := e.p.defBodies[x]
 	if len(bodies) == 0 {
 		// free variable: only useful if referenced at all
-		return e.refAny[x]
+		return e.p.refAny[x]
 	}
 	for _, body := range bodies {
 		relaxed := relaxUnassigned(body, assign)
 		key := xregex.String(relaxed) + "\x00" + w
-		e.feasMu.Lock()
-		res, ok := e.feas[key]
-		e.feasMu.Unlock()
-		if !ok {
-			m, err := xregex.Matches(relaxed, w, e.sigma)
-			res = err == nil && m
-			e.feasMu.Lock()
-			if len(e.feas) >= boundedFeasCap {
-				e.feas = map[string]bool{}
+		if res, ok := e.caches.feasGet(key); ok {
+			if res {
+				return true
 			}
-			e.feas[key] = res
-			e.feasMu.Unlock()
+			continue
 		}
+		m, err := xregex.Matches(relaxed, w, e.sigma)
+		res := err == nil && m
+		e.caches.feasPut(key, res)
 		if res {
 			return true
 		}
@@ -441,10 +442,10 @@ func (st *boundedState) rec(i int) error {
 	if e.stop.Load() {
 		return nil
 	}
-	if i == len(e.vars) {
+	if i == len(e.p.vars) {
 		return e.leaf(st)
 	}
-	x := e.vars[i]
+	x := e.p.vars[i]
 	for _, w := range e.labels {
 		if e.stop.Load() {
 			break
@@ -470,7 +471,7 @@ func (st *boundedState) rec(i int) error {
 // joinLeaf is the default leaf: join the cached atom relations and merge the
 // answers into the shared result set.
 func (e *boundedEngine) joinLeaf(st *boundedState) error {
-	res := ecrpq.JoinRelations(e.q.Pattern, st.rels, e.joinOrder, e.pre, e.boolOnly)
+	res := ecrpq.JoinRelations(e.p.q.Pattern, st.rels, e.joinOrder, e.pre, e.boolOnly)
 	if res.Len() == 0 {
 		return nil
 	}
@@ -496,7 +497,7 @@ func (e *boundedEngine) run() (*pattern.TupleSet, error) {
 	if err != nil || !ok {
 		return e.out, err
 	}
-	if len(e.vars) == 0 {
+	if len(e.p.vars) == 0 {
 		return e.out, e.leaf(st)
 	}
 
@@ -510,18 +511,16 @@ func (e *boundedEngine) run() (*pattern.TupleSet, error) {
 	// until there are enough disjoint subtrees to keep the pool busy.
 	jobs := [][]string{nil}
 	depth := 0
-	for depth < len(e.vars) && len(jobs) < 2*pool && len(jobs)*len(e.labels) <= boundedMaxJobs {
+	for depth < len(e.p.vars) && len(jobs) < 2*pool && len(jobs)*len(e.labels) <= boundedMaxJobs {
 		var next [][]string
 		partial := map[string]string{}
 		for _, p := range jobs {
-			for x := range partial {
-				delete(partial, x)
-			}
+			clear(partial)
 			for j, w := range p {
-				partial[e.vars[j]] = w
+				partial[e.p.vars[j]] = w
 			}
 			for _, w := range e.labels {
-				if e.feasible(e.vars[depth], w, partial) {
+				if e.feasible(e.p.vars[depth], w, partial) {
 					np := make([]string, depth+1)
 					copy(np, p)
 					np[depth] = w
@@ -546,7 +545,7 @@ func (e *boundedEngine) run() (*pattern.TupleSet, error) {
 		st := e.newState()
 		ok, err := st.processStep(0)
 		for j := 0; err == nil && ok && j < depth; j++ {
-			st.assign[e.vars[j]] = jobs[ji][j]
+			st.assign[e.p.vars[j]] = jobs[ji][j]
 			ok, err = st.processStep(j + 1)
 		}
 		if err == nil && ok {

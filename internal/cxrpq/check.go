@@ -12,26 +12,19 @@ import (
 // simple and vstar-free queries, using the same fragment dispatch as Eval.
 // The paper notes (§8) that all Bool-Eval algorithms extend to Check; here
 // the output variables are pre-bound before the join / per-branch search.
+// This is the one-shot wrapper over Session.Check.
 func Check(q *Query, db *graph.DB, t pattern.Tuple) (bool, error) {
-	c := q.CXRE()
-	switch {
-	case c.IsClassical():
-		return ecrpq.Check(&ecrpq.Query{Pattern: q.Pattern}, db, t)
-	case c.IsSimple():
-		eq, err := SimpleToECRPQer(q, nil)
-		if err != nil {
-			return false, err
-		}
-		return ecrpq.Check(eq, db, t)
-	case c.IsVStarFree():
-		return CheckVsf(q, db, t)
-	default:
-		return false, fmt.Errorf("cxrpq: %s is not vstar-free; use CheckBounded", q.Fragment())
+	p, err := Prepare(q)
+	if err != nil {
+		return false, err
 	}
+	return p.Bind(db).Check(t)
 }
 
-// CheckVsf decides t̄ ∈ q(D) for vstar-free q, short-circuiting across
-// branch combinations.
+// CheckVsf decides t̄ ∈ q(D) for vstar-free q, streaming the branch
+// combinations and short-circuiting on the first match. It is the fallback
+// of Session.Check for plans whose combination count exceeds the
+// materialization cap.
 func CheckVsf(q *Query, db *graph.DB, t pattern.Tuple) (bool, error) {
 	c := q.CXRE()
 	if !c.IsVStarFree() {
@@ -60,42 +53,12 @@ func CheckVsf(q *Query, db *graph.DB, t pattern.Tuple) (bool, error) {
 	return found, nil
 }
 
-// CheckBounded decides t̄ ∈ q^≤k(D) (Theorem 6 semantics).
+// CheckBounded decides t̄ ∈ q^≤k(D) (Theorem 6 semantics); the one-shot
+// wrapper over Session.CheckBounded.
 func CheckBounded(q *Query, db *graph.DB, k int, t pattern.Tuple) (bool, error) {
-	// Evaluate with pre-bound outputs by rewriting the query: add a fresh
-	// Boolean query whose output variables are constrained via instantiated
-	// CRPQ checks per variable mapping.
-	res, err := evalBoundedCheck(q, db, k, t)
+	p, err := Prepare(q)
 	if err != nil {
 		return false, err
 	}
-	return res, nil
-}
-
-func evalBoundedCheck(q *Query, db *graph.DB, k int, t pattern.Tuple) (bool, error) {
-	if len(t) != len(q.Pattern.Out) {
-		return false, fmt.Errorf("cxrpq: tuple arity %d, query arity %d", len(t), len(q.Pattern.Out))
-	}
-	// The prefix-incremental engine with the output variables pre-bound:
-	// each leaf join only searches for one extension of the tuple.
-	pre := map[string]int{}
-	for i, z := range q.Pattern.Out {
-		v := t[i]
-		if v < 0 || v >= db.NumNodes() {
-			return false, fmt.Errorf("cxrpq: node id %d out of range", v)
-		}
-		if prev, ok := pre[z]; ok && prev != v {
-			return false, nil // same output variable bound to two nodes
-		}
-		pre[z] = v
-	}
-	e, err := newBoundedEngine(q, db, k, true, pre)
-	if err != nil {
-		return false, err
-	}
-	res, err := e.run()
-	if err != nil {
-		return false, err
-	}
-	return res.Len() > 0, nil
+	return p.Bind(db).CheckBounded(k, t)
 }

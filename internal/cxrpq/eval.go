@@ -14,6 +14,13 @@ import (
 	"cxrpq/internal/xregex"
 )
 
+// The one-shot evaluation API. Every function here is a thin wrapper that
+// prepares the query (Prepare), binds it to the database (Plan.Bind) and
+// runs the corresponding Session method, so the single-call and
+// prepared-session paths execute the same engines; callers evaluating one
+// query many times should hold the Plan/Session themselves and reuse the
+// caches the wrappers throw away.
+
 // EvalSimple evaluates a CXRPQ with a simple conjunctive xregex (Lemma 3)
 // by translating it to an ECRPQ^er and running the synchronized-product
 // engine.
@@ -30,28 +37,97 @@ func EvalSimple(q *Query, db *graph.DB) (*pattern.TupleSet, error) {
 // as branch combinations; each combination is normalized by Step 3 into a
 // simple conjunctive xregex and evaluated via the ECRPQ^er engine.
 func EvalVsf(q *Query, db *graph.DB) (*pattern.TupleSet, error) {
-	return evalVsf(q, db, false)
+	p, err := Prepare(q)
+	if err != nil {
+		return nil, err
+	}
+	return p.Bind(db).EvalVsf()
 }
 
 // EvalVsfBool decides D |= q for vstar-free q, short-circuiting on the
 // first matching branch combination.
 func EvalVsfBool(q *Query, db *graph.DB) (bool, error) {
-	res, err := evalVsf(q, db, true)
+	p, err := Prepare(q)
 	if err != nil {
 		return false, err
 	}
-	return res.Len() > 0, nil
+	return p.Bind(db).EvalVsfBool()
 }
 
-// evalVsf enumerates the branch combinations of Lemma 7's nondeterministic
-// guessing and evaluates them concurrently: each combination is an
-// independent ECRPQ^er evaluation, and all of them share the process-wide
-// compiled-NFA/subset caches and the database's label index, so the
-// determinization work done by one branch is immediately visible to the
-// others. Combinations are streamed through a bounded channel (their count
-// is exponential in the worst case), and for Boolean queries both the
-// workers and the enumeration stop at the first matching combination.
-func evalVsf(q *Query, db *graph.DB, boolOnly bool) (*pattern.TupleSet, error) {
+// vsfSink accumulates per-branch-combination outcomes under the Boolean
+// contract shared by every vstar-free evaluation path (the materialized
+// combos of a Plan and the streaming fallback): a match anywhere wins (the
+// query is satisfied regardless of what another combination would have
+// reported), errors are ranked by combination index, and an error surfaces
+// only when no combination matched (Boolean mode) or stops the fan-out
+// immediately (full evaluation). Safe for concurrent record calls.
+type vsfSink struct {
+	boolOnly bool
+	stop     *atomic.Bool
+
+	mu       sync.Mutex
+	out      *pattern.TupleSet
+	matched  bool
+	errAt    int
+	firstErr error
+}
+
+func newVsfSink(boolOnly bool, stop *atomic.Bool) *vsfSink {
+	return &vsfSink{boolOnly: boolOnly, stop: stop, out: pattern.NewTupleSet(), errAt: -1}
+}
+
+// record merges the outcome of combination idx.
+func (s *vsfSink) record(idx int, res *pattern.TupleSet, err error) {
+	if err != nil {
+		s.mu.Lock()
+		if s.errAt < 0 || idx < s.errAt {
+			s.errAt, s.firstErr = idx, err
+		}
+		s.mu.Unlock()
+		// In Boolean mode an error must not cancel the search: a later
+		// combination may still match, and a match wins.
+		if !s.boolOnly {
+			s.stop.Store(true)
+		}
+		return
+	}
+	if res == nil || res.Len() == 0 {
+		return
+	}
+	tuples := res.Sorted() // materialize outside the critical section
+	s.mu.Lock()
+	for _, t := range tuples {
+		s.out.Add(t)
+	}
+	if s.boolOnly {
+		s.matched = true
+	}
+	s.mu.Unlock()
+	if s.boolOnly {
+		s.stop.Store(true)
+	}
+}
+
+// finish resolves the accumulated outcomes; call after every worker is done.
+func (s *vsfSink) finish() (*pattern.TupleSet, error) {
+	if s.boolOnly && s.matched {
+		return s.out, nil
+	}
+	if s.firstErr != nil {
+		return nil, s.firstErr
+	}
+	return s.out, nil
+}
+
+// evalVsfStream is the streaming fallback of the vstar-free path, used when
+// a query has more branch combinations than a Plan materializes
+// (vsfComboCap): combinations are enumerated and evaluated concurrently,
+// each an independent ECRPQ^er evaluation sharing the process-wide
+// compiled-NFA/subset caches and the database's label index. Combinations
+// are streamed through a bounded channel (their count is exponential in the
+// worst case), and for Boolean queries both the workers and the enumeration
+// stop at the first matching combination.
+func evalVsfStream(q *Query, db *graph.DB, boolOnly bool) (*pattern.TupleSet, error) {
 	c := q.CXRE()
 	if !c.IsVStarFree() {
 		return nil, fmt.Errorf("cxrpq: EvalVsf requires a vstar-free query (got %s)", q.Fragment())
@@ -74,33 +150,18 @@ func evalVsf(q *Query, db *graph.DB, boolOnly bool) (*pattern.TupleSet, error) {
 		return ecrpq.Eval(eq, db)
 	}
 
-	// Boolean semantics, identical on the sequential and parallel paths: a
-	// match anywhere wins (the query is satisfied regardless of what another
-	// branch combination would have reported); an error surfaces only when
-	// no combination matched.
-	out := pattern.NewTupleSet()
+	var stop atomic.Bool
+	sink := newVsfSink(boolOnly, &stop)
 	workers := engine.Workers(1 << 16)
 	if workers == 1 {
-		// sequential path: stream combos, stop at the first Boolean match
-		var deferred error
+		// sequential path: stream combos, stop as soon as the sink raises
+		// the flag (Boolean match, or an error in full-evaluation mode)
+		i := 0
 		err := branchCombos(c, func(combo CXRE) error {
 			res, err := evalCombo(combo)
-			if err != nil {
-				if boolOnly {
-					if deferred == nil {
-						deferred = err
-					}
-					return nil // keep searching for a match
-				}
-				return err
-			}
-			if res == nil {
-				return nil
-			}
-			for _, t := range res.Sorted() {
-				out.Add(t)
-			}
-			if boolOnly {
+			sink.record(i, res, err)
+			i++
+			if stop.Load() {
 				return errStop
 			}
 			return nil
@@ -108,10 +169,7 @@ func evalVsf(q *Query, db *graph.DB, boolOnly bool) (*pattern.TupleSet, error) {
 		if err != nil && err != errStop {
 			return nil, err
 		}
-		if boolOnly && out.Len() == 0 && deferred != nil {
-			return nil, deferred
-		}
-		return out, nil
+		return sink.finish()
 	}
 
 	db.Index() // prebuild once before fanning out
@@ -121,7 +179,6 @@ func evalVsf(q *Query, db *graph.DB, boolOnly bool) (*pattern.TupleSet, error) {
 		combo CXRE
 	}
 	jobs := make(chan job, 2*workers)
-	var stop atomic.Bool
 	var prodErr error
 	go func() {
 		i := 0
@@ -139,10 +196,6 @@ func evalVsf(q *Query, db *graph.DB, boolOnly bool) (*pattern.TupleSet, error) {
 		close(jobs)
 	}()
 
-	var mu sync.Mutex
-	matched := false // some combo matched (Boolean short-circuit)
-	errAt := -1
-	var firstErr error
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
@@ -153,49 +206,19 @@ func evalVsf(q *Query, db *graph.DB, boolOnly bool) (*pattern.TupleSet, error) {
 					continue // drain
 				}
 				res, err := evalCombo(j.combo)
-				if err != nil {
-					mu.Lock()
-					if errAt < 0 || j.idx < errAt {
-						errAt, firstErr = j.idx, err
-					}
-					mu.Unlock()
-					// In Boolean mode an error must not cancel the search:
-					// a later combination may still match, and a match wins.
-					if !boolOnly {
-						stop.Store(true)
-					}
-					continue
-				}
-				if res == nil {
-					continue
-				}
-				mu.Lock()
-				for _, t := range res.Sorted() {
-					out.Add(t)
-				}
-				if boolOnly {
-					matched = true
-				}
-				mu.Unlock()
-				if boolOnly {
-					stop.Store(true)
-				}
+				sink.record(j.idx, res, err)
 			}
 		}()
 	}
 	wg.Wait()
-	// A Boolean match wins over errors from other combinations: the query
-	// is satisfied regardless of what another branch would have reported.
-	if boolOnly && matched {
-		return out, nil
-	}
-	if firstErr != nil {
-		return nil, firstErr
+	res, err := sink.finish()
+	if err != nil {
+		return nil, err
 	}
 	if prodErr != nil {
 		return nil, prodErr
 	}
-	return out, nil
+	return res, nil
 }
 
 // EvalBounded evaluates q under the CXRPQ^≤k semantics (Theorem 6):
@@ -207,16 +230,20 @@ func evalVsf(q *Query, db *graph.DB, boolOnly bool) (*pattern.TupleSet, error) {
 // variables substituted and the rest relaxed to Σ*. Each complete mapping is
 // instantiated to a CRPQ via Lemma 11 and evaluated.
 func EvalBounded(q *Query, db *graph.DB, k int) (*pattern.TupleSet, error) {
-	return evalBounded(q, db, k, false)
+	p, err := Prepare(q)
+	if err != nil {
+		return nil, err
+	}
+	return p.Bind(db).EvalBounded(k)
 }
 
 // EvalBoundedBool decides D |=^≤k q, short-circuiting on the first mapping.
 func EvalBoundedBool(q *Query, db *graph.DB, k int) (bool, error) {
-	res, err := evalBounded(q, db, k, true)
+	p, err := Prepare(q)
 	if err != nil {
 		return false, err
 	}
-	return res.Len() > 0, nil
+	return p.Bind(db).EvalBoundedBool(k)
 }
 
 // EvalLog evaluates q under CXRPQ^log semantics (Corollary 1):
@@ -236,22 +263,6 @@ func logBound(db *graph.DB) int {
 		return 1
 	}
 	return int(math.Ceil(math.Log2(float64(size))))
-}
-
-// evalBounded runs the prefix-incremental bounded engine (bounded.go):
-// atoms are instantiated and pruned as soon as the ≺-topological prefix
-// determines their variables, relations are shared across mappings through
-// the session cache, and disjoint subtrees are evaluated in parallel.
-func evalBounded(q *Query, db *graph.DB, k int, boolOnly bool) (*pattern.TupleSet, error) {
-	e, err := newBoundedEngine(q, db, k, boolOnly, nil)
-	if err != nil {
-		return nil, err
-	}
-	res, err := e.run()
-	if err != nil {
-		return nil, err
-	}
-	return res, nil
 }
 
 func catAll(c CXRE) xregex.Node {
@@ -303,8 +314,8 @@ func relaxUnassigned(n xregex.Node, assign map[string]string) xregex.Node {
 // EvalBoundedNaive is the literal Theorem 6 algorithm: it blindly guesses
 // every v̄ ∈ (Σ^≤k)^n, instantiates (Lemma 11) and evaluates the CRPQ. It
 // exists as the ablation baseline for EvalBounded's candidate pruning (the
-// two must agree; see the ablation benchmark) and as the most direct
-// rendering of the paper's proof.
+// two must agree; see the ablation benchmark and the differential fuzz
+// harness) and as the most direct rendering of the paper's proof.
 func EvalBoundedNaive(q *Query, db *graph.DB, k int) (*pattern.TupleSet, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
@@ -390,36 +401,20 @@ func EvalAny(q *Query, db *graph.DB, maxImage int) (res *pattern.TupleSet, cappe
 // directing callers to EvalBounded/EvalLog/EvalAny, whose semantics are the
 // paper's ≤k / log fragments.
 func Eval(q *Query, db *graph.DB) (*pattern.TupleSet, error) {
-	c := q.CXRE()
-	switch {
-	case c.IsClassical():
-		return ecrpq.Eval(&ecrpq.Query{Pattern: q.Pattern}, db)
-	case c.IsSimple():
-		return EvalSimple(q, db)
-	case c.IsVStarFree():
-		return EvalVsf(q, db)
-	default:
-		return nil, fmt.Errorf("cxrpq: %s is not vstar-free; use EvalBounded (CXRPQ^≤k), EvalLog (CXRPQ^log) or EvalAny", q.Fragment())
+	p, err := Prepare(q)
+	if err != nil {
+		return nil, err
 	}
+	return p.Bind(db).Eval()
 }
 
 // EvalBool is the Boolean counterpart of Eval.
 func EvalBool(q *Query, db *graph.DB) (bool, error) {
-	c := q.CXRE()
-	switch {
-	case c.IsClassical():
-		return ecrpq.EvalBool(&ecrpq.Query{Pattern: q.Pattern}, db)
-	case c.IsSimple():
-		eq, err := SimpleToECRPQer(q, nil)
-		if err != nil {
-			return false, err
-		}
-		return ecrpq.EvalBool(eq, db)
-	case c.IsVStarFree():
-		return EvalVsfBool(q, db)
-	default:
-		return false, fmt.Errorf("cxrpq: %s is not vstar-free; use EvalBoundedBool or EvalLogBool", q.Fragment())
+	p, err := Prepare(q)
+	if err != nil {
+		return false, err
 	}
+	return p.Bind(db).EvalBool()
 }
 
 // SortedVarsOf is a helper returning the query's string variables sorted.

@@ -66,43 +66,15 @@ func ExplainVsf(q *Query, db *graph.DB, t pattern.Tuple) (*Explanation, bool, er
 }
 
 // ExplainBounded searches for one match under CXRPQ^≤k semantics and
-// reconstructs its witness (images come from the Theorem 6 enumeration). It
-// runs the prefix-incremental bounded engine sequentially — so the witness
-// is the first one in enumeration order — with a leaf that searches the
-// instantiated CRPQ for a concrete path witness instead of joining cached
-// relations; the engine's subtree pruning (an atom with an empty relation
-// has no witness below it) applies unchanged.
+// reconstructs its witness (images come from the Theorem 6 enumeration);
+// the one-shot wrapper over Session.ExplainBounded, which runs the bounded
+// engine sequentially with a witness-search leaf.
 func ExplainBounded(q *Query, db *graph.DB, k int, t pattern.Tuple) (*Explanation, bool, error) {
-	e, err := newBoundedEngine(q, db, k, false, nil)
+	p, err := Prepare(q)
 	if err != nil {
 		return nil, false, err
 	}
-	e.seq = true
-	var result *Explanation
-	e.leaf = func(st *boundedState) error {
-		g := &pattern.Graph{Out: append([]string(nil), q.Pattern.Out...)}
-		for i, pe := range q.Pattern.Edges {
-			g.Edges = append(g.Edges, pattern.Edge{From: pe.From, To: pe.To, Label: st.insts[i]})
-		}
-		w, ok, err := ecrpq.FindWitness(&ecrpq.Query{Pattern: g}, db, t)
-		if err != nil {
-			return err
-		}
-		if !ok {
-			return nil
-		}
-		images := map[string]string{}
-		for x, v := range st.assign {
-			images[x] = v
-		}
-		result = &Explanation{NodeOf: w.NodeOf, Words: w.Words, Images: images}
-		e.stop.Store(true)
-		return nil
-	}
-	if _, err := e.run(); err != nil {
-		return nil, false, err
-	}
-	return result, result != nil, nil
+	return p.Bind(db).ExplainBounded(k, t)
 }
 
 // buildExplanation maps an ECRPQ^er witness back through the translation:

@@ -1,0 +1,166 @@
+package cxrpq_test
+
+// Randomized differential fuzz harness for the prepared-query subsystem:
+// every seed generates a random small graph (internal/workload) and a
+// random CXRPQ (workload.RandomQuery) and asserts that Plan/Session
+// evaluation agrees with the literal Theorem 6 rendering EvalBoundedNaive
+// — and, on finite-language seeds, exactly with the brute-force
+// conjunctive-match oracle. Finite-mode queries are constructed so that no
+// matched edge word exceeds workload.RandomQueryMaxWord and no image
+// exceeds workload.RandomQueryMaxImage, hence oracle(MaxWord) computes the
+// exact unrestricted semantics and must coincide with the ≤k semantics for
+// k ≥ MaxImage; general-mode queries (repetition operators) are compared
+// against the naive engine on full tuple sets and against the oracle by
+// containment.
+//
+// TestFuzzCorpus replays a fixed list of seeds (including historically
+// tricky shapes) so CI exercises the corpus deterministically even with
+// -short; TestFuzzDiffRandom sweeps a larger randomized range; and
+// FuzzPreparedDiff exposes the same property to `go test -fuzz`.
+
+import (
+	"testing"
+
+	"cxrpq/internal/cxrpq"
+	"cxrpq/internal/oracle"
+	"cxrpq/internal/pattern"
+	"cxrpq/internal/workload"
+)
+
+// diffSeed runs the full differential check for one seed, failing t with
+// the query text on any disagreement or infrastructure error.
+func diffSeed(t *testing.T, seed int64) {
+	t.Helper()
+	r := workload.NewRNG(seed)
+	finite := r.Intn(4) != 0 // 3/4 exact three-way seeds, 1/4 general-mode
+	q := workload.RandomQuery(r, finite)
+	nodes := 3 + r.Intn(3)
+	edges := nodes + r.Intn(nodes+3)
+	db := workload.Random(seed^0x7e7e, nodes, edges, "ab")
+	k := 1
+	if !finite && r.Intn(2) == 0 {
+		k = 2
+	}
+
+	plan, err := cxrpq.Prepare(q)
+	if err != nil {
+		t.Fatalf("seed %d: Prepare: %v\nquery:\n%s", seed, err, q.Pattern)
+	}
+	sess := plan.Bind(db)
+	got, err := sess.EvalBounded(k)
+	if err != nil {
+		t.Fatalf("seed %d: Session.EvalBounded: %v\nquery:\n%s", seed, err, q.Pattern)
+	}
+	naive, err := cxrpq.EvalBoundedNaive(q, db, k)
+	if err != nil {
+		t.Fatalf("seed %d: EvalBoundedNaive: %v\nquery:\n%s", seed, err, q.Pattern)
+	}
+	if !got.Equal(naive) {
+		t.Fatalf("seed %d: session %d tuples, naive %d tuples\nquery:\n%s",
+			seed, got.Len(), naive.Len(), q.Pattern)
+	}
+
+	// The session must keep agreeing on repeated calls (result cache) and
+	// on the Boolean/Check views of the same semantics.
+	again, err := sess.EvalBounded(k)
+	if err != nil || !again.Equal(naive) {
+		t.Fatalf("seed %d: cached re-evaluation diverged (err=%v)", seed, err)
+	}
+	ok, err := sess.EvalBoundedBool(k)
+	if err != nil || ok != (naive.Len() > 0) {
+		t.Fatalf("seed %d: EvalBoundedBool=%v err=%v, want %v", seed, ok, err, naive.Len() > 0)
+	}
+	for i, tup := range naive.Sorted() {
+		if i >= 3 {
+			break
+		}
+		ok, err := sess.CheckBounded(k, tup)
+		if err != nil || !ok {
+			t.Fatalf("seed %d: CheckBounded(%v)=%v err=%v, want true\nquery:\n%s",
+				seed, tup, ok, err, q.Pattern)
+		}
+	}
+	if len(q.Pattern.Out) > 0 && naive.Len() > 0 {
+		// a tuple off the answer set must be rejected
+		probe := make(pattern.Tuple, len(q.Pattern.Out))
+		found := false
+		for v := 0; v < db.NumNodes() && !found; v++ {
+			for i := range probe {
+				probe[i] = v
+			}
+			if !naive.Contains(probe) {
+				found = true
+			}
+		}
+		if found {
+			ok, err := sess.CheckBounded(k, probe)
+			if err != nil || ok {
+				t.Fatalf("seed %d: CheckBounded(non-member %v)=%v err=%v, want false", seed, probe, ok, err)
+			}
+		}
+	}
+
+	// Oracle: exact on finite seeds, containment on general ones.
+	if finite {
+		want, err := oracle.EvalCXRPQ(q, db, workload.RandomQueryMaxWord)
+		if err != nil {
+			t.Fatalf("seed %d: oracle: %v", seed, err)
+		}
+		if !got.Equal(want) {
+			t.Fatalf("seed %d: session %d tuples, oracle %d tuples\nquery:\n%s",
+				seed, got.Len(), want.Len(), q.Pattern)
+		}
+	} else {
+		want, err := oracle.EvalCXRPQ(q, db, k)
+		if err != nil {
+			t.Fatalf("seed %d: oracle: %v", seed, err)
+		}
+		for _, tup := range want.Sorted() {
+			if !got.Contains(tup) {
+				t.Fatalf("seed %d: oracle tuple %v missing from session result\nquery:\n%s",
+					seed, tup, q.Pattern)
+			}
+		}
+	}
+}
+
+// fuzzCorpus is the deterministic replay corpus: a spread of seeds covering
+// every template family plus seeds that historically exercised tricky
+// interactions (force-condition pruning, ε-images with shared free
+// variables, 2-edge self-referencing tails). CI replays it with
+// `go test -run Fuzz -short`.
+var fuzzCorpus = []int64{
+	0, 1, 2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43,
+	58, 77, 101, 137, 222, 313, 404, 555, 713, 999,
+	1024, 2048, 4096, 31337,
+}
+
+// TestFuzzCorpus replays the fixed corpus (always, including -short).
+func TestFuzzCorpus(t *testing.T) {
+	for _, seed := range fuzzCorpus {
+		diffSeed(t, seed)
+	}
+}
+
+// TestFuzzDiffRandom sweeps 500+ fresh seeds; -short trims the sweep but
+// never skips it entirely.
+func TestFuzzDiffRandom(t *testing.T) {
+	n := int64(520)
+	if testing.Short() {
+		n = 60
+	}
+	for seed := int64(100000); seed < 100000+n; seed++ {
+		diffSeed(t, seed)
+	}
+}
+
+// FuzzPreparedDiff exposes the differential property to the native fuzzer;
+// its seed corpus mirrors fuzzCorpus.
+func FuzzPreparedDiff(f *testing.F) {
+	for _, seed := range fuzzCorpus {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		diffSeed(t, seed)
+	})
+}

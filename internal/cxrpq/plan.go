@@ -1,0 +1,184 @@
+package cxrpq
+
+import (
+	"fmt"
+	"sync"
+
+	"cxrpq/internal/ecrpq"
+)
+
+// This file is the compile-once half of the prepared-query subsystem.
+// Prepare(q) classifies q's fragment and precomputes everything derivable
+// from the query alone — the bounded-evaluation schedule (boundedPlan), the
+// Lemma 3 simple→ECRPQ^er translation, and the Lemma 7 branch-combination
+// translations of the vstar-free path — into an immutable Plan. Binding a
+// Plan to a database (Plan.Bind, session.go) yields a Session owning the
+// per-database caches; the historical one-shot functions (Eval, EvalBounded,
+// Check, Explain, …) are thin wrappers that prepare and bind per call.
+
+// planKind is the dispatch class of a prepared query, mirroring the
+// fragment dispatch of Eval: the strongest complete algorithm for the
+// query's syntactic fragment.
+type planKind int
+
+const (
+	kindClassical planKind = iota // CRPQ: no string variables
+	kindSimple                    // simple conjunctive xregex (Lemma 3)
+	kindVsf                       // vstar-free (Theorem 2 / Lemma 7)
+	kindGeneral                   // unrestricted: only ≤k / log semantics
+)
+
+// vsfComboCap bounds the number of Lemma 7 branch combinations a Plan
+// materializes; beyond it the vstar-free path falls back to streaming the
+// combinations per evaluation (their count is exponential in the worst
+// case, and a Plan must stay small).
+const vsfComboCap = 1024
+
+// vsfCombo is one materialized branch combination: its translated ECRPQ^er,
+// or the translation error (kept, not raised, because the Boolean
+// evaluation semantics defer per-combination errors until no combination
+// matches).
+type vsfCombo struct {
+	eq  *ecrpq.Query
+	err error
+}
+
+// vsfPlan caches the Lemma 7 branch-combination translations of a
+// vstar-free query, materialized on first use.
+type vsfPlan struct {
+	origDefined map[string]bool
+
+	once     sync.Once
+	combos   []vsfCombo
+	overflow bool // more than vsfComboCap combinations: stream per call
+	err      error
+}
+
+// Plan is an immutable prepared CXRPQ: the validated query, its fragment
+// classification, and the (lazily materialized, built at most once) pieces
+// each evaluation path needs — the bounded-evaluation schedule and the
+// fragment translations. A Plan holds no database state — bind it to a
+// graph.DB with Bind to evaluate — and is safe for concurrent use by any
+// number of Sessions.
+type Plan struct {
+	q        *Query
+	c        CXRE
+	kind     planKind
+	fragment string
+
+	boundedOnce sync.Once
+	bounded     *boundedPlan // any query has ≤k / log semantics
+	boundedErr  error
+
+	simpleOnce sync.Once
+	simple     *ecrpq.Query
+	simpleErr  error
+
+	vsf *vsfPlan // non-nil iff the query is vstar-free (incl. simple/CRPQ)
+}
+
+// Prepare validates q and compiles it into a reusable Plan. The fragment
+// classification happens here, once; the per-fragment machinery (bounded
+// schedule, translations) materializes on first use of its path, so
+// classical/simple/vsf plans never pay for the bounded schedule and vice
+// versa.
+func Prepare(q *Query) (*Plan, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	p := &Plan{q: q, c: q.CXRE(), fragment: q.Fragment()}
+	switch {
+	case p.c.IsClassical():
+		p.kind = kindClassical
+	case p.c.IsSimple():
+		p.kind = kindSimple
+	case p.c.IsVStarFree():
+		p.kind = kindVsf
+	default:
+		p.kind = kindGeneral
+	}
+	if p.kind != kindGeneral {
+		p.vsf = &vsfPlan{origDefined: p.c.DefinedVars()}
+	}
+	return p, nil
+}
+
+// boundedPlanFor returns the bounded-evaluation schedule, built once per
+// Plan on first use.
+func (p *Plan) boundedPlanFor() (*boundedPlan, error) {
+	p.boundedOnce.Do(func() {
+		p.bounded, p.boundedErr = planBounded(p.q)
+	})
+	return p.bounded, p.boundedErr
+}
+
+// MustPrepare is Prepare but panics on error.
+func MustPrepare(q *Query) *Plan {
+	p, err := Prepare(q)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// PrepareSrc parses and prepares the textual query format in one step.
+func PrepareSrc(src string) (*Plan, error) {
+	q, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return Prepare(q)
+}
+
+// Query returns the underlying query.
+func (p *Plan) Query() *Query { return p.q }
+
+// Fragment returns the human-readable name of the smallest syntactic
+// fragment containing the query (classified once at Prepare).
+func (p *Plan) Fragment() string { return p.fragment }
+
+// simpleQuery returns the Lemma 3 translation for classical/simple queries,
+// built once per Plan.
+func (p *Plan) simpleQuery() (*ecrpq.Query, error) {
+	p.simpleOnce.Do(func() {
+		switch p.kind {
+		case kindClassical:
+			p.simple = &ecrpq.Query{Pattern: p.q.Pattern}
+		case kindSimple:
+			p.simple, p.simpleErr = SimpleToECRPQer(p.q, nil)
+		default:
+			p.simpleErr = fmt.Errorf("cxrpq: %s is not simple", p.fragment)
+		}
+	})
+	return p.simple, p.simpleErr
+}
+
+// vsfCombos materializes the translated branch combinations of a vstar-free
+// query, once per Plan. overflow reports that the combination count exceeds
+// vsfComboCap, in which case callers must stream combinations themselves.
+func (p *Plan) vsfCombos() (combos []vsfCombo, overflow bool, err error) {
+	if p.vsf == nil {
+		return nil, false, fmt.Errorf("cxrpq: EvalVsf requires a vstar-free query (got %s)", p.fragment)
+	}
+	v := p.vsf
+	v.once.Do(func() {
+		count := 0
+		err := branchCombos(p.q.CXRE(), func(combo CXRE) error {
+			count++
+			if count > vsfComboCap {
+				v.overflow = true
+				return errStop
+			}
+			eq, err := comboToSimpleECRPQ(p.q, combo, v.origDefined)
+			v.combos = append(v.combos, vsfCombo{eq: eq, err: err})
+			return nil
+		})
+		if err != nil && err != errStop {
+			v.err = err
+		}
+		if v.overflow {
+			v.combos = nil // streamed per call instead
+		}
+	})
+	return v.combos, v.overflow, v.err
+}

@@ -1,0 +1,691 @@
+package cxrpq
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"cxrpq/internal/ecrpq"
+	"cxrpq/internal/engine"
+	"cxrpq/internal/graph"
+	"cxrpq/internal/pattern"
+)
+
+// This file is the evaluate-many half of the prepared-query subsystem: a
+// Session is a Plan bound to one database, owning every per-database memo
+// the evaluation engines consult — the atom-relation cache, the feasibility
+// memo, the path-label candidate lists and a bounded result cache. All
+// Session methods are safe for concurrent use; concurrent calls share the
+// caches, so relation work done by one request is immediately visible to
+// the others.
+//
+// Invalidation contract: the database must not be mutated while a call is
+// in flight. After a (quiescent) mutation, the next call observes the
+// bumped graph.DB revision and transparently drops every cache; Invalidate
+// forces the same drop explicitly. Results returned by Eval/EvalBounded may
+// be served from the result cache and shared between callers — treat the
+// returned TupleSet as immutable.
+
+const (
+	// defaultFeasCap bounds the session feasibility memo.
+	defaultFeasCap = 1 << 16
+	// defaultResultCap bounds the session result cache.
+	defaultResultCap = 256
+)
+
+// SessionOptions tunes the cache capacities of a Session. Zero values
+// select defaults; a negative ResultCacheCap disables result caching
+// (structural caches stay on — they are what make a session worth
+// holding).
+type SessionOptions struct {
+	RelCacheCap    int // atom-relation cache entries (default ecrpq.DefaultRelCacheCap)
+	FeasCacheCap   int // feasibility memo entries (default 65536)
+	ResultCacheCap int // whole-result entries (default 256; < 0 disables)
+}
+
+// epochMap is the session-local instance of the drop-all-on-overflow
+// bounded cache pattern (ecrpq.RelCache and xregex's match cache follow the
+// same recipe where they additionally need compute-outside-the-lock
+// insertion or exported stats): mutex + cap + whole-epoch drop + hit/miss
+// counters. It backs both the feasibility memo and the result cache.
+type epochMap[V any] struct {
+	mu     sync.Mutex
+	cap    int
+	m      map[string]V
+	hits   uint64
+	misses uint64
+}
+
+func newEpochMap[V any](cap int) *epochMap[V] {
+	return &epochMap[V]{cap: cap, m: map[string]V{}}
+}
+
+func (c *epochMap[V]) get(key string) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v, ok := c.m[key]
+	if ok {
+		c.hits++
+	} else {
+		c.misses++
+	}
+	return v, ok
+}
+
+func (c *epochMap[V]) put(key string, v V) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.m) >= c.cap {
+		c.m = map[string]V{}
+	}
+	c.m[key] = v
+}
+
+func (c *epochMap[V]) stats() (hits, misses uint64, size int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, len(c.m)
+}
+
+// sessionCaches is one epoch of per-database memos. A fresh set is swapped
+// in whenever the database revision moves, so no entry can outlive the data
+// it was derived from.
+type sessionCaches struct {
+	rels *ecrpq.RelCache
+	feas *epochMap[bool]
+
+	labMu  sync.Mutex
+	labels map[int][]string // k -> words of length ≤ k labelling paths of D
+}
+
+func newSessionCaches(relCap, feasCap int) *sessionCaches {
+	if feasCap <= 0 {
+		feasCap = defaultFeasCap
+	}
+	return &sessionCaches{
+		rels:   ecrpq.NewRelCache(relCap),
+		feas:   newEpochMap[bool](feasCap),
+		labels: map[int][]string{},
+	}
+}
+
+func (sc *sessionCaches) feasGet(key string) (res, ok bool) { return sc.feas.get(key) }
+
+func (sc *sessionCaches) feasPut(key string, res bool) { sc.feas.put(key, res) }
+
+// labelsFor returns the candidate image list for bound k, computed once per
+// (session epoch, k).
+func (sc *sessionCaches) labelsFor(db *graph.DB, k int) []string {
+	sc.labMu.Lock()
+	defer sc.labMu.Unlock()
+	if ws, ok := sc.labels[k]; ok {
+		return ws
+	}
+	ws := db.PathLabels(k, 0)
+	sc.labels[k] = ws
+	return ws
+}
+
+// resultCache memoizes whole call results keyed by (operation, arguments);
+// it lives inside one cache epoch, so revision bumps clear it with
+// everything else. A nil *resultCache is valid and disabled.
+type resultCache struct {
+	epochMap[any]
+}
+
+func newResultCache(cap int) *resultCache {
+	if cap < 0 {
+		return nil
+	}
+	if cap == 0 {
+		cap = defaultResultCap
+	}
+	rc := &resultCache{}
+	rc.cap = cap
+	rc.m = map[string]any{}
+	return rc
+}
+
+func (c *resultCache) get(key string) (any, bool) {
+	if c == nil {
+		return nil, false
+	}
+	return c.epochMap.get(key)
+}
+
+func (c *resultCache) put(key string, v any) {
+	if c == nil {
+		return
+	}
+	c.epochMap.put(key, v)
+}
+
+// Session is a Plan bound to one database: the compile-once/evaluate-many
+// handle of the prepared-query subsystem. Create one with Plan.Bind and
+// share it freely between goroutines; see the file comment for the
+// invalidation contract.
+type Session struct {
+	plan *Plan
+	db   *graph.DB
+	opts SessionOptions
+
+	mu      sync.Mutex // guards the epoch fields below
+	bound   bool
+	rev     uint64
+	sigma   []rune
+	caches  *sessionCaches
+	results *resultCache
+}
+
+// Bind binds the plan to a database with default cache options.
+func (p *Plan) Bind(db *graph.DB) *Session { return p.BindOpts(db, SessionOptions{}) }
+
+// BindOpts binds the plan to a database with explicit cache options.
+func (p *Plan) BindOpts(db *graph.DB, opts SessionOptions) *Session {
+	return &Session{plan: p, db: db, opts: opts}
+}
+
+// current returns this call's cache epoch, transparently starting a fresh
+// one when the database revision moved since the last call. Calls already
+// in flight keep the epoch they started with.
+func (s *Session) current() (*sessionCaches, *resultCache, []rune) {
+	rev := s.db.Revision()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.bound || rev != s.rev {
+		s.bound = true
+		s.rev = rev
+		s.sigma = mergeDBAlphabet(s.db, s.plan.c)
+		s.caches = newSessionCaches(s.opts.RelCacheCap, s.opts.FeasCacheCap)
+		s.results = newResultCache(s.opts.ResultCacheCap)
+	}
+	return s.caches, s.results, s.sigma
+}
+
+// Invalidate drops every cache of the session unconditionally. Calling it
+// is never required for correctness after a quiescent DB mutation (the
+// revision check does it), but it releases memory immediately and covers
+// callers that mutated derived state out of band.
+func (s *Session) Invalidate() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.bound = false
+	s.caches = nil
+	s.results = nil
+}
+
+// DB returns the bound database.
+func (s *Session) DB() *graph.DB { return s.db }
+
+// Plan returns the prepared plan the session evaluates.
+func (s *Session) Plan() *Plan { return s.plan }
+
+// Fragment returns the plan's fragment classification.
+func (s *Session) Fragment() string { return s.plan.fragment }
+
+// SessionStats is a point-in-time snapshot of a session's cache counters
+// (of the current epoch: Invalidate and revision bumps reset them).
+type SessionStats struct {
+	Revision     uint64
+	Fragment     string
+	Rel          ecrpq.RelCacheStats
+	FeasSize     int
+	ResultHits   uint64
+	ResultMisses uint64
+	ResultSize   int
+}
+
+// Stats returns a snapshot of the session's cache counters.
+func (s *Session) Stats() SessionStats {
+	s.mu.Lock()
+	sc, rc := s.caches, s.results
+	st := SessionStats{Revision: s.rev, Fragment: s.plan.fragment}
+	s.mu.Unlock()
+	if sc != nil {
+		st.Rel = sc.rels.Stats()
+		_, _, st.FeasSize = sc.feas.stats()
+	}
+	if rc != nil {
+		st.ResultHits, st.ResultMisses, st.ResultSize = rc.stats()
+	}
+	return st
+}
+
+// Eval evaluates the query with the strongest complete algorithm for its
+// fragment (the Session counterpart of the package-level Eval).
+func (s *Session) Eval() (*pattern.TupleSet, error) {
+	switch s.plan.kind {
+	case kindClassical, kindSimple:
+		return s.evalSimple()
+	case kindVsf:
+		return s.EvalVsf()
+	default:
+		return nil, fmt.Errorf("cxrpq: %s is not vstar-free; use EvalBounded (CXRPQ^≤k), EvalLog (CXRPQ^log) or EvalAny", s.plan.fragment)
+	}
+}
+
+// EvalBool decides D |= q, short-circuiting where the fragment allows.
+func (s *Session) EvalBool() (bool, error) {
+	switch s.plan.kind {
+	case kindClassical, kindSimple:
+		_, rc, _ := s.current()
+		if v, ok := rc.get("bool"); ok {
+			return v.(bool), nil
+		}
+		eq, err := s.plan.simpleQuery()
+		if err != nil {
+			return false, err
+		}
+		ok, err := ecrpq.EvalBool(eq, s.db)
+		if err != nil {
+			return false, err
+		}
+		rc.put("bool", ok)
+		return ok, nil
+	case kindVsf:
+		return s.EvalVsfBool()
+	default:
+		return false, fmt.Errorf("cxrpq: %s is not vstar-free; use EvalBoundedBool or EvalLogBool", s.plan.fragment)
+	}
+}
+
+func (s *Session) evalSimple() (*pattern.TupleSet, error) {
+	_, rc, _ := s.current()
+	if v, ok := rc.get("eval"); ok {
+		return v.(*pattern.TupleSet), nil
+	}
+	eq, err := s.plan.simpleQuery()
+	if err != nil {
+		return nil, err
+	}
+	res, err := ecrpq.Eval(eq, s.db)
+	if err != nil {
+		return nil, err
+	}
+	rc.put("eval", res)
+	return res, nil
+}
+
+// EvalVsf evaluates a vstar-free query by the Theorem 2 algorithm over the
+// plan's materialized branch combinations (falling back to streaming them
+// when the combination count exceeds the plan cap).
+func (s *Session) EvalVsf() (*pattern.TupleSet, error) { return s.evalVsfSession(false) }
+
+// EvalVsfBool decides D |= q for vstar-free q, short-circuiting on the
+// first matching branch combination.
+func (s *Session) EvalVsfBool() (bool, error) {
+	res, err := s.evalVsfSession(true)
+	if err != nil {
+		return false, err
+	}
+	return res.Len() > 0, nil
+}
+
+func (s *Session) evalVsfSession(boolOnly bool) (*pattern.TupleSet, error) {
+	_, rc, _ := s.current()
+	key := "vsf"
+	if boolOnly {
+		key = "vsfb"
+	}
+	if v, ok := rc.get(key); ok {
+		return v.(*pattern.TupleSet), nil
+	}
+	combos, overflow, err := s.plan.vsfCombos()
+	if err != nil {
+		return nil, err
+	}
+	var res *pattern.TupleSet
+	if overflow {
+		res, err = evalVsfStream(s.plan.q, s.db, boolOnly)
+	} else {
+		res, err = evalVsfCombos(combos, s.db, boolOnly)
+	}
+	if err != nil {
+		return nil, err
+	}
+	rc.put(key, res)
+	return res, nil
+}
+
+// evalVsfCombos evaluates materialized branch combinations concurrently
+// across the engine worker pool, aggregating through the same vsfSink as
+// the streaming path (evalVsfStream), so the two share one Boolean
+// contract.
+func evalVsfCombos(combos []vsfCombo, db *graph.DB, boolOnly bool) (*pattern.TupleSet, error) {
+	if len(combos) == 0 {
+		return pattern.NewTupleSet(), nil
+	}
+	db.Index() // prebuild once before fanning out
+
+	var stop atomic.Bool
+	sink := newVsfSink(boolOnly, &stop)
+	engine.Fan(len(combos), func(i int) {
+		if stop.Load() {
+			return
+		}
+		cb := combos[i]
+		var res *pattern.TupleSet
+		err := cb.err
+		if err == nil {
+			if boolOnly {
+				ok, berr := ecrpq.EvalBool(cb.eq, db)
+				if berr != nil {
+					err = berr
+				} else if ok {
+					res = pattern.NewTupleSet()
+					res.Add(pattern.Tuple{})
+				}
+			} else {
+				res, err = ecrpq.Eval(cb.eq, db)
+			}
+		}
+		sink.record(i, res, err)
+	})
+	return sink.finish()
+}
+
+// EvalBounded evaluates the query under the CXRPQ^≤k semantics (Theorem 6)
+// through the session caches.
+func (s *Session) EvalBounded(k int) (*pattern.TupleSet, error) {
+	return s.evalBoundedSession(k, false)
+}
+
+// EvalBoundedBool decides D |=^≤k q, short-circuiting on the first mapping.
+func (s *Session) EvalBoundedBool(k int) (bool, error) {
+	res, err := s.evalBoundedSession(k, true)
+	if err != nil {
+		return false, err
+	}
+	return res.Len() > 0, nil
+}
+
+// EvalLog evaluates the query under CXRPQ^log semantics (Corollary 1).
+func (s *Session) EvalLog() (*pattern.TupleSet, error) {
+	return s.EvalBounded(logBound(s.db))
+}
+
+// EvalLogBool decides D |=^log q.
+func (s *Session) EvalLogBool() (bool, error) {
+	return s.EvalBoundedBool(logBound(s.db))
+}
+
+func (s *Session) evalBoundedSession(k int, boolOnly bool) (*pattern.TupleSet, error) {
+	sc, rc, sigma := s.current()
+	key := fmt.Sprintf("bnd\x1f%d\x1f%v", k, boolOnly)
+	if v, ok := rc.get(key); ok {
+		return v.(*pattern.TupleSet), nil
+	}
+	bp, err := s.plan.boundedPlanFor()
+	if err != nil {
+		return nil, err
+	}
+	e, err := newBoundedEngine(bp, s.db, k, boolOnly, nil, sc, sigma)
+	if err != nil {
+		return nil, err
+	}
+	res, err := e.run()
+	if err != nil {
+		return nil, err
+	}
+	rc.put(key, res)
+	return res, nil
+}
+
+// Check decides t̄ ∈ q(D) with the fragment dispatch of the package-level
+// Check.
+func (s *Session) Check(t pattern.Tuple) (bool, error) {
+	switch s.plan.kind {
+	case kindClassical, kindSimple:
+		_, rc, _ := s.current()
+		key := "chk\x1f" + t.Key()
+		if v, ok := rc.get(key); ok {
+			return v.(bool), nil
+		}
+		eq, err := s.plan.simpleQuery()
+		if err != nil {
+			return false, err
+		}
+		ok, err := ecrpq.Check(eq, s.db, t)
+		if err != nil {
+			return false, err
+		}
+		rc.put(key, ok)
+		return ok, nil
+	case kindVsf:
+		return s.checkVsf(t)
+	default:
+		return false, fmt.Errorf("cxrpq: %s is not vstar-free; use CheckBounded", s.plan.fragment)
+	}
+}
+
+func (s *Session) checkVsf(t pattern.Tuple) (bool, error) {
+	_, rc, _ := s.current()
+	key := "chkv\x1f" + t.Key()
+	if v, ok := rc.get(key); ok {
+		return v.(bool), nil
+	}
+	combos, overflow, err := s.plan.vsfCombos()
+	if err != nil {
+		return false, err
+	}
+	if overflow {
+		return CheckVsf(s.plan.q, s.db, t)
+	}
+	found := false
+	for _, cb := range combos {
+		if cb.err != nil {
+			return false, cb.err
+		}
+		ok, err := ecrpq.Check(cb.eq, s.db, t)
+		if err != nil {
+			return false, err
+		}
+		if ok {
+			found = true
+			break
+		}
+	}
+	rc.put(key, found)
+	return found, nil
+}
+
+// CheckBounded decides t̄ ∈ q^≤k(D) (Theorem 6 semantics) through the
+// session caches: the output variables are pre-bound, so each leaf join
+// only searches for one extension of the tuple.
+func (s *Session) CheckBounded(k int, t pattern.Tuple) (bool, error) {
+	if len(t) != len(s.plan.q.Pattern.Out) {
+		return false, fmt.Errorf("cxrpq: tuple arity %d, query arity %d", len(t), len(s.plan.q.Pattern.Out))
+	}
+	sc, rc, sigma := s.current()
+	key := fmt.Sprintf("chkb\x1f%d\x1f%s", k, t.Key())
+	if v, ok := rc.get(key); ok {
+		return v.(bool), nil
+	}
+	pre := map[string]int{}
+	for i, z := range s.plan.q.Pattern.Out {
+		v := t[i]
+		if v < 0 || v >= s.db.NumNodes() {
+			return false, fmt.Errorf("cxrpq: node id %d out of range", v)
+		}
+		if prev, ok := pre[z]; ok && prev != v {
+			return false, nil // same output variable bound to two nodes
+		}
+		pre[z] = v
+	}
+	bp, err := s.plan.boundedPlanFor()
+	if err != nil {
+		return false, err
+	}
+	e, err := newBoundedEngine(bp, s.db, k, true, pre, sc, sigma)
+	if err != nil {
+		return false, err
+	}
+	res, err := e.run()
+	if err != nil {
+		return false, err
+	}
+	ok := res.Len() > 0
+	rc.put(key, ok)
+	return ok, nil
+}
+
+// explainVal is the result-cache entry type of the Explain methods.
+type explainVal struct {
+	ex *Explanation
+	ok bool
+}
+
+// Explain searches for one match (optionally constrained to output tuple t;
+// pass nil for any match) and reconstructs its witness, for any vstar-free
+// query. For unrestricted queries use ExplainBounded.
+func (s *Session) Explain(t pattern.Tuple) (*Explanation, bool, error) {
+	if s.plan.kind == kindGeneral {
+		return nil, false, fmt.Errorf("cxrpq: %s is not vstar-free; use ExplainBounded", s.plan.fragment)
+	}
+	_, rc, _ := s.current()
+	key := "exp\x1f" + t.Key()
+	if v, ok := rc.get(key); ok {
+		ev := v.(explainVal)
+		return ev.ex, ev.ok, nil
+	}
+	ex, ok, err := ExplainVsf(s.plan.q, s.db, t)
+	if err != nil {
+		return nil, false, err
+	}
+	rc.put(key, explainVal{ex, ok})
+	return ex, ok, nil
+}
+
+// ExplainBounded searches for one match under CXRPQ^≤k semantics and
+// reconstructs its witness. It runs the bounded engine sequentially — so
+// the witness is the first one in enumeration order — with a leaf that
+// searches the instantiated CRPQ for a concrete path witness instead of
+// joining cached relations; the engine's subtree pruning applies unchanged.
+func (s *Session) ExplainBounded(k int, t pattern.Tuple) (*Explanation, bool, error) {
+	sc, rc, sigma := s.current()
+	key := fmt.Sprintf("expb\x1f%d\x1f%s", k, t.Key())
+	if v, ok := rc.get(key); ok {
+		ev := v.(explainVal)
+		return ev.ex, ev.ok, nil
+	}
+	bp, err := s.plan.boundedPlanFor()
+	if err != nil {
+		return nil, false, err
+	}
+	e, err := newBoundedEngine(bp, s.db, k, false, nil, sc, sigma)
+	if err != nil {
+		return nil, false, err
+	}
+	e.seq = true
+	q := s.plan.q
+	var result *Explanation
+	e.leaf = func(st *boundedState) error {
+		g := &pattern.Graph{Out: append([]string(nil), q.Pattern.Out...)}
+		for i, pe := range q.Pattern.Edges {
+			g.Edges = append(g.Edges, pattern.Edge{From: pe.From, To: pe.To, Label: st.insts[i]})
+		}
+		w, ok, err := ecrpq.FindWitness(&ecrpq.Query{Pattern: g}, s.db, t)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		images := map[string]string{}
+		for x, v := range st.assign {
+			images[x] = v
+		}
+		result = &Explanation{NodeOf: w.NodeOf, Words: w.Words, Images: images}
+		e.stop.Store(true)
+		return nil
+	}
+	if _, err := e.run(); err != nil {
+		return nil, false, err
+	}
+	rc.put(key, explainVal{result, result != nil})
+	return result, result != nil, nil
+}
+
+// Request is one operation of an EvalBatch call.
+type Request struct {
+	Op        string        // "eval", "bool", "check" or "explain"
+	Semantics string        // "" or "auto": fragment dispatch; "bounded": ≤K semantics; "log": log semantics
+	K         int           // image bound for Semantics == "bounded" (k = 0 is legal: ε-only images)
+	Tuple     pattern.Tuple // check/explain argument (nil explains any match)
+}
+
+// Response is the result of one batch Request. Exactly the fields relevant
+// to the request's Op are set.
+type Response struct {
+	Tuples      *pattern.TupleSet // eval
+	OK          bool              // bool/check outcome; explain: match found
+	Explanation *Explanation      // explain
+	Err         error
+}
+
+// Do executes one request against the session.
+func (s *Session) Do(req Request) Response {
+	bounded := false
+	k := 0
+	switch req.Semantics {
+	case "", "auto":
+	case "bounded":
+		bounded, k = true, req.K
+	case "log":
+		bounded, k = true, logBound(s.db)
+	default:
+		return Response{Err: fmt.Errorf("cxrpq: unknown request semantics %q", req.Semantics)}
+	}
+	switch req.Op {
+	case "eval":
+		var res *pattern.TupleSet
+		var err error
+		if bounded {
+			res, err = s.EvalBounded(k)
+		} else {
+			res, err = s.Eval()
+		}
+		return Response{Tuples: res, OK: res != nil && res.Len() > 0, Err: err}
+	case "bool":
+		var ok bool
+		var err error
+		if bounded {
+			ok, err = s.EvalBoundedBool(k)
+		} else {
+			ok, err = s.EvalBool()
+		}
+		return Response{OK: ok, Err: err}
+	case "check":
+		var ok bool
+		var err error
+		if bounded {
+			ok, err = s.CheckBounded(k, req.Tuple)
+		} else {
+			ok, err = s.Check(req.Tuple)
+		}
+		return Response{OK: ok, Err: err}
+	case "explain":
+		var ex *Explanation
+		var ok bool
+		var err error
+		if bounded {
+			ex, ok, err = s.ExplainBounded(k, req.Tuple)
+		} else {
+			ex, ok, err = s.Explain(req.Tuple)
+		}
+		return Response{Explanation: ex, OK: ok, Err: err}
+	default:
+		return Response{Err: fmt.Errorf("cxrpq: unknown batch op %q", req.Op)}
+	}
+}
+
+// EvalBatch executes the requests concurrently across the engine worker
+// pool and returns the responses in request order. The requests share the
+// session caches, so overlapping work is done once.
+func (s *Session) EvalBatch(reqs []Request) []Response {
+	out := make([]Response, len(reqs))
+	engine.Fan(len(reqs), func(i int) {
+		out[i] = s.Do(reqs[i])
+	})
+	return out
+}

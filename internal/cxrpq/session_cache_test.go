@@ -1,0 +1,99 @@
+package cxrpq_test
+
+// Eviction edge cases for the session-scoped bounded caches: a relation
+// cache far smaller than the number of distinct instantiated labels must
+// still produce exact results (entries are pure caches), the eviction
+// counter must move, and the result cache must report hits on repeated
+// calls and honor its disable switch.
+
+import (
+	"testing"
+
+	"cxrpq/internal/cxrpq"
+	"cxrpq/internal/workload"
+)
+
+func TestSessionRelCacheEviction(t *testing.T) {
+	q := cxrpq.MustParse("ans(p, q)\np m : $x{a|b}c?\nm n : $y{$x|b}($x|$y)\nn q : $x+|b\n")
+	db := workload.Random(11, 6, 14, "abc")
+	const k = 2
+
+	want, err := cxrpq.EvalBoundedNaive(q, db, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	plan := cxrpq.MustPrepare(q)
+	// Capacity 2 forces constant epoch drops (a 3-edge query instantiates
+	// far more than 2 distinct labels per mapping sweep); result caching is
+	// disabled so the second call recomputes through the starved cache.
+	sess := plan.BindOpts(db, cxrpq.SessionOptions{RelCacheCap: 2, FeasCacheCap: 4, ResultCacheCap: -1})
+
+	for call := 0; call < 2; call++ {
+		got, err := sess.EvalBounded(k)
+		if err != nil {
+			t.Fatalf("call %d: %v", call, err)
+		}
+		if !got.Equal(want) {
+			t.Fatalf("call %d: wrong result under eviction pressure: %d tuples, want %d",
+				call, got.Len(), want.Len())
+		}
+	}
+	st := sess.Stats()
+	if st.Rel.Evictions == 0 {
+		t.Fatalf("expected relation-cache evictions at capacity 2, got %+v", st.Rel)
+	}
+	if st.Rel.Size > 2 {
+		t.Fatalf("relation cache exceeded its capacity: %+v", st.Rel)
+	}
+	if st.Rel.Misses == 0 {
+		t.Fatalf("expected relation-cache misses, got %+v", st.Rel)
+	}
+	if st.ResultHits != 0 || st.ResultMisses != 0 {
+		t.Fatalf("result cache disabled but counted: %+v", st)
+	}
+
+	// An amply sized session must agree with the starved one and show
+	// result-cache hits on the repeated call.
+	roomy := plan.Bind(db)
+	r1, err := roomy.EvalBounded(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := roomy.EvalBounded(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r1.Equal(want) || !r2.Equal(want) {
+		t.Fatal("roomy session diverged")
+	}
+	rst := roomy.Stats()
+	if rst.ResultHits == 0 {
+		t.Fatalf("expected a result-cache hit on the repeated call, got %+v", rst)
+	}
+	if rst.Rel.Evictions != 0 {
+		t.Fatalf("roomy session should not evict, got %+v", rst.Rel)
+	}
+}
+
+// The feasibility memo must also survive overflow (epoch drop) without
+// affecting results: a tiny FeasCacheCap exercises the drop path on every
+// enumeration sweep.
+func TestSessionFeasMemoOverflow(t *testing.T) {
+	q := cxrpq.MustParse("ans(p)\np m : $x{a|b}\nm q : $y{$x a?}$y\n")
+	db := workload.Random(3, 5, 12, "ab")
+	want, err := cxrpq.EvalBoundedNaive(q, db, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := cxrpq.MustPrepare(q).BindOpts(db, cxrpq.SessionOptions{FeasCacheCap: 1, ResultCacheCap: -1})
+	for i := 0; i < 2; i++ {
+		got, err := sess.EvalBounded(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(want) {
+			t.Fatalf("wrong result with overflowing feasibility memo: %d vs %d tuples", got.Len(), want.Len())
+		}
+	}
+}

@@ -1,0 +1,220 @@
+package cxrpq_test
+
+// Concurrency stress tests for the Session layer: many goroutines share one
+// Session and issue mixed Eval/Check/Explain/batch calls; every result must
+// match the sequentially computed ground truth, under -race. A second test
+// drives the invalidation contract: after a (quiescent) DB mutation the
+// session must never serve relations derived from the old revision, with
+// and without an explicit Invalidate call.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"cxrpq/internal/cxrpq"
+	"cxrpq/internal/graph"
+	"cxrpq/internal/pattern"
+	"cxrpq/internal/workload"
+)
+
+func TestSessionConcurrentStressBounded(t *testing.T) {
+	// General-fragment query: only the bounded engine applies.
+	q := cxrpq.MustParse("ans(p, q)\np m : $x{a|b}c?\nm n : $y{$x|b}($x|$y)\nn q : $x+|b\n")
+	db := workload.Random(42, 6, 14, "abc")
+	const k = 2
+
+	want, err := cxrpq.EvalBoundedNaive(q, db, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBool := want.Len() > 0
+	members := want.Sorted()
+	nonMember := pattern.Tuple{0, 0}
+	for v := 0; v < db.NumNodes(); v++ {
+		probe := pattern.Tuple{v, v}
+		if !want.Contains(probe) {
+			nonMember = probe
+			break
+		}
+	}
+
+	plan, err := cxrpq.Prepare(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := plan.Bind(db)
+
+	const goroutines = 8
+	const iters = 20
+	errs := make(chan error, goroutines*iters)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				switch (g + i) % 5 {
+				case 0:
+					res, err := sess.EvalBounded(k)
+					if err != nil {
+						errs <- fmt.Errorf("EvalBounded: %v", err)
+					} else if !res.Equal(want) {
+						errs <- fmt.Errorf("EvalBounded: %d tuples, want %d", res.Len(), want.Len())
+					}
+				case 1:
+					ok, err := sess.EvalBoundedBool(k)
+					if err != nil || ok != wantBool {
+						errs <- fmt.Errorf("EvalBoundedBool=%v err=%v, want %v", ok, err, wantBool)
+					}
+				case 2:
+					tup := members[(g*iters+i)%len(members)]
+					ok, err := sess.CheckBounded(k, tup)
+					if err != nil || !ok {
+						errs <- fmt.Errorf("CheckBounded(%v)=%v err=%v, want true", tup, ok, err)
+					}
+					if ok2, err := sess.CheckBounded(k, nonMember); err != nil || ok2 {
+						errs <- fmt.Errorf("CheckBounded(%v)=%v err=%v, want false", nonMember, ok2, err)
+					}
+				case 3:
+					ex, ok, err := sess.ExplainBounded(k, nil)
+					if err != nil || ok != wantBool {
+						errs <- fmt.Errorf("ExplainBounded ok=%v err=%v, want %v", ok, err, wantBool)
+					} else if ok && ex == nil {
+						errs <- fmt.Errorf("ExplainBounded: ok without explanation")
+					}
+				case 4:
+					resps := sess.EvalBatch([]cxrpq.Request{
+						{Op: "eval", Semantics: "bounded", K: k},
+						{Op: "bool", Semantics: "bounded", K: k},
+						{Op: "check", Semantics: "bounded", K: k, Tuple: members[0]},
+					})
+					if resps[0].Err != nil || !resps[0].Tuples.Equal(want) {
+						errs <- fmt.Errorf("batch eval diverged: %v", resps[0].Err)
+					}
+					if resps[1].Err != nil || resps[1].OK != wantBool {
+						errs <- fmt.Errorf("batch bool diverged: %v", resps[1].Err)
+					}
+					if resps[2].Err != nil || !resps[2].OK {
+						errs <- fmt.Errorf("batch check diverged: %v", resps[2].Err)
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	st := sess.Stats()
+	if st.Rel.Hits == 0 {
+		t.Errorf("expected relation-cache hits under concurrent reuse, got %+v", st.Rel)
+	}
+}
+
+func TestSessionConcurrentStressVsf(t *testing.T) {
+	// Vstar-free query: the materialized branch-combination path.
+	q := cxrpq.MustParse("ans(p, q)\np m : $x{aa|b}\nm q : ($x|c)b?\n")
+	db := workload.Random(7, 7, 18, "abc")
+
+	want, err := cxrpq.EvalVsf(q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBool := want.Len() > 0
+	sess := cxrpq.MustPrepare(q).Bind(db)
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 200)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 15; i++ {
+				switch (g + i) % 3 {
+				case 0:
+					res, err := sess.Eval()
+					if err != nil || !res.Equal(want) {
+						errs <- fmt.Errorf("vsf Eval diverged: %v", err)
+					}
+				case 1:
+					ok, err := sess.EvalBool()
+					if err != nil || ok != wantBool {
+						errs <- fmt.Errorf("vsf EvalBool=%v err=%v", ok, err)
+					}
+				case 2:
+					if want.Len() > 0 {
+						tup := want.Sorted()[(g+i)%want.Len()]
+						ok, err := sess.Check(tup)
+						if err != nil || !ok {
+							errs <- fmt.Errorf("vsf Check(%v)=%v err=%v", tup, ok, err)
+						}
+						if _, ok, err := sess.Explain(tup); err != nil || !ok {
+							errs <- fmt.Errorf("vsf Explain(%v) ok=%v err=%v", tup, ok, err)
+						}
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestSessionInvalidation drives the invalidation contract: a session must
+// never serve relations from a stale DB revision after a quiescent
+// mutation, both via the automatic revision check and via an explicit
+// Invalidate call.
+func TestSessionInvalidation(t *testing.T) {
+	db := graph.New()
+	u, v, w := db.Node("u"), db.Node("v"), db.Node("w")
+	db.AddEdge(u, 'a', v)
+	db.AddEdge(v, 'b', w)
+
+	q := cxrpq.MustParse("ans(p, q)\np m : $x{a|b}\nm q : $x|b\n")
+	sess := cxrpq.MustPrepare(q).Bind(db)
+
+	check := func(label string) {
+		t.Helper()
+		got, err := sess.EvalBounded(1)
+		if err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		want, err := cxrpq.EvalBoundedNaive(q, db, 1)
+		if err != nil {
+			t.Fatalf("%s: naive: %v", label, err)
+		}
+		if !got.Equal(want) {
+			t.Fatalf("%s: stale result: session %d tuples, fresh naive %d", label, got.Len(), want.Len())
+		}
+	}
+
+	check("initial")
+	before, _ := sess.EvalBounded(1)
+
+	// Mutation 1: new edges that add answers; the automatic revision check
+	// must drop the caches.
+	x := db.Node("x")
+	db.AddEdge(w, 'a', x)
+	db.AddEdge(x, 'a', u)
+	check("after mutation (auto revision check)")
+	after, _ := sess.EvalBounded(1)
+	if after.Equal(before) {
+		t.Fatal("mutation did not change the answer set; test is vacuous")
+	}
+
+	// Mutation 2: explicit Invalidate before the next call must behave the
+	// same (and is allowed to be redundant with the revision check).
+	db.AddEdge(u, 'b', w)
+	sess.Invalidate()
+	check("after mutation (explicit Invalidate)")
+
+	// A new symbol extends the session alphabet too.
+	db.AddEdge(w, 'c', u)
+	check("after alphabet-extending mutation")
+}

@@ -1,0 +1,90 @@
+package ecrpq
+
+import (
+	"sync"
+
+	"cxrpq/internal/graph"
+	"cxrpq/internal/xregex"
+)
+
+// RelCache is a bounded cache of materialized EdgeRels keyed by the
+// canonical print of the (classical) label plus the alphabet. It is the
+// sharing point of the prepared-query session layer: one session owns one
+// RelCache per database binding, so the relations derived by one evaluation
+// are reused by every later — and every concurrent — evaluation on the same
+// session. On overflow the whole epoch is dropped (entries are pure caches,
+// so correctness is unaffected). The zero value is not usable; construct
+// with NewRelCache. All methods are safe for concurrent use.
+type RelCache struct {
+	mu        sync.Mutex
+	cap       int
+	m         map[string]*EdgeRel
+	hits      uint64
+	misses    uint64
+	evictions uint64
+}
+
+// DefaultRelCacheCap is the capacity used when NewRelCache receives n <= 0.
+const DefaultRelCacheCap = 8192
+
+// NewRelCache returns an empty relation cache holding at most n entries
+// (n <= 0 selects DefaultRelCacheCap).
+func NewRelCache(n int) *RelCache {
+	if n <= 0 {
+		n = DefaultRelCacheCap
+	}
+	return &RelCache{cap: n, m: map[string]*EdgeRel{}}
+}
+
+// For resolves the relation of label over db through the cache, computing
+// and inserting it on a miss (see RelationFor).
+func (c *RelCache) For(db *graph.DB, label xregex.Node, sigma []rune) (*EdgeRel, error) {
+	key := xregex.String(label) + "\x00" + string(sigma)
+	c.mu.Lock()
+	if r, ok := c.m[key]; ok {
+		c.hits++
+		c.mu.Unlock()
+		return r, nil
+	}
+	c.misses++
+	c.mu.Unlock()
+	r, err := RelationFor(db, label, sigma)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if old, ok := c.m[key]; ok { // raced with another worker
+		return old, nil
+	}
+	if len(c.m) >= c.cap {
+		c.m = map[string]*EdgeRel{}
+		c.evictions++
+	}
+	c.m[key] = r
+	return r, nil
+}
+
+// RelCacheStats is a point-in-time snapshot of a RelCache's counters.
+type RelCacheStats struct {
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64 // whole-epoch drops on overflow
+	Size      int    // live entries
+	Cap       int
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *RelCache) Stats() RelCacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return RelCacheStats{Hits: c.hits, Misses: c.misses, Evictions: c.evictions, Size: len(c.m), Cap: c.cap}
+}
+
+// Reset drops every entry (the counters are kept); used by session
+// invalidation after a database mutation.
+func (c *RelCache) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m = map[string]*EdgeRel{}
+}

@@ -1,0 +1,153 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"cxrpq/internal/cxrpq"
+	"cxrpq/internal/graph"
+	"cxrpq/internal/pattern"
+	"cxrpq/internal/reductions"
+	"cxrpq/internal/workload"
+)
+
+// PreparedReuseItem is one workload of the prepared-session experiment:
+// the same evaluation issued through the one-shot API and through a bound
+// Session, with an agreement check between the two.
+type PreparedReuseItem struct {
+	Name    string
+	Query   *cxrpq.Query
+	DB      *graph.DB
+	OneShot func(*cxrpq.Query, *graph.DB) (*pattern.TupleSet, error)
+	Session func(*cxrpq.Session) (*pattern.TupleSet, error)
+}
+
+// PreparedReuseItems returns the workloads of E19 (shared with
+// BenchmarkPreparedReuse): the E2 bounded queries, the E6 vstar-free query
+// and the E9 hitting-set reduction.
+func PreparedReuseItems(scale int) ([]PreparedReuseItem, error) {
+	boolSet := func(ok bool) *pattern.TupleSet {
+		s := pattern.NewTupleSet()
+		if ok {
+			s.Add(pattern.Tuple{})
+		}
+		return s
+	}
+	h := &reductions.HittingSetInstance{N: 3, Sets: [][]int{{0, 1}, {1, 2}}, K: 1}
+	hq, err := h.ToCXRPQ()
+	if err != nil {
+		return nil, err
+	}
+	return []PreparedReuseItem{
+		{
+			Name:  "E2-G1 (bounded k=1)",
+			Query: cxrpq.MustParse("ans(v1, v2)\nu v1 : $x{a|b}\nu v2 : ($x|c)+"),
+			DB:    workload.Random(3, 10*scale, 25*scale, "abc"),
+			OneShot: func(q *cxrpq.Query, db *graph.DB) (*pattern.TupleSet, error) {
+				return cxrpq.EvalBounded(q, db, 1)
+			},
+			Session: func(s *cxrpq.Session) (*pattern.TupleSet, error) { return s.EvalBounded(1) },
+		},
+		{
+			Name:  "E2-G3 (bounded k=2)",
+			Query: cxrpq.MustParse("ans(v1, v2)\nv1 v2 : $x{..+}\nv2 v1 : $y{..+}\nv1 w : ($x|$y)+\nv2 w : ($x|$y)+"),
+			DB:    workload.MessageNetwork(7, 8*scale, "ab", 2, 2, 2),
+			OneShot: func(q *cxrpq.Query, db *graph.DB) (*pattern.TupleSet, error) {
+				return cxrpq.EvalBounded(q, db, 2)
+			},
+			Session: func(s *cxrpq.Session) (*pattern.TupleSet, error) { return s.EvalBounded(2) },
+		},
+		{
+			Name:  "E6 (vstar-free)",
+			Query: cxrpq.MustParse("ans(v1, v2)\nv1 v2 : $x{aa|b}\nv2 v3 : c*\nv3 v1 : $x|c"),
+			DB:    workload.Random(9, 24*scale, 72*scale, "abc"),
+			OneShot: func(q *cxrpq.Query, db *graph.DB) (*pattern.TupleSet, error) {
+				return cxrpq.EvalVsf(q, db)
+			},
+			Session: func(s *cxrpq.Session) (*pattern.TupleSet, error) { return s.EvalVsf() },
+		},
+		{
+			Name:  "E9 (hitting set, bounded k=1)",
+			Query: hq,
+			DB:    h.ToGraphDB(),
+			OneShot: func(q *cxrpq.Query, db *graph.DB) (*pattern.TupleSet, error) {
+				ok, err := cxrpq.EvalBoundedBool(q, db, 1)
+				return boolSet(ok), err
+			},
+			Session: func(s *cxrpq.Session) (*pattern.TupleSet, error) {
+				ok, err := s.EvalBoundedBool(1)
+				return boolSet(ok), err
+			},
+		},
+	}, nil
+}
+
+// E19PreparedReuse measures the prepared-query subsystem (PR 3): Plan.Bind
+// once and re-evaluate through the Session caches, against the same number
+// of one-shot evaluations that recompile and re-derive everything per call.
+// Two session variants are timed: the default (whole-result cache on — the
+// server's hot path for repeated identical queries) and one with the result
+// cache disabled, which isolates the structural reuse (plan + relation /
+// feasibility caches) so a regression there cannot hide behind result-cache
+// hits. Session and one-shot results are asserted equal on every rep.
+func E19PreparedReuse(scale int) *Table {
+	t := &Table{ID: "E19", Title: "Prepared sessions: repeated Session eval vs repeated one-shot eval",
+		Header: []string{"workload", "reps", "one-shot", "session", "session (no result cache)", "speedup", "speedup (no rc)"}}
+	items, err := PreparedReuseItems(scale)
+	if err != nil {
+		return fail(t, err)
+	}
+	reps := 4 * scale
+	for _, it := range items {
+		var want *pattern.TupleSet
+		startOne := time.Now()
+		for i := 0; i < reps; i++ {
+			res, err := it.OneShot(it.Query, it.DB)
+			if err != nil {
+				return fail(t, err)
+			}
+			want = res
+		}
+		oneShot := time.Since(startOne)
+
+		plan, err := cxrpq.Prepare(it.Query)
+		if err != nil {
+			return fail(t, err)
+		}
+		timeSession := func(sess *cxrpq.Session) (time.Duration, error) {
+			start := time.Now()
+			for i := 0; i < reps; i++ {
+				res, err := it.Session(sess)
+				if err != nil {
+					return 0, err
+				}
+				if !res.Equal(want) {
+					return 0, fmt.Errorf("%s: session result diverged from one-shot", it.Name)
+				}
+			}
+			return time.Since(start), nil
+		}
+		sessD, err := timeSession(plan.Bind(it.DB))
+		if err != nil {
+			return fail(t, err)
+		}
+		noRC, err := timeSession(plan.BindOpts(it.DB, cxrpq.SessionOptions{ResultCacheCap: -1}))
+		if err != nil {
+			return fail(t, err)
+		}
+
+		speedup := func(d time.Duration) string {
+			return fmt.Sprintf("%.1fx", float64(oneShot.Nanoseconds())/float64(max64(d.Nanoseconds(), 1)))
+		}
+		t.Rows = append(t.Rows, []string{it.Name, fmt.Sprint(reps),
+			ms(oneShot), ms(sessD), ms(noRC), speedup(sessD), speedup(noRC)})
+	}
+	return t
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

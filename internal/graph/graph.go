@@ -91,6 +91,13 @@ func (d *DB) Index() *Index {
 	return d.idx
 }
 
+// Revision returns the database's mutation counter: it is bumped by every
+// Node/AddEdge call, so a caller holding derived state (the label index, a
+// prepared-query session's relation caches) can detect staleness by
+// comparing revisions. Mutations must not run concurrently with readers;
+// the revision check supports the sequential mutate-then-query pattern.
+func (d *DB) Revision() uint64 { return d.version }
+
 // AddEdgeNames adds an arc between named nodes, creating them as needed.
 func (d *DB) AddEdgeNames(from string, label rune, to string) {
 	d.AddEdge(d.Node(from), label, d.Node(to))

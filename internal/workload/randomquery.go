@@ -1,0 +1,78 @@
+package workload
+
+import (
+	"strings"
+
+	"cxrpq/internal/cxrpq"
+)
+
+// This file generates random CXRPQ queries over the alphabet {a, b} for the
+// differential fuzz harness and the benchmarks: small conjunctive patterns
+// (2–3 edges) with one or two string variables, the second variable's
+// definition body possibly referencing the first, so the ≺-topological
+// prefix machinery, the Lemma 10 force condition and the bounded engine's
+// relaxed-atom pruning all fire across the corpus. Every template yields a
+// valid (sequential, acyclic) conjunctive xregex by construction.
+
+// RandomQueryMaxWord bounds the length of any word matched by any edge of a
+// finite-mode RandomQuery: with finite=true every sub-language is finite,
+// definition-body images have length ≤ RandomQueryMaxImage, and no matched
+// edge word exceeds RandomQueryMaxWord. Under these bounds the brute-force
+// oracle with word cap RandomQueryMaxWord computes the query's exact
+// (unrestricted) semantics, which coincides with the ≤k semantics for every
+// k ≥ RandomQueryMaxImage — the property the three-way differential fuzz
+// harness relies on.
+const (
+	RandomQueryMaxWord  = 3
+	RandomQueryMaxImage = 1
+)
+
+// finite-mode pools: every expression denotes a finite language; definition
+// bodies produce images of length ≤ RandomQueryMaxImage. The bounds are
+// kept tiny on purpose: the oracle's cost is exponential in the word cap,
+// and the finite mode exists to make the oracle comparison exact, not deep
+// (the general mode covers depth via the naive differential).
+var (
+	finXBodies = []string{"a|b", "a", "b", "a?", "b?"}
+	finYBodies = []string{"$x", "$x|b", "a|b", "b?"}
+	finTail1   = []string{"", "a?", "b?"}
+	finMids    = []string{"", "$x", "a?"}
+	finTails   = []string{"$x", "$y", "$x$y", "($x|$y)", "a?b?"}
+)
+
+// general-mode pools: repetition operators included (references under
+// Plus/Star, classical star tails), exercising the engines beyond finite
+// languages; the oracle can then only be compared by containment.
+var (
+	genXBodies = []string{"a|b", "(a|b)+", "ab|b", "b?a"}
+	genYBodies = []string{"$x", "$x|b", "a|b", "$x a?"}
+	genTail1   = []string{"", "c?", "a*"}
+	genMids    = []string{"$y", "($x|$y)", "$x+", "($y|a)b*"}
+	genTails   = []string{"$x", "$x+|b", "($x|$y)+", "$y?a*"}
+)
+
+var outHeads = []string{"ans()", "ans(p)", "ans(p, q)", "ans(p, m)"}
+
+// RandomQuery returns a random small CXRPQ drawn from r. With finite=true
+// the query's languages are all finite and bounded as documented on
+// RandomQueryMaxWord, making exact oracle comparison possible; with
+// finite=false the templates include repetition operators. The generated
+// source always parses and validates.
+func RandomQuery(r *RNG, finite bool) *cxrpq.Query {
+	xB, yB, t1, mids, tails := genXBodies, genYBodies, genTail1, genMids, genTails
+	if finite {
+		xB, yB, t1, mids, tails = finXBodies, finYBodies, finTail1, finMids, finTails
+	}
+	var b strings.Builder
+	b.WriteString(outHeads[r.Intn(len(outHeads))])
+	b.WriteString("\n")
+	threeEdges := r.Intn(2) == 0
+	b.WriteString("p m : $x{" + xB[r.Intn(len(xB))] + "}" + t1[r.Intn(len(t1))] + "\n")
+	if threeEdges {
+		b.WriteString("m n : $y{" + yB[r.Intn(len(yB))] + "}" + mids[r.Intn(len(mids))] + "\n")
+		b.WriteString("n q : " + tails[r.Intn(len(tails))] + "\n")
+	} else {
+		b.WriteString("m q : $y{" + yB[r.Intn(len(yB))] + "}" + tails[r.Intn(len(tails))] + "\n")
+	}
+	return cxrpq.MustParse(b.String())
+}

@@ -11,14 +11,16 @@ import (
 	"cxrpq/internal/graph"
 )
 
-// rng is a small deterministic PRNG (SplitMix-style) so experiments are
-// reproducible without importing math/rand state.
-type rng struct{ s uint64 }
+// RNG is a small deterministic PRNG (SplitMix-style) so experiments are
+// reproducible without importing math/rand state. It is exported so
+// external test packages (the differential fuzz harness, benchmarks) can
+// drive the generators with their own seeds.
+type RNG struct{ s uint64 }
 
 // NewRNG returns a deterministic generator.
-func NewRNG(seed int64) *rng { return &rng{s: uint64(seed)*2654435761 + 1} }
+func NewRNG(seed int64) *RNG { return &RNG{s: uint64(seed)*2654435761 + 1} }
 
-func (r *rng) next() uint64 {
+func (r *RNG) next() uint64 {
 	r.s += 0x9e3779b97f4a7c15
 	z := r.s
 	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
@@ -27,7 +29,7 @@ func (r *rng) next() uint64 {
 }
 
 // Intn returns a uniform value in [0, n).
-func (r *rng) Intn(n int) int { return int(r.next() % uint64(n)) }
+func (r *RNG) Intn(n int) int { return int(r.next() % uint64(n)) }
 
 // Random returns a random multigraph with the given node count, edge count
 // and label alphabet.

@@ -81,3 +81,20 @@ func TestLayered(t *testing.T) {
 		t.Fatalf("edges = %d", g.NumEdges())
 	}
 }
+
+// Every RandomQuery template must parse and validate for any seed, and the
+// generator must be deterministic per seed (the fuzz harness replays seeds).
+func TestRandomQueryValidAndDeterministic(t *testing.T) {
+	for seed := int64(0); seed < 3000; seed++ {
+		for _, finite := range []bool{true, false} {
+			q1 := RandomQuery(NewRNG(seed), finite)
+			q2 := RandomQuery(NewRNG(seed), finite)
+			if err := q1.Validate(); err != nil {
+				t.Fatalf("seed %d finite=%v: %v", seed, finite, err)
+			}
+			if q1.Pattern.String() != q2.Pattern.String() {
+				t.Fatalf("seed %d finite=%v: nondeterministic generator", seed, finite)
+			}
+		}
+	}
+}

@@ -16,14 +16,55 @@ import (
 // the canonical print plus the alphabet, so the determinization work warmed
 // by one caller is shared by every concurrent one.
 
-// matchCacheCap bounds the process-wide cache; on overflow the whole epoch
-// is dropped (cheap, and correct because entries are pure caches).
-const matchCacheCap = 4096
+// defaultMatchCacheCap bounds the process-wide cache; on overflow the whole
+// epoch is dropped (cheap, and correct because entries are pure caches).
+const defaultMatchCacheCap = 4096
 
 var (
-	matchMu    sync.Mutex
-	matchCache = map[string]*automata.SubsetCache{}
+	matchMu        sync.Mutex
+	matchCacheCap  = defaultMatchCacheCap
+	matchCache     = map[string]*automata.SubsetCache{}
+	matchHits      uint64
+	matchMisses    uint64
+	matchEvictions uint64
 )
+
+// MatchCacheStats is a snapshot of the process-wide match-cache counters.
+type MatchCacheStats struct {
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64 // whole-epoch drops on overflow
+	Size      int
+	Cap       int
+}
+
+// MatchCacheInfo returns the current counters of the process-wide compiled
+// cache behind Matches.
+func MatchCacheInfo() MatchCacheStats {
+	matchMu.Lock()
+	defer matchMu.Unlock()
+	return MatchCacheStats{Hits: matchHits, Misses: matchMisses,
+		Evictions: matchEvictions, Size: len(matchCache), Cap: matchCacheCap}
+}
+
+// SetMatchCacheCap sets the capacity of the process-wide compiled cache and
+// returns the previous value (n <= 0 restores the default). Shrinking below
+// the live size drops the whole epoch. Exposed for tests exercising the
+// eviction path and for tuning long-running servers.
+func SetMatchCacheCap(n int) int {
+	matchMu.Lock()
+	defer matchMu.Unlock()
+	prev := matchCacheCap
+	if n <= 0 {
+		n = defaultMatchCacheCap
+	}
+	matchCacheCap = n
+	if len(matchCache) >= matchCacheCap {
+		matchCache = map[string]*automata.SubsetCache{}
+		matchEvictions++
+	}
+	return prev
+}
 
 // subsetFor returns the shared determinization cache for the classical
 // expression n over sigma, compiling it on first use.
@@ -31,9 +72,11 @@ func subsetFor(n Node, sigma []rune) (*automata.SubsetCache, error) {
 	key := String(n) + "\x00" + string(sigma)
 	matchMu.Lock()
 	if c, ok := matchCache[key]; ok {
+		matchHits++
 		matchMu.Unlock()
 		return c, nil
 	}
+	matchMisses++
 	matchMu.Unlock()
 
 	m, err := Compile(n, sigma)
@@ -48,6 +91,7 @@ func subsetFor(n Node, sigma []rune) (*automata.SubsetCache, error) {
 	}
 	if len(matchCache) >= matchCacheCap {
 		matchCache = map[string]*automata.SubsetCache{}
+		matchEvictions++
 	}
 	matchCache[key] = c
 	return c, nil

@@ -1,0 +1,87 @@
+package xregex
+
+// Eviction edge cases for the process-wide compiled cache behind Matches:
+// filling past capacity must drop the epoch (counted), keep answering
+// correctly, and the hit/miss counters must move as specified.
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMatchCacheEvictionCorrectness(t *testing.T) {
+	prev := SetMatchCacheCap(4)
+	defer SetMatchCacheCap(prev)
+
+	sigma := []rune("ab")
+	before := MatchCacheInfo()
+
+	// 20 distinct expressions against a cap of 4: at least 4 epoch drops.
+	words := make([]string, 20)
+	for i := range words {
+		words[i] = strings.Repeat("a", i%5+1) + strings.Repeat("b", i/5)
+	}
+	for _, w := range words {
+		ok, err := Matches(Word(w), w, sigma)
+		if err != nil || !ok {
+			t.Fatalf("Matches(%q, %q) = %v, %v; want true", w, w, ok, err)
+		}
+		ok, err = Matches(Word(w), w+"a", sigma)
+		if err != nil || ok {
+			t.Fatalf("Matches(%q, %q) = %v, %v; want false", w, w+"a", ok, err)
+		}
+	}
+	mid := MatchCacheInfo()
+	if mid.Evictions <= before.Evictions {
+		t.Fatalf("expected epoch drops past capacity: before %+v, after %+v", before, mid)
+	}
+	if mid.Misses-before.Misses < 20 {
+		t.Fatalf("expected ≥20 misses for 20 distinct expressions, got %d", mid.Misses-before.Misses)
+	}
+	if mid.Size > mid.Cap {
+		t.Fatalf("live size %d exceeds cap %d", mid.Size, mid.Cap)
+	}
+
+	// Re-querying expressions evicted earlier must still answer correctly
+	// (recompiled on a fresh miss).
+	for _, w := range words[:4] {
+		ok, err := Matches(Word(w), w, sigma)
+		if err != nil || !ok {
+			t.Fatalf("post-eviction Matches(%q) = %v, %v; want true", w, ok, err)
+		}
+	}
+
+	// Repeated queries inside one epoch must hit: the second Matches of an
+	// expression just inserted cannot miss.
+	h0 := MatchCacheInfo().Hits
+	for i := 0; i < 3; i++ {
+		if ok, err := Matches(Word("abab"), "abab", sigma); err != nil || !ok {
+			t.Fatalf("Matches(abab) = %v, %v", ok, err)
+		}
+	}
+	if h2 := MatchCacheInfo().Hits; h2 < h0+2 {
+		t.Fatalf("expected ≥2 hits from repeated queries, got %d", h2-h0)
+	}
+}
+
+func TestSetMatchCacheCapShrinkDropsEpoch(t *testing.T) {
+	prev := SetMatchCacheCap(64)
+	defer SetMatchCacheCap(prev)
+	sigma := []rune("ab")
+	for _, w := range []string{"a", "b", "ab", "ba", "aa"} {
+		if _, err := Matches(Word(w), w, sigma); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if MatchCacheInfo().Size < 5 {
+		t.Fatalf("expected ≥5 live entries, got %d", MatchCacheInfo().Size)
+	}
+	SetMatchCacheCap(2) // below live size: whole epoch must drop
+	if got := MatchCacheInfo().Size; got != 0 {
+		t.Fatalf("expected empty cache after shrink below live size, got %d", got)
+	}
+	// still correct after the drop
+	if ok, err := Matches(Word("ab"), "ab", sigma); err != nil || !ok {
+		t.Fatalf("Matches(ab) after shrink = %v, %v", ok, err)
+	}
+}
