@@ -308,6 +308,33 @@ func BenchmarkPreparedReuse(b *testing.B) {
 
 func BenchmarkE19PreparedReuse(b *testing.B) { benchTable(b, exp.E19PreparedReuse) }
 
+// BenchmarkPlannerJoin measures the cost-based planning layer (PR 4) on
+// the skewed-cardinality workload (one dense hub atom + selective atoms,
+// workload.SkewedJoin), running the exact E20 items: "structural" forces
+// the historical most-bound-first order, "planner" lets the
+// cardinality-estimated order and the semijoin domain reduction run. The
+// acceptance floor is a measurable speedup on every path (see E20's
+// metrics in BENCH_engine.json for recorded ratios).
+func BenchmarkPlannerJoin(b *testing.B) {
+	items, err := exp.PlannerJoinItems(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, it := range items {
+		run := func(name string, eval func() (*pattern.TupleSet, error)) {
+			b.Run(it.Name+"/"+name, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := eval(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+		run("structural", it.Structural)
+		run("planner", it.Planned)
+	}
+}
+
 // TestEmitBenchJSON writes the machine-readable experiment benchmark report
 // when BENCH_JSON names an output path (e.g. BENCH_JSON=BENCH_engine.json
 // go test -run TestEmitBenchJSON .), the same format cxrpq-exp -json emits.

@@ -185,3 +185,45 @@ func TestHealthzAndStats(t *testing.T) {
 		t.Fatalf("stats dbs = %v", dbs)
 	}
 }
+
+func TestPlanEndpoint(t *testing.T) {
+	_, ts := testServer(t)
+	// g1 has two a-edges from u and one b-edge from v: the selective b atom
+	// must be placed before the a atom by the cost-based order.
+	code, out := postJSON(t, ts.URL+"/plan", `{"db":"g1","query":"ans(x, z)\nx y : a\ny z : b"}`)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %v", code, out)
+	}
+	if out["fragment"] != "CRPQ" || out["cost_based"] != true {
+		t.Fatalf("plan header = %v", out)
+	}
+	steps := out["steps"].([]any)
+	if len(steps) != 2 {
+		t.Fatalf("steps = %v", steps)
+	}
+	first := steps[0].(map[string]any)
+	if first["label"] != "b" || first["mode"] != "scan" {
+		t.Fatalf("first step = %v", first)
+	}
+	second := steps[1].(map[string]any)
+	if second["label"] != "a" || second["mode"] != "expand-rev" {
+		t.Fatalf("second step = %v", second)
+	}
+	labels := out["labels"].([]any)
+	if len(labels) != 2 {
+		t.Fatalf("labels = %v", labels)
+	}
+	// Inline graphs work too; unknown db and missing query are rejected.
+	code, _ = postJSON(t, ts.URL+"/plan", `{"graph":"u a v","query":"ans(x, y)\nx y : a"}`)
+	if code != http.StatusOK {
+		t.Fatalf("inline plan status %d", code)
+	}
+	code, _ = postJSON(t, ts.URL+"/plan", `{"db":"nope","query":"ans()\nx y : a"}`)
+	if code != http.StatusNotFound {
+		t.Fatalf("unknown db status %d", code)
+	}
+	code, _ = postJSON(t, ts.URL+"/plan", `{"db":"g1"}`)
+	if code != http.StatusBadRequest {
+		t.Fatalf("missing query status %d", code)
+	}
+}

@@ -9,6 +9,7 @@ package main
 // (sessions observe the graph.DB revision bump).
 //
 //	POST /query   {"db":"g1","query":"ans(x,y)\nx y : a","mode":"eval"}
+//	POST /plan    {"db":"g1","query":"ans(x,y)\nx y : a"}
 //	POST /update  {"db":"g1","edges":"u a v\nv b w"}
 //	GET  /healthz
 //	GET  /stats
@@ -120,6 +121,7 @@ func (s *server) entry(name string) (*dbEntry, bool) {
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", s.limited(s.handleQuery))
+	mux.HandleFunc("/plan", s.limited(s.handlePlan))
 	mux.HandleFunc("/update", s.limited(s.handleUpdate))
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/stats", s.handleStats)
@@ -333,6 +335,105 @@ func resolveSemantics(semantics string, k *int) (string, int, error) {
 	default:
 		return "", 0, fmt.Errorf("unknown semantics %q", semantics)
 	}
+}
+
+type planRequest struct {
+	DB    string `json:"db,omitempty"`    // named database, or
+	Graph string `json:"graph,omitempty"` // inline graph
+	Query string `json:"query"`           // textual CXRPQ
+}
+
+type planLabelJSON struct {
+	Label  string `json:"label"`
+	Edges  int    `json:"edges"`
+	Srcs   int    `json:"srcs"`
+	Tgts   int    `json:"tgts"`
+	MaxOut int    `json:"max_out"`
+	MaxIn  int    `json:"max_in"`
+}
+
+type planResponse struct {
+	*cxrpq.PlanReport
+	Nodes  int             `json:"nodes"`
+	Edges  int             `json:"edges"`
+	Labels []planLabelJSON `json:"labels"`
+}
+
+// handlePlan is the planner debug endpoint: it resolves the (database,
+// query) pair exactly like /query but returns the session's physical plan
+// — the cost-based join order with estimated cardinalities — along with
+// the per-label graph statistics the estimates came from, instead of
+// evaluating anything.
+func (s *server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
+		return
+	}
+	var req planRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad request body: %v", err))
+		return
+	}
+	if req.Query == "" {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("missing query"))
+		return
+	}
+	var sess *cxrpq.Session
+	var db *graph.DB
+	unlock := func() {}
+	switch {
+	case req.DB != "" && req.Graph != "":
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("give either db or graph, not both"))
+		return
+	case req.DB != "":
+		e, ok := s.entry(req.DB)
+		if !ok {
+			writeErr(w, http.StatusNotFound, fmt.Errorf("unknown db %q", req.DB))
+			return
+		}
+		e.mu.RLock()
+		unlock = e.mu.RUnlock
+		db = e.db
+		var err error
+		sess, err = e.session(req.Query, s.opts.sessionCap)
+		if err != nil {
+			unlock()
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+	case req.Graph != "":
+		var err error
+		db, err = graph.Parse(req.Graph)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		p, err := cxrpq.PrepareSrc(req.Query)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		sess = p.Bind(db)
+	default:
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("missing db or graph"))
+		return
+	}
+	defer unlock()
+
+	rep, err := sess.PlanReport()
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	st := db.Stats()
+	out := planResponse{PlanReport: rep, Nodes: st.Nodes, Edges: st.Edges}
+	for _, ls := range st.BySym {
+		out.Labels = append(out.Labels, planLabelJSON{
+			Label: string(ls.Sym), Edges: ls.Edges, Srcs: ls.Srcs, Tgts: ls.Tgts,
+			MaxOut: ls.MaxOut, MaxIn: ls.MaxIn,
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 type updateRequest struct {

@@ -15,11 +15,23 @@
 //	                     parser, ref-word semantics, fragment classifiers,
 //	                     compilation, Lemma 10 instantiation machinery
 //	internal/graph       graph databases (§2.2) with a label-indexed CSR
-//	                     adjacency view (Index) built once per DB revision
+//	                     adjacency view (Index) and per-label statistics
+//	                     (Stats: edge counts, distinct endpoints, extremal
+//	                     degrees), both built once per DB revision; the
+//	                     sorted alphabet is revision-cached too
 //	internal/engine      the product-reachability core shared by every
 //	                     evaluation path: integer-interned graph×NFA BFS
 //	                     with bitset visited sets and a bounded worker pool
 //	internal/pattern     graph patterns / conjunctive path queries (§2.3)
+//	internal/planner     the cost-based query-planning layer: per-atom
+//	                     cardinality estimation (first/last-symbol NFA
+//	                     shapes × graph.Stats, exact counts for
+//	                     materialized relations), a greedy join-order
+//	                     search with bound-variable selectivity
+//	                     propagation (Order), and a semijoin domain
+//	                     reduction (Reduce); every join in the stack
+//	                     consults it, and SetEnabled(false) restores the
+//	                     structural heuristic as a differential baseline
 //	internal/crpq        CRPQs (Lemma 1 evaluation)
 //	internal/ecrpq       ECRPQs with regular relations; ECRPQ^er is the
 //	                     synchronized-product evaluation core
@@ -35,8 +47,11 @@
 //	                     translations), Plan.Bind(db) yields a
 //	                     concurrency-safe Session owning the per-database
 //	                     caches (atom relations, feasibility memo, result
-//	                     cache) with revision-checked invalidation; every
-//	                     one-shot entry point is a thin wrapper over them
+//	                     cache, the physical plan of the conjunctive
+//	                     skeleton) with revision-checked invalidation;
+//	                     every one-shot entry point is a thin wrapper over
+//	                     them, and Session.PlanReport exposes the chosen
+//	                     join order with estimated cardinalities
 //	internal/oracle      brute-force reference implementations backing the
 //	                     conformance tests
 //	internal/reductions  executable hardness reductions (Thms 1/3/7)
@@ -44,12 +59,14 @@
 //	internal/workload    synthetic graph generators and the random query
 //	                     generator (RandomQuery) behind the differential
 //	                     fuzz harness
-//	internal/exp         the E1-E19 experiment harness (see DESIGN.md)
+//	internal/exp         the E1-E20 experiment harness (see DESIGN.md)
 //
 // cmd/cxrpq-serve is the concurrent HTTP/JSON evaluation server over the
 // prepared-query subsystem: a per-database pool of prepared sessions, a
-// bounded in-flight limiter, and /update mutations with automatic session
-// invalidation (see the quickstart in internal/README.md).
+// bounded in-flight limiter, /update mutations with automatic session
+// invalidation, and a /plan debug endpoint reporting the planner-chosen
+// join order with estimated cardinalities (see the quickstart in
+// internal/README.md).
 //
 // internal/README.md describes the architecture of the hot path and the
 // Plan/Session lifecycle. bench_test.go in this directory exposes every

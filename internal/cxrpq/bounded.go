@@ -9,6 +9,7 @@ import (
 	"cxrpq/internal/engine"
 	"cxrpq/internal/graph"
 	"cxrpq/internal/pattern"
+	"cxrpq/internal/planner"
 	"cxrpq/internal/xregex"
 )
 
@@ -71,8 +72,6 @@ type boundedPlan struct {
 	defined    map[string]bool  // tuple-level defined variables
 	defBodies  map[string][]xregex.Node
 	refAny     map[string]bool // free var: referenced anywhere at all
-
-	joinOrder []int // leaf join edge order for pre == nil, fixed per plan
 }
 
 // planBounded computes q's bounded-evaluation schedule. The query is
@@ -95,7 +94,6 @@ func planBounded(q *Query) (*boundedPlan, error) {
 		defined:    c.DefinedVars(),
 		defBodies:  map[string][]xregex.Node{},
 		refAny:     map[string]bool{},
-		joinOrder:  ecrpq.JoinOrder(q.Pattern, nil),
 	}
 
 	pos := map[string]int{}
@@ -169,8 +167,12 @@ type boundedEngine struct {
 
 	// leaf consumes a complete mapping; the default joins the cached atom
 	// relations, ExplainBounded swaps in a witness search.
-	leaf      func(st *boundedState) error
-	joinOrder []int // leaf join edge order for this run
+	leaf func(st *boundedState) error
+
+	// structSpec is non-nil when the planner is disabled: the structural
+	// order is a pure function of (pattern, pre), so it is computed once
+	// per run instead of per mapping.
+	structSpec *planner.PlanSpec
 
 	stop atomic.Bool
 
@@ -209,10 +211,8 @@ func newBoundedEngine(p *boundedPlan, db *graph.DB, k int, boolOnly bool, pre ma
 		out:    pattern.NewTupleSet(),
 	}
 	e.leaf = e.joinLeaf
-	if pre == nil {
-		e.joinOrder = p.joinOrder
-	} else {
-		e.joinOrder = ecrpq.JoinOrder(p.q.Pattern, pre)
+	if !planner.Enabled() {
+		e.structSpec = &planner.PlanSpec{Order: ecrpq.JoinOrder(p.q.Pattern, pre)}
 	}
 	return e, nil
 }
@@ -469,9 +469,19 @@ func (st *boundedState) rec(i int) error {
 }
 
 // joinLeaf is the default leaf: join the cached atom relations and merge the
-// answers into the shared result set.
+// answers into the shared result set. The physical plan is rebuilt per
+// mapping from the exact cardinalities of this mapping's relations
+// (EdgeRel.Estimate is cached on the shared relation, so the sweep
+// amortizes across every mapping hitting the same label) — one mapping's
+// skewed atom no longer dictates another's join order. With the planner
+// disabled the run's fixed structural order is used instead, exactly the
+// pre-planner behavior.
 func (e *boundedEngine) joinLeaf(st *boundedState) error {
-	res := ecrpq.JoinRelations(e.p.q.Pattern, st.rels, e.joinOrder, e.pre, e.boolOnly)
+	spec := e.structSpec
+	if spec == nil {
+		spec = ecrpq.PlanJoin(e.p.q.Pattern, st.rels, e.pre)
+	}
+	res := ecrpq.JoinRelations(e.p.q.Pattern, st.rels, spec, e.pre, e.boolOnly)
 	if res.Len() == 0 {
 		return nil
 	}

@@ -17,6 +17,12 @@ type Explanation struct {
 	NodeOf map[string]int    // node variable -> database node
 	Words  []string          // per original query edge, the matched path label
 	Images map[string]string // string variable -> image
+
+	// Plan is the physical plan of the query on the database the witness
+	// was found in — the planner-chosen join order with estimated
+	// cardinalities. The Session explain paths attach it (best effort;
+	// nil when explaining through a one-shot helper that bypasses them).
+	Plan *PlanReport
 }
 
 // ExplainVsf searches for one match of a vstar-free query (optionally

@@ -1,0 +1,110 @@
+package cxrpq
+
+import (
+	"cxrpq/internal/graph"
+	"cxrpq/internal/planner"
+	"cxrpq/internal/xregex"
+)
+
+// This file is the explain surface of the planning layer: the physical
+// plan a Session would use for the query's conjunctive skeleton, rendered
+// with variable names and per-step cardinality estimates. The plan is
+// computed from the Σ*-relaxed classical approximation of each atom (the
+// same relaxation the bounded engine prunes with) crossed with the
+// database's per-label statistics, and cached in the session's cache epoch
+// — so it is recomputed exactly when the DB revision moves, next to the
+// relation and feasibility caches.
+
+// PlanStep is one entry of a PlanReport: the pattern edge placed at this
+// plan position, how the join visits it, and the cost model's estimates.
+type PlanStep struct {
+	Edge     int     `json:"edge"` // index into the query pattern's edges
+	From     string  `json:"from"`
+	To       string  `json:"to"`
+	Label    string  `json:"label"` // the edge's xregex (original form)
+	Mode     string  `json:"mode"`  // check | expand | expand-rev | scan
+	EstPairs float64 `json:"est_pairs"`
+	EstCost  float64 `json:"est_cost"`
+	EstRows  float64 `json:"est_rows"`
+}
+
+// PlanReport is the humanly (and machine) readable physical plan of a
+// prepared query bound to a database: the chosen join order with estimated
+// cardinalities. CostBased reports whether the cost-based planner chose
+// the order (false: the structural fallback).
+type PlanReport struct {
+	Fragment  string     `json:"fragment"`
+	Revision  uint64     `json:"revision"`
+	CostBased bool       `json:"cost_based"`
+	Steps     []PlanStep `json:"steps"`
+	TotalCost float64    `json:"total_cost"`
+	EstRows   float64    `json:"est_rows"`
+}
+
+// plannerPlan returns the session's cached physical plan for the query
+// pattern, computing it on first use within the current cache epoch: each
+// atom's label is Σ*-relaxed to a classical expression, compiled, and
+// estimated against the database statistics; the planner then orders the
+// atoms with no variables pre-bound.
+func (sc *sessionCaches) plannerPlan(db *graph.DB, q *Query, sigma []rune) ([]planner.Atom, *planner.PlanSpec, error) {
+	sc.planMu.Lock()
+	defer sc.planMu.Unlock()
+	if sc.planDone {
+		return sc.planAtoms, sc.planSpec, sc.planErr
+	}
+	sc.planDone = true
+	st := db.Stats()
+	atoms := make([]planner.Atom, len(q.Pattern.Edges))
+	for i, e := range q.Pattern.Edges {
+		relaxed, err := relaxCut(e.Label, map[string]string{}, sigma)
+		if err != nil {
+			sc.planErr = err
+			return nil, nil, err
+		}
+		m, err := xregex.Compile(xregex.Simplify(relaxed), sigma)
+		if err != nil {
+			sc.planErr = err
+			return nil, nil, err
+		}
+		atoms[i] = planner.Atom{From: e.From, To: e.To, Est: planner.EstimateNFA(st, m)}
+	}
+	sc.planAtoms = atoms
+	sc.planSpec = planner.Order(atoms, nil)
+	return sc.planAtoms, sc.planSpec, nil
+}
+
+// PlanReport returns the physical plan the session's evaluation paths
+// derive from the current database revision: the planner-chosen join order
+// over the query's atoms with estimated cardinalities. It is a debug/
+// observability surface (the cxrpq-serve /plan endpoint serves it); the
+// bounded engine's leaf joins refine the same model with exact relation
+// counts per mapping.
+func (s *Session) PlanReport() (*PlanReport, error) {
+	sc, _, sigma := s.current()
+	atoms, spec, err := sc.plannerPlan(s.db, s.plan.q, sigma)
+	if err != nil {
+		return nil, err
+	}
+	rep := &PlanReport{
+		Fragment:  s.plan.fragment,
+		Revision:  s.db.Revision(),
+		CostBased: spec.CostBased,
+		TotalCost: spec.Cost,
+		EstRows:   spec.Rows,
+	}
+	for _, step := range spec.Steps {
+		ei := step.Atom
+		e := s.plan.q.Pattern.Edges[ei]
+		rep.Steps = append(rep.Steps, PlanStep{
+			Edge:     ei,
+			From:     e.From,
+			To:       e.To,
+			Label:    xregex.String(e.Label),
+			Mode:     string(step.Mode),
+			EstPairs: atoms[ei].Est.Pairs,
+			EstCost:  step.Cost,
+			EstRows:  step.Rows,
+		})
+	}
+	return rep, nil
+}

@@ -1,0 +1,111 @@
+package cxrpq
+
+import (
+	"strings"
+	"testing"
+
+	"cxrpq/internal/graph"
+	"cxrpq/internal/planner"
+)
+
+// skewedPlanDB builds a graph with a dense h-hub and a single selective
+// s-edge, so cost-based ordering must place the s-atom first.
+func skewedPlanDB() *graph.DB {
+	var b strings.Builder
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 8; j++ {
+			b.WriteString("a")
+			b.WriteByte(byte('0' + i))
+			b.WriteString(" h b")
+			b.WriteByte(byte('0' + j))
+			b.WriteString("\n")
+		}
+	}
+	b.WriteString("b0 s c0\n")
+	return graph.MustParse(b.String())
+}
+
+func TestPlanReportOrdersBySelectivity(t *testing.T) {
+	db := skewedPlanDB()
+	sess := MustPrepare(MustParse("ans(x, z)\nx y : h\ny z : s")).Bind(db)
+	rep, err := sess.PlanReport()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.CostBased {
+		t.Fatal("report not cost-based with the planner enabled")
+	}
+	if rep.Fragment != "CRPQ" {
+		t.Fatalf("fragment = %q", rep.Fragment)
+	}
+	if len(rep.Steps) != 2 {
+		t.Fatalf("steps = %d, want 2", len(rep.Steps))
+	}
+	if rep.Steps[0].Label != "s" {
+		t.Fatalf("first step = %+v, want the selective s atom", rep.Steps[0])
+	}
+	if rep.Steps[0].EstPairs != 1 {
+		t.Fatalf("s atom estimated pairs = %v, want 1", rep.Steps[0].EstPairs)
+	}
+	if rep.Steps[1].Mode != "expand-rev" {
+		t.Fatalf("h atom mode = %q, want expand-rev (target bound)", rep.Steps[1].Mode)
+	}
+}
+
+func TestPlanReportRevisionRecompute(t *testing.T) {
+	db := skewedPlanDB()
+	sess := MustPrepare(MustParse("ans(x, z)\nx y : h\ny z : s")).Bind(db)
+	rep1, err := sess.PlanReport()
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.AddEdgeNames("b1", 's', "c1")
+	rep2, err := sess.PlanReport()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Revision == rep1.Revision {
+		t.Fatal("report revision did not move with the database")
+	}
+	if rep2.Steps[0].EstPairs != 2 {
+		t.Fatalf("recomputed s estimate = %v, want 2", rep2.Steps[0].EstPairs)
+	}
+}
+
+func TestPlanReportStructuralFallback(t *testing.T) {
+	prev := planner.SetEnabled(false)
+	defer planner.SetEnabled(prev)
+	db := skewedPlanDB()
+	sess := MustPrepare(MustParse("ans(x, z)\nx y : h\ny z : s")).Bind(db)
+	rep, err := sess.PlanReport()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.CostBased {
+		t.Fatal("disabled planner must report a structural plan")
+	}
+	if rep.Steps[0].Label != "h" {
+		t.Fatalf("structural order starts with %q, want the first edge h", rep.Steps[0].Label)
+	}
+}
+
+func TestExplainCarriesPlan(t *testing.T) {
+	db := skewedPlanDB()
+	sess := MustPrepare(MustParse("ans(x, z)\nx y : h\ny z : s")).Bind(db)
+	ex, ok, err := sess.Explain(nil)
+	if err != nil || !ok {
+		t.Fatalf("explain: ok=%v err=%v", ok, err)
+	}
+	if ex.Plan == nil || len(ex.Plan.Steps) != 2 {
+		t.Fatalf("explanation plan = %+v", ex.Plan)
+	}
+	// Bounded explain on a query with a string variable.
+	sess2 := MustPrepare(MustParse("ans(x, z)\nx y : $w{h}\ny z : s")).Bind(db)
+	ex2, ok, err := sess2.ExplainBounded(1, nil)
+	if err != nil || !ok {
+		t.Fatalf("explain bounded: ok=%v err=%v", ok, err)
+	}
+	if ex2.Plan == nil || len(ex2.Plan.Steps) != 2 {
+		t.Fatalf("bounded explanation plan = %+v", ex2.Plan)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"cxrpq/internal/engine"
 	"cxrpq/internal/graph"
 	"cxrpq/internal/pattern"
+	"cxrpq/internal/planner"
 )
 
 // This file is the evaluate-many half of the prepared-query subsystem: a
@@ -96,6 +97,15 @@ type sessionCaches struct {
 
 	labMu  sync.Mutex
 	labels map[int][]string // k -> words of length ≤ k labelling paths of D
+
+	// The physical plan of the query's conjunctive skeleton (see
+	// planreport.go): cached per epoch like everything else, so it is
+	// recomputed exactly when the DB revision moves.
+	planMu    sync.Mutex
+	planDone  bool
+	planAtoms []planner.Atom
+	planSpec  *planner.PlanSpec
+	planErr   error
 }
 
 func newSessionCaches(relCap, feasCap int) *sessionCaches {
@@ -552,6 +562,9 @@ func (s *Session) Explain(t pattern.Tuple) (*Explanation, bool, error) {
 	if err != nil {
 		return nil, false, err
 	}
+	if ex != nil {
+		ex.Plan, _ = s.PlanReport() // best effort: the witness stands alone
+	}
 	rc.put(key, explainVal{ex, ok})
 	return ex, ok, nil
 }
@@ -601,6 +614,9 @@ func (s *Session) ExplainBounded(k int, t pattern.Tuple) (*Explanation, bool, er
 	}
 	if _, err := e.run(); err != nil {
 		return nil, false, err
+	}
+	if result != nil {
+		result.Plan, _ = s.PlanReport() // best effort: the witness stands alone
 	}
 	rc.put(key, explainVal{result, result != nil})
 	return result, result != nil, nil

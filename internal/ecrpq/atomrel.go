@@ -7,6 +7,7 @@ import (
 	"cxrpq/internal/engine"
 	"cxrpq/internal/graph"
 	"cxrpq/internal/pattern"
+	"cxrpq/internal/planner"
 	"cxrpq/internal/xregex"
 )
 
@@ -24,6 +25,9 @@ type EdgeRel struct {
 
 	revOnce sync.Once
 	rev     [][]int
+
+	estOnce sync.Once
+	est     planner.Estimate
 }
 
 // RelationFor computes the full relation of label over db, fanning the
@@ -95,12 +99,49 @@ func (r *EdgeRel) Has(u, v int) bool {
 	return i < len(ws) && ws[i] == v
 }
 
-// JoinOrder returns a greedy edge order for joining g with the node
-// variables of pre already bound: most-bound edges first — the same
-// heuristic as the full evaluator. The order depends only on the pattern and
-// the pre-bound variable set, so callers that join many relation vectors
-// over one pattern (the bounded engine joins one per complete mapping)
-// compute it once.
+// Estimate returns the relation's exact planner cardinalities, computed
+// once per EdgeRel (relations are shared through the session cache, so the
+// sweep amortizes across every mapping that joins over the relation).
+func (r *EdgeRel) Estimate() planner.Estimate {
+	r.estOnce.Do(func() { r.est = planner.EstimateRel(r) })
+	return r.est
+}
+
+// PlanJoin builds the cost-based physical plan for joining g over the
+// materialized per-edge relations with the node variables of pre already
+// bound: each atom carries its exact relation cardinalities
+// (EdgeRel.Estimate) and the planner's greedy search orders them by
+// estimated cost with bound-variable selectivity propagation. When the
+// planner is disabled the spec degrades to the structural heuristic, making
+// the ordering identical to JoinOrder.
+func PlanJoin(g *pattern.Graph, rels []*EdgeRel, pre map[string]int) *planner.PlanSpec {
+	atoms := make([]planner.Atom, len(g.Edges))
+	for i, e := range g.Edges {
+		atoms[i] = planner.Atom{From: e.From, To: e.To}
+		if i < len(rels) && rels[i] != nil {
+			atoms[i].Est = rels[i].Estimate()
+		}
+	}
+	return planner.Order(atoms, boundSet(pre))
+}
+
+// boundSet converts a pre-assignment into the planner's bound-variable set.
+func boundSet(pre map[string]int) map[string]bool {
+	if len(pre) == 0 {
+		return nil
+	}
+	bound := make(map[string]bool, len(pre))
+	for z := range pre {
+		bound[z] = true
+	}
+	return bound
+}
+
+// JoinOrder returns the structural greedy edge order for joining g with the
+// node variables of pre already bound: most-bound edges first. It is the
+// cardinality-blind baseline the planner's cost-based search replaces (and
+// degrades to when disabled); callers joining materialized relations should
+// prefer PlanJoin.
 func JoinOrder(g *pattern.Graph, pre map[string]int) []int {
 	bound := map[string]bool{}
 	for z := range pre {
@@ -134,14 +175,45 @@ func JoinOrder(g *pattern.Graph, pre map[string]int) []int {
 	return order
 }
 
+// semijoinCostFloor gates the semijoin pass of JoinRelations: a join whose
+// estimated cost is below it is cheaper to run directly than to sweep the
+// relations' endpoint supports first.
+const semijoinCostFloor = 256
+
 // JoinRelations runs the backtracking join of a relation-free pattern over
 // precomputed per-edge relations (the leaf step of the bounded-evaluation
-// engine), visiting edges in the given order (see JoinOrder) and enumerating
-// node variables from the relation rows. pre pre-binds node variables
-// (Check-style); with boolOnly the join stops at the first complete
-// assignment.
-func JoinRelations(g *pattern.Graph, rels []*EdgeRel, order []int, pre map[string]int, boolOnly bool) *pattern.TupleSet {
+// engine), visiting edges in the order of the physical plan (see PlanJoin;
+// nil falls back to the structural JoinOrder) and enumerating node
+// variables from the relation rows. For plans whose estimated cost clears
+// semijoinCostFloor a semijoin reduction pass first shrinks each node
+// variable's candidate domain by propagating the relations' endpoint sets —
+// proving many joins empty outright and bounding the enumeration of the
+// rest. pre pre-binds node variables (Check-style); with boolOnly the join
+// stops at the first complete assignment.
+func JoinRelations(g *pattern.Graph, rels []*EdgeRel, spec *planner.PlanSpec, pre map[string]int, boolOnly bool) *pattern.TupleSet {
+	var order []int
+	if spec != nil {
+		order = spec.Order
+	} else {
+		order = JoinOrder(g, pre)
+	}
 	out := pattern.NewTupleSet()
+	var dom *planner.Domains
+	if spec != nil && spec.CostBased && spec.Cost >= semijoinCostFloor && len(rels) > 0 && rels[0] != nil {
+		refs := make([]planner.EdgeRef, len(g.Edges))
+		prels := make([]planner.Rel, len(g.Edges))
+		for i, e := range g.Edges {
+			refs[i] = planner.EdgeRef{From: e.From, To: e.To}
+			if i < len(rels) && rels[i] != nil {
+				prels[i] = rels[i]
+			}
+		}
+		d, ok := planner.Reduce(refs, prels, rels[0].NumNodes(), pre)
+		if !ok {
+			return out // a variable lost every candidate: the join is empty
+		}
+		dom = d
+	}
 	assign := map[string]int{}
 	for z, v := range pre {
 		assign[z] = v
@@ -179,6 +251,9 @@ func JoinRelations(g *pattern.Graph, rels []*EdgeRel, order []int, pre map[strin
 			}
 		case uok:
 			for _, w := range r.Forward(u) {
+				if !dom.Has(e.To, w) {
+					continue
+				}
 				assign[e.To] = w
 				rec(ci + 1)
 				if stop {
@@ -188,6 +263,9 @@ func JoinRelations(g *pattern.Graph, rels []*EdgeRel, order []int, pre map[strin
 			delete(assign, e.To)
 		case vok:
 			for _, w := range r.Backward(v) {
+				if !dom.Has(e.From, w) {
+					continue
+				}
 				assign[e.From] = w
 				rec(ci + 1)
 				if stop {
@@ -199,6 +277,9 @@ func JoinRelations(g *pattern.Graph, rels []*EdgeRel, order []int, pre map[strin
 			for u := 0; u < r.NumNodes(); u++ {
 				if stop {
 					break
+				}
+				if !dom.Has(e.From, u) {
+					continue
 				}
 				if e.From == e.To {
 					if r.Has(u, u) {
@@ -213,6 +294,9 @@ func JoinRelations(g *pattern.Graph, rels []*EdgeRel, order []int, pre map[strin
 				}
 				assign[e.From] = u
 				for _, w := range ws {
+					if !dom.Has(e.To, w) {
+						continue
+					}
 					assign[e.To] = w
 					rec(ci + 1)
 					if stop {

@@ -34,45 +34,10 @@ func Check(q *Query, db *graph.DB, t pattern.Tuple) (bool, error) {
 }
 
 // runCheck runs the join with a pre-bound assignment, short-circuiting on
-// the first full match.
+// the first full match. The constraint order comes from the shared planner
+// path (constraintOrder), with the tuple's variables pre-bound.
 func (ev *evaluator) runCheck(pre map[string]int) (bool, error) {
-	q := ev.q
-	var unary []int
-	for i := range q.Pattern.Edges {
-		if !ev.inGroup[i] {
-			unary = append(unary, i)
-		}
-	}
-	var order []constraintRef
-	bound := map[string]bool{}
-	for z := range pre {
-		bound[z] = true
-	}
-	remaining := append([]int(nil), unary...)
-	for len(remaining) > 0 {
-		best, bestScore := -1, -1
-		for idx, ei := range remaining {
-			score := 0
-			e := q.Pattern.Edges[ei]
-			if bound[e.From] {
-				score += 2
-			}
-			if bound[e.To] {
-				score++
-			}
-			if score > bestScore {
-				bestScore, best = score, idx
-			}
-		}
-		ei := remaining[best]
-		remaining = append(remaining[:best], remaining[best+1:]...)
-		e := q.Pattern.Edges[ei]
-		bound[e.From], bound[e.To] = true, true
-		order = append(order, constraintRef{kind: cEdge, idx: ei})
-	}
-	for gi := range q.Groups {
-		order = append(order, constraintRef{kind: cGroup, idx: gi})
-	}
+	order := ev.constraintOrder(pre)
 
 	assign := map[string]int{}
 	for z, v := range pre {

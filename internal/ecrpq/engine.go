@@ -8,6 +8,7 @@ import (
 	"cxrpq/internal/engine"
 	"cxrpq/internal/graph"
 	"cxrpq/internal/pattern"
+	"cxrpq/internal/planner"
 	"cxrpq/internal/xregex"
 )
 
@@ -84,6 +85,7 @@ type evaluator struct {
 	q     *Query
 	db    *graph.DB
 	ix    *graph.Index
+	stats *graph.Stats
 	sigma []rune
 	ents  []*compiledEntry // per edge: shared compiled NFA + subset caches
 	nfas  []*automata.NFA  // per edge, aliases ents[i].nfa (witness search)
@@ -104,6 +106,7 @@ func newEvaluator(q *Query, db *graph.DB) (*evaluator, error) {
 		q:       q,
 		db:      db,
 		ix:      db.Index(),
+		stats:   db.Stats(),
 		sigma:   sigma,
 		ents:    make([]*compiledEntry, len(q.Pattern.Edges)),
 		nfas:    make([]*automata.NFA, len(q.Pattern.Edges)),
@@ -492,49 +495,41 @@ func (ev *evaluator) productNodes(opts [][]int, f func([]int)) {
 	rec(0)
 }
 
-// run executes the backtracking join. If boolOnly, it stops at the first
-// matching assignment.
-func (ev *evaluator) run(boolOnly bool) (*pattern.TupleSet, error) {
-	q := ev.q
-	// Build constraint order: ungrouped edges greedily by connectivity,
-	// then groups (preferring groups whose sources become bound).
+// constraintOrder builds the join's execution order: the ungrouped edges
+// are ordered by the cost-based planner over each edge NFA's estimation
+// shape crossed with the database's per-label statistics (bound-variable
+// selectivity propagated from pre; the structural most-bound-first greedy
+// when the planner is disabled), then the relation groups follow in query
+// order. This is the single ordering decision shared by run and runCheck —
+// it used to be duplicated, structurally, in both.
+func (ev *evaluator) constraintOrder(pre map[string]int) []constraintRef {
 	var unary []int
-	for i := range q.Pattern.Edges {
+	for i := range ev.q.Pattern.Edges {
 		if !ev.inGroup[i] {
 			unary = append(unary, i)
 		}
 	}
-	bound := map[string]bool{}
-	var order []constraintRef
-	remaining := append([]int(nil), unary...)
-	for len(remaining) > 0 {
-		best, bestScore := -1, -1
-		for idx, ei := range remaining {
-			score := 0
-			e := q.Pattern.Edges[ei]
-			if bound[e.From] {
-				score += 2
-			}
-			if bound[e.To] {
-				score++
-			}
-			if score > bestScore {
-				bestScore, best = score, idx
-			}
-		}
-		ei := remaining[best]
-		remaining = append(remaining[:best], remaining[best+1:]...)
-		e := q.Pattern.Edges[ei]
-		bound[e.From], bound[e.To] = true, true
-		order = append(order, constraintRef{kind: cEdge, idx: ei})
+	atoms := make([]planner.Atom, len(unary))
+	for j, ei := range unary {
+		e := ev.q.Pattern.Edges[ei]
+		atoms[j] = planner.Atom{From: e.From, To: e.To, Est: ev.ents[ei].shape().Estimate(ev.stats)}
 	}
-	for gi := range q.Groups {
+	spec := planner.Order(atoms, boundSet(pre))
+	order := make([]constraintRef, 0, len(unary)+len(ev.q.Groups))
+	for _, ai := range spec.Order {
+		order = append(order, constraintRef{kind: cEdge, idx: unary[ai]})
+	}
+	for gi := range ev.q.Groups {
 		order = append(order, constraintRef{kind: cGroup, idx: gi})
-		for _, ei := range q.Groups[gi].Edges {
-			e := q.Pattern.Edges[ei]
-			bound[e.From], bound[e.To] = true, true
-		}
 	}
+	return order
+}
+
+// run executes the backtracking join. If boolOnly, it stops at the first
+// matching assignment.
+func (ev *evaluator) run(boolOnly bool) (*pattern.TupleSet, error) {
+	q := ev.q
+	order := ev.constraintOrder(nil)
 
 	out := pattern.NewTupleSet()
 	assign := map[string]int{}

@@ -22,13 +22,17 @@ import (
 	"cxrpq/internal/xregex"
 )
 
-// Table is one experiment's result table.
+// Table is one experiment's result table. Metrics optionally carries
+// named scalar results (timings, ratios) that the benchmark JSON report
+// records alongside the experiment's wall-clock time, so before/after
+// comparisons inside an experiment survive into BENCH_engine.json.
 type Table struct {
-	ID     string
-	Title  string
-	Header []string
-	Rows   [][]string
-	Err    error
+	ID      string
+	Title   string
+	Header  []string
+	Rows    [][]string
+	Metrics map[string]float64
+	Err     error
 }
 
 // Render formats the table as aligned text.

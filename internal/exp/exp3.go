@@ -5,8 +5,10 @@ import (
 	"time"
 
 	"cxrpq/internal/cxrpq"
+	"cxrpq/internal/ecrpq"
 	"cxrpq/internal/graph"
 	"cxrpq/internal/pattern"
+	"cxrpq/internal/planner"
 	"cxrpq/internal/reductions"
 	"cxrpq/internal/workload"
 )
@@ -150,4 +152,119 @@ func max64(a, b int64) int64 {
 		return a
 	}
 	return b
+}
+
+// PlannerJoinItem is one workload of E20: the same evaluation run with the
+// structural join order (Structural) and with the cost-based planner
+// (Planned); both toggle planner.SetEnabled internally where needed.
+type PlannerJoinItem struct {
+	Name       string
+	Structural func() (*pattern.TupleSet, error)
+	Planned    func() (*pattern.TupleSet, error)
+}
+
+// PlannerJoinItems returns the workloads of E20 (shared with
+// BenchmarkPlannerJoin): the skewed-cardinality graph — one dense hub atom
+// plus selective atoms — evaluated through the ecrpq evaluator's join, the
+// bounded engine's leaf joins, and a raw JoinRelations call.
+func PlannerJoinItems(scale int) ([]PlannerJoinItem, error) {
+	db := workload.SkewedJoin(24 * scale)
+	withPlanner := func(on bool, f func() (*pattern.TupleSet, error)) (*pattern.TupleSet, error) {
+		prev := planner.SetEnabled(on)
+		defer planner.SetEnabled(prev)
+		return f()
+	}
+	qCRPQ := cxrpq.MustParse("ans(x, z)\nx y : h\ny z : s")
+	qBounded := cxrpq.MustParse("ans(x, z)\nx y : $w{h}\ny z : s$w?")
+	g := pattern.MustParseQuery("ans(x, z)\nx y : h\ny z : s")
+	sigma := db.Alphabet()
+	rels := make([]*ecrpq.EdgeRel, len(g.Edges))
+	for i, e := range g.Edges {
+		r, err := ecrpq.RelationFor(db, e.Label, sigma)
+		if err != nil {
+			return nil, err
+		}
+		rels[i] = r
+	}
+	return []PlannerJoinItem{
+		{
+			Name: "ecrpq eval (CRPQ join)",
+			Structural: func() (*pattern.TupleSet, error) {
+				return withPlanner(false, func() (*pattern.TupleSet, error) { return cxrpq.Eval(qCRPQ, db) })
+			},
+			Planned: func() (*pattern.TupleSet, error) {
+				return withPlanner(true, func() (*pattern.TupleSet, error) { return cxrpq.Eval(qCRPQ, db) })
+			},
+		},
+		{
+			Name: "bounded leaf joins (k=1)",
+			Structural: func() (*pattern.TupleSet, error) {
+				return withPlanner(false, func() (*pattern.TupleSet, error) { return cxrpq.EvalBounded(qBounded, db, 1) })
+			},
+			Planned: func() (*pattern.TupleSet, error) {
+				return withPlanner(true, func() (*pattern.TupleSet, error) { return cxrpq.EvalBounded(qBounded, db, 1) })
+			},
+		},
+		{
+			Name: "relation join (JoinRelations)",
+			Structural: func() (*pattern.TupleSet, error) {
+				return ecrpq.JoinRelations(g, rels, nil, nil, false), nil
+			},
+			Planned: func() (*pattern.TupleSet, error) {
+				return ecrpq.JoinRelations(g, rels, ecrpq.PlanJoin(g, rels, nil), nil, false), nil
+			},
+		},
+	}, nil
+}
+
+// E20PlannerJoin measures the cost-based planning layer (PR 4) on a
+// skewed-cardinality workload: a dense h-labelled hub atom joined with
+// highly selective s atoms. The structural most-bound-first heuristic ties
+// at score zero and scans the hub first; the planner's cardinality
+// estimates start from the selective atoms (and the semijoin pass shrinks
+// the hub's candidate domain). Structural and planner results are asserted
+// equal on every rep; the per-path timings and the aggregate speedup are
+// exported as metrics into BENCH_engine.json.
+func E20PlannerJoin(scale int) *Table {
+	t := &Table{ID: "E20", Title: "Cost-based join order vs structural order (skewed hub + selective atoms)",
+		Header: []string{"path", "reps", "structural", "planner", "speedup"}}
+	items, err := PlannerJoinItems(scale)
+	if err != nil {
+		return fail(t, err)
+	}
+	reps := 3 * scale
+	var totalStruct, totalPlan time.Duration
+	for _, it := range items {
+		var want *pattern.TupleSet
+		startS := time.Now()
+		for i := 0; i < reps; i++ {
+			res, err := it.Structural()
+			if err != nil {
+				return fail(t, err)
+			}
+			want = res
+		}
+		structD := time.Since(startS)
+		startP := time.Now()
+		for i := 0; i < reps; i++ {
+			res, err := it.Planned()
+			if err != nil {
+				return fail(t, err)
+			}
+			if !res.Equal(want) {
+				return fail(t, fmt.Errorf("%s: planner result diverged from structural", it.Name))
+			}
+		}
+		planD := time.Since(startP)
+		totalStruct += structD
+		totalPlan += planD
+		t.Rows = append(t.Rows, []string{it.Name, fmt.Sprint(reps), ms(structD), ms(planD),
+			fmt.Sprintf("%.1fx", float64(structD.Nanoseconds())/float64(max64(planD.Nanoseconds(), 1)))})
+	}
+	t.Metrics = map[string]float64{
+		"structural_ms": float64(totalStruct.Microseconds()) / 1000,
+		"planner_ms":    float64(totalPlan.Microseconds()) / 1000,
+		"speedup":       float64(totalStruct.Nanoseconds()) / float64(max64(totalPlan.Nanoseconds(), 1)),
+	}
+	return t
 }

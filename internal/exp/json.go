@@ -26,10 +26,11 @@ func AllTimed(scale int) []TimedTable {
 // BenchResult is one experiment's entry in the machine-readable benchmark
 // report tracked across PRs (BENCH_engine.json).
 type BenchResult struct {
-	ID     string  `json:"id"`
-	Title  string  `json:"title"`
-	Millis float64 `json:"ms"`
-	Error  string  `json:"error,omitempty"`
+	ID      string             `json:"id"`
+	Title   string             `json:"title"`
+	Millis  float64            `json:"ms"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+	Error   string             `json:"error,omitempty"`
 }
 
 // BenchReport is the machine-readable benchmark report.
@@ -43,7 +44,7 @@ type BenchReport struct {
 func Report(tts []TimedTable, scale int) *BenchReport {
 	rep := &BenchReport{Scale: scale}
 	for _, tt := range tts {
-		r := BenchResult{ID: tt.Table.ID, Title: tt.Table.Title, Millis: tt.Millis}
+		r := BenchResult{ID: tt.Table.ID, Title: tt.Table.Title, Millis: tt.Millis, Metrics: tt.Table.Metrics}
 		if tt.Table.Err != nil {
 			r.Error = tt.Table.Err.Error()
 		}

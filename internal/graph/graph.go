@@ -34,6 +34,15 @@ type DB struct {
 	idxMu      sync.Mutex
 	idx        *Index
 	idxVersion uint64
+
+	statsMu      sync.Mutex
+	stats        *Stats
+	statsVersion uint64
+
+	alphaMu      sync.Mutex
+	alpha        []rune
+	alphaOK      bool
+	alphaVersion uint64
 }
 
 // New returns an empty graph database.
@@ -137,38 +146,67 @@ func (d *DB) Out(u int) []Edge { return d.out[u] }
 // In returns the incoming edges of node u (caller must not modify).
 func (d *DB) In(u int) []Edge { return d.in[u] }
 
-// Alphabet returns the sorted set of edge labels.
+// Alphabet returns the sorted set of edge labels. The slice is cached per
+// DB revision (it feeds RelationFor and the alphabet merges on every
+// evaluation) and shared between callers: treat it as immutable. A mutation
+// invalidates the cache; the usual revision contract applies (mutations must
+// not run concurrently with readers).
 func (d *DB) Alphabet() []rune {
-	out := make([]rune, 0, len(d.sigma))
-	for r := range d.sigma {
-		out = append(out, r)
+	d.alphaMu.Lock()
+	defer d.alphaMu.Unlock()
+	if !d.alphaOK || d.alphaVersion != d.version {
+		out := make([]rune, 0, len(d.sigma))
+		for r := range d.sigma {
+			out = append(out, r)
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+		d.alpha = out
+		d.alphaOK = true
+		d.alphaVersion = d.version
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return d.alpha
 }
 
 // Names returns the node names in id order.
 func (d *DB) Names() []string { return append([]string(nil), d.names...) }
 
 // HasPath reports whether D contains a path from u to v labelled word
-// (length-0 ε-paths from every node to itself included).
+// (length-0 ε-paths from every node to itself included). The frontier is a
+// node bitset advanced over the label-indexed CSR spans, the same machinery
+// as PathLabels/HasPathOfLen.
 func (d *DB) HasPath(u int, word string, v int) bool {
-	cur := map[int]bool{u: true}
+	n := d.NumNodes()
+	if u < 0 || u >= n || v < 0 || v >= n {
+		return false
+	}
+	ix := d.Index()
+	words := (n + 63) / 64
+	cur := make([]uint64, words)
+	cur[u/64] |= 1 << (uint(u) % 64)
+	next := make([]uint64, words)
 	for _, r := range word {
-		next := map[int]bool{}
-		for p := range cur {
-			for _, e := range d.out[p] {
-				if e.Label == r {
-					next[e.To] = true
+		s, ok := ix.SymID(r)
+		if !ok {
+			return false
+		}
+		clear(next)
+		any := false
+		for wi, bs := range cur {
+			for bs != 0 {
+				p := wi*64 + bits.TrailingZeros64(bs)
+				bs &= bs - 1
+				for _, q := range ix.OutByID(p, s) {
+					next[q/64] |= 1 << (uint(q) % 64)
+					any = true
 				}
 			}
 		}
-		if len(next) == 0 {
+		if !any {
 			return false
 		}
-		cur = next
+		cur, next = next, cur
 	}
-	return cur[v]
+	return cur[v/64]&(1<<(uint(v)%64)) != 0
 }
 
 // PathLabels returns the set of distinct words of length ≤ maxLen that

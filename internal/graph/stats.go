@@ -1,0 +1,94 @@
+package graph
+
+// Stats is an immutable snapshot of per-label statistics over a DB's CSR
+// index, the input of the cost-based query planner (internal/planner): for
+// every edge label the edge count, the number of distinct sources and
+// targets, and the extremal degrees. Like the Index it is built lazily,
+// cached per DB revision (DB.Stats), and safe for concurrent readers.
+type Stats struct {
+	Nodes int         // |V_D|
+	Edges int         // |E_D|
+	BySym []LabelStat // indexed by the Index's dense symbol ids
+	symID map[rune]int32
+}
+
+// LabelStat holds the statistics of a single edge label.
+type LabelStat struct {
+	Sym    rune // the label
+	Edges  int  // number of edges carrying the label
+	Srcs   int  // distinct source nodes
+	Tgts   int  // distinct target nodes
+	MaxOut int  // maximum per-node out-degree under the label
+	MaxIn  int  // maximum per-node in-degree under the label
+}
+
+// AvgOut returns the mean out-degree over the label's distinct sources.
+func (s LabelStat) AvgOut() float64 {
+	if s.Srcs == 0 {
+		return 0
+	}
+	return float64(s.Edges) / float64(s.Srcs)
+}
+
+// AvgIn returns the mean in-degree over the label's distinct targets.
+func (s LabelStat) AvgIn() float64 {
+	if s.Tgts == 0 {
+		return 0
+	}
+	return float64(s.Edges) / float64(s.Tgts)
+}
+
+// Label returns the statistics for label r and whether r labels any edge.
+func (s *Stats) Label(r rune) (LabelStat, bool) {
+	id, ok := s.symID[r]
+	if !ok {
+		return LabelStat{}, false
+	}
+	return s.BySym[id], true
+}
+
+// Stats returns the per-label statistics of the database, computing them on
+// first use and recomputing after mutations (same revision contract as
+// Index: mutations must not run concurrently with readers).
+func (d *DB) Stats() *Stats {
+	ix := d.Index() // ensure the index matches the current revision first
+	d.statsMu.Lock()
+	defer d.statsMu.Unlock()
+	if d.stats == nil || d.statsVersion != d.version {
+		d.stats = buildStats(d, ix)
+		d.statsVersion = d.version
+	}
+	return d.stats
+}
+
+func buildStats(d *DB, ix *Index) *Stats {
+	n := ix.NumNodes()
+	nSyms := ix.NumSyms()
+	st := &Stats{
+		Nodes: n,
+		Edges: d.NumEdges(),
+		BySym: make([]LabelStat, nSyms),
+		symID: make(map[rune]int32, nSyms),
+	}
+	for s := int32(0); s < int32(nSyms); s++ {
+		ls := LabelStat{Sym: ix.Sym(s)}
+		for u := 0; u < n; u++ {
+			if out := len(ix.OutByID(u, s)); out > 0 {
+				ls.Edges += out
+				ls.Srcs++
+				if out > ls.MaxOut {
+					ls.MaxOut = out
+				}
+			}
+			if in := len(ix.InByID(u, s)); in > 0 {
+				ls.Tgts++
+				if in > ls.MaxIn {
+					ls.MaxIn = in
+				}
+			}
+		}
+		st.BySym[s] = ls
+		st.symID[ls.Sym] = s
+	}
+	return st
+}

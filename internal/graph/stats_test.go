@@ -1,0 +1,132 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestStatsBasic(t *testing.T) {
+	d := MustParse("u a v\nu a w\nv a w\nv b u\nw b u")
+	st := d.Stats()
+	if st.Nodes != 3 || st.Edges != 5 {
+		t.Fatalf("Nodes/Edges = %d/%d, want 3/5", st.Nodes, st.Edges)
+	}
+	a, ok := st.Label('a')
+	if !ok {
+		t.Fatal("label a missing")
+	}
+	// a-edges: u->v, u->w, v->w: 3 edges, srcs {u,v}, tgts {v,w}, max out 2.
+	if a.Edges != 3 || a.Srcs != 2 || a.Tgts != 2 || a.MaxOut != 2 || a.MaxIn != 2 {
+		t.Fatalf("a stats = %+v", a)
+	}
+	if got := a.AvgOut(); got != 1.5 {
+		t.Fatalf("a.AvgOut() = %v, want 1.5", got)
+	}
+	b, ok := st.Label('b')
+	if !ok {
+		t.Fatal("label b missing")
+	}
+	if b.Edges != 2 || b.Srcs != 2 || b.Tgts != 1 || b.MaxOut != 1 || b.MaxIn != 2 {
+		t.Fatalf("b stats = %+v", b)
+	}
+	if _, ok := st.Label('z'); ok {
+		t.Fatal("label z should be absent")
+	}
+}
+
+func TestStatsRevisionCached(t *testing.T) {
+	d := MustParse("u a v")
+	s1 := d.Stats()
+	if s2 := d.Stats(); s2 != s1 {
+		t.Fatal("Stats not cached across calls at the same revision")
+	}
+	d.AddEdgeNames("v", 'b', "w")
+	s3 := d.Stats()
+	if s3 == s1 {
+		t.Fatal("Stats not invalidated by a mutation")
+	}
+	if _, ok := s3.Label('b'); !ok {
+		t.Fatal("new label missing from recomputed stats")
+	}
+}
+
+func TestAlphabetCached(t *testing.T) {
+	d := MustParse("u b v\nv a w")
+	a1 := d.Alphabet()
+	if string(a1) != "ab" {
+		t.Fatalf("Alphabet = %q, want %q", string(a1), "ab")
+	}
+	a2 := d.Alphabet()
+	if &a1[0] != &a2[0] {
+		t.Fatal("Alphabet not cached: repeated calls returned distinct slices")
+	}
+	d.AddEdgeNames("w", 'c', "u")
+	a3 := d.Alphabet()
+	if string(a3) != "abc" {
+		t.Fatalf("Alphabet after mutation = %q, want %q", string(a3), "abc")
+	}
+	if string(a1) != "ab" {
+		t.Fatal("previously returned alphabet slice was mutated")
+	}
+	// Adding a node (no new label) still bumps the revision; the recomputed
+	// alphabet must stay correct.
+	d.AddNode()
+	if string(d.Alphabet()) != "abc" {
+		t.Fatal("alphabet wrong after node-only mutation")
+	}
+}
+
+// hasPathRef is the pre-planner map-based frontier implementation, kept as
+// the behavioral reference for the bitset rewrite.
+func hasPathRef(d *DB, u int, word string, v int) bool {
+	cur := map[int]bool{u: true}
+	for _, r := range word {
+		next := map[int]bool{}
+		for p := range cur {
+			for _, e := range d.Out(p) {
+				if e.Label == r {
+					next[e.To] = true
+				}
+			}
+		}
+		if len(next) == 0 {
+			return false
+		}
+		cur = next
+	}
+	return cur[v]
+}
+
+func TestHasPathEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	alphabet := []rune("abc")
+	for trial := 0; trial < 30; trial++ {
+		d := New()
+		n := 2 + rng.Intn(8)
+		for i := 0; i < n; i++ {
+			d.AddNode()
+		}
+		for e := 0; e < 3*n; e++ {
+			d.AddEdge(rng.Intn(n), alphabet[rng.Intn(len(alphabet))], rng.Intn(n))
+		}
+		words := []string{"", "a", "b", "c", "ab", "ba", "abc", "aa", "cab", "abca", "d", "ad"}
+		for _, w := range words {
+			for u := 0; u < n; u++ {
+				for v := 0; v < n; v++ {
+					got := d.HasPath(u, w, v)
+					want := hasPathRef(d, u, w, v)
+					if got != want {
+						t.Fatalf("trial %d: HasPath(%d, %q, %d) = %v, want %v", trial, u, w, v, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestHasPathOutOfRange(t *testing.T) {
+	d := MustParse("u a v")
+	if d.HasPath(-1, "a", 0) || d.HasPath(0, "a", 99) {
+		t.Fatal("out-of-range endpoints must not match")
+	}
+}

@@ -1,0 +1,217 @@
+package planner
+
+import (
+	"testing"
+
+	"cxrpq/internal/graph"
+	"cxrpq/internal/xregex"
+)
+
+func shapeFor(t *testing.T, src string, sigma string) *Shape {
+	t.Helper()
+	n := xregex.MustParse(src)
+	m, err := xregex.Compile(n, []rune(sigma))
+	if err != nil {
+		t.Fatalf("compile %q: %v", src, err)
+	}
+	return ShapeOf(m)
+}
+
+func TestShapeOf(t *testing.T) {
+	cases := []struct {
+		src         string
+		first, last string
+		eps, loop   bool
+	}{
+		{"a", "a", "a", false, false},
+		{"ab", "a", "b", false, false},
+		{"a|b", "ab", "ab", false, false},
+		{"a*", "a", "a", true, true},
+		{"(a|b)*", "ab", "ab", true, true},
+		{"a?b", "ab", "b", false, false},
+		{"ab?", "a", "ab", false, false},
+		{"a+c", "a", "c", false, true},
+		{"()", "", "", true, false},
+	}
+	for _, c := range cases {
+		sh := shapeFor(t, c.src, "abc")
+		if string(sh.First) != c.first || string(sh.Last) != c.last || sh.HasEps != c.eps || sh.Loop != c.loop {
+			t.Errorf("%q: shape = first %q last %q eps %v loop %v, want %q %q %v %v",
+				c.src, string(sh.First), string(sh.Last), sh.HasEps, sh.Loop, c.first, c.last, c.eps, c.loop)
+		}
+	}
+}
+
+func TestEstimateFromStats(t *testing.T) {
+	// 3 a-edges from 2 sources, 1 b-edge; 4 nodes.
+	db := graph.MustParse("u a v\nu a w\nv a w\nw b x")
+	st := db.Stats()
+
+	a := shapeFor(t, "a", "ab").Estimate(st)
+	if a.Srcs != 2 || a.Tgts != 2 || a.Pairs != 3 {
+		t.Fatalf("a estimate = %+v", a)
+	}
+	// Symbol absent from the graph: empty relation.
+	z := shapeFor(t, "z", "abz").Estimate(st)
+	if z.Pairs != 0 || z.Srcs != 0 {
+		t.Fatalf("z estimate = %+v", z)
+	}
+	// Σ*-like: dense default over all nodes (ε adds the identity).
+	any := shapeFor(t, "(a|b)*", "ab").Estimate(st)
+	if any.Srcs != 4 || any.Tgts != 4 || !any.HasEps {
+		t.Fatalf("sigma* estimate = %+v", any)
+	}
+	// Dense closure over the 3 sources × 3 targets with out/in edges, plus
+	// the 4-node identity from ε.
+	if any.Pairs != 13 {
+		t.Fatalf("sigma* pairs = %v, want 13", any.Pairs)
+	}
+}
+
+type sliceRel [][]int
+
+func (r sliceRel) NumNodes() int { return len(r) }
+func (r sliceRel) Size() int {
+	n := 0
+	for _, vs := range r {
+		n += len(vs)
+	}
+	return n
+}
+func (r sliceRel) Forward(u int) []int {
+	if u < 0 || u >= len(r) {
+		return nil
+	}
+	return r[u]
+}
+
+func TestEstimateRel(t *testing.T) {
+	r := sliceRel{{1, 2}, {2}, nil, nil}
+	est := EstimateRel(r)
+	if !est.Exact || est.Pairs != 3 || est.Srcs != 2 || est.Tgts != 2 {
+		t.Fatalf("estimate = %+v", est)
+	}
+}
+
+// skewedAtoms models one dense hub atom and one highly selective atom
+// sharing the variable y.
+func skewedAtoms() []Atom {
+	n := 100
+	hub := Atom{From: "x", To: "y", Est: Estimate{Nodes: n, Pairs: 1600, Srcs: 40, Tgts: 40}}
+	sel := Atom{From: "y", To: "z", Est: Estimate{Nodes: n, Pairs: 1, Srcs: 1, Tgts: 1}}
+	return []Atom{hub, sel}
+}
+
+func TestCostOrderPrefersSelective(t *testing.T) {
+	spec := CostOrder(skewedAtoms(), nil)
+	if spec.Order[0] != 1 {
+		t.Fatalf("cost order = %v, want the selective atom first", spec.Order)
+	}
+	if spec.Steps[0].Mode != ModeScan || spec.Steps[1].Mode != ModeBackward {
+		t.Fatalf("modes = %v %v", spec.Steps[0].Mode, spec.Steps[1].Mode)
+	}
+	if !spec.CostBased {
+		t.Fatal("CostBased unset")
+	}
+	// The structural heuristic ties at score 0 and takes the hub first.
+	str := StructuralOrder(skewedAtoms(), nil)
+	if str.Order[0] != 0 {
+		t.Fatalf("structural order = %v, want the hub atom first", str.Order)
+	}
+	if str.Cost <= spec.Cost {
+		t.Fatalf("structural cost %v should exceed cost-based %v", str.Cost, spec.Cost)
+	}
+}
+
+func TestOrderBoundPropagation(t *testing.T) {
+	// With x pre-bound, expanding the hub forward costs ~40 rows; probing
+	// nothing else is available, so the hub must come first now.
+	atoms := skewedAtoms()
+	spec := CostOrder(atoms, map[string]bool{"x": true, "z": true})
+	if spec.Steps[0].Mode == ModeScan {
+		t.Fatalf("pre-bound plan must not start with a scan: %+v", spec.Steps)
+	}
+	// All endpoints bound: everything is a probe.
+	spec = CostOrder(atoms, map[string]bool{"x": true, "y": true, "z": true})
+	for _, s := range spec.Steps {
+		if s.Mode != ModeCheck {
+			t.Fatalf("fully bound plan has non-check step %+v", s)
+		}
+	}
+}
+
+func TestOrderToggleFallback(t *testing.T) {
+	prev := SetEnabled(false)
+	defer SetEnabled(prev)
+	spec := Order(skewedAtoms(), nil)
+	if spec.CostBased {
+		t.Fatal("disabled planner must fall back to the structural order")
+	}
+	if spec.Order[0] != 0 {
+		t.Fatalf("structural fallback order = %v", spec.Order)
+	}
+	dom, ok := Reduce([]EdgeRef{{From: "x", To: "y"}}, []Rel{sliceRel{{1}, nil}}, 2, nil)
+	if dom != nil || !ok {
+		t.Fatal("disabled planner must skip the semijoin pass")
+	}
+}
+
+func TestReduceShrinksDomains(t *testing.T) {
+	prev := SetEnabled(true)
+	defer SetEnabled(prev)
+	// Nodes 0..4. Edge x->y supported only by (0,1) and (2,3); edge y->z
+	// supported only by (3,4). Arc consistency must pin x=2, y=3, z=4.
+	rxy := sliceRel{{1}, nil, {3}, nil, nil}
+	ryz := sliceRel{nil, nil, nil, {4}, nil}
+	edges := []EdgeRef{{From: "x", To: "y"}, {From: "y", To: "z"}}
+	dom, ok := Reduce(edges, []Rel{rxy, ryz}, 5, nil)
+	if !ok {
+		t.Fatal("reduce reported empty")
+	}
+	if dom.Size("x") != 1 || !dom.Has("x", 2) {
+		t.Fatalf("dom(x) size %d", dom.Size("x"))
+	}
+	if dom.Size("y") != 1 || !dom.Has("y", 3) {
+		t.Fatalf("dom(y) size %d", dom.Size("y"))
+	}
+	if dom.Size("z") != 1 || !dom.Has("z", 4) {
+		t.Fatalf("dom(z) size %d", dom.Size("z"))
+	}
+	var got []int
+	for v := 0; v < 5; v++ {
+		if dom.Has("x", v) {
+			got = append(got, v)
+		}
+	}
+	if len(got) != 1 || got[0] != 2 {
+		t.Fatalf("dom(x) candidates = %v", got)
+	}
+}
+
+func TestReduceDetectsEmpty(t *testing.T) {
+	prev := SetEnabled(true)
+	defer SetEnabled(prev)
+	rxy := sliceRel{{1}, nil, nil}
+	ryz := sliceRel{nil, nil, nil} // no support at all
+	edges := []EdgeRef{{From: "x", To: "y"}, {From: "y", To: "z"}}
+	if _, ok := Reduce(edges, []Rel{rxy, ryz}, 3, nil); ok {
+		t.Fatal("reduce missed the empty join")
+	}
+}
+
+func TestReduceSelfLoopAndPre(t *testing.T) {
+	prev := SetEnabled(true)
+	defer SetEnabled(prev)
+	// Self-loop edge x->x: only node 1 has (1,1).
+	loop := sliceRel{{1}, {1}, {0}}
+	dom, ok := Reduce([]EdgeRef{{From: "x", To: "x"}}, []Rel{loop}, 3, nil)
+	if !ok || dom.Size("x") != 1 || !dom.Has("x", 1) {
+		t.Fatalf("self-loop domain: ok=%v size=%d", ok, dom.Size("x"))
+	}
+	// Pre-bound variable restricts its domain to the singleton.
+	rxy := sliceRel{{1, 2}, nil, nil}
+	dom, ok = Reduce([]EdgeRef{{From: "x", To: "y"}}, []Rel{rxy}, 3, map[string]int{"y": 2})
+	if !ok || dom.Size("y") != 1 || !dom.Has("y", 2) || dom.Has("y", 1) {
+		t.Fatalf("pre-bound domain: ok=%v", ok)
+	}
+}

@@ -152,3 +152,32 @@ func Layered(seed int64, layers, width int, alphabet string) *graph.DB {
 	}
 	return d
 }
+
+// SkewedJoin returns the join-order stress graph of the planner
+// benchmarks and differential tests: a dense h-labelled bipartite hub
+// (hub × hub pairs ai -h-> bj) plus a short selective s-chain off a single
+// hub target (b0 -s-> c0 -s-> c1). On queries joining the hub atom with
+// the selective atoms, the structural most-bound-first order ties at zero
+// and scans the hub first, while the cost-based order starts from the
+// selective atoms — the cardinality skew the planning layer exists for.
+func SkewedJoin(hub int) *graph.DB {
+	d := graph.New()
+	as := make([]int, hub)
+	bs := make([]int, hub)
+	for i := 0; i < hub; i++ {
+		as[i] = d.Node(fmt.Sprintf("a%d", i))
+	}
+	for j := 0; j < hub; j++ {
+		bs[j] = d.Node(fmt.Sprintf("b%d", j))
+	}
+	for _, a := range as {
+		for _, b := range bs {
+			d.AddEdge(a, 'h', b)
+		}
+	}
+	c0 := d.Node("c0")
+	c1 := d.Node("c1")
+	d.AddEdge(bs[0], 's', c0)
+	d.AddEdge(c0, 's', c1)
+	return d
+}
