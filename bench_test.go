@@ -15,6 +15,7 @@ import (
 	"cxrpq/internal/ecrpq"
 	"cxrpq/internal/engine"
 	"cxrpq/internal/exp"
+	"cxrpq/internal/graph"
 	"cxrpq/internal/pattern"
 	"cxrpq/internal/reductions"
 	"cxrpq/internal/separations"
@@ -307,6 +308,51 @@ func BenchmarkPreparedReuse(b *testing.B) {
 }
 
 func BenchmarkE19PreparedReuse(b *testing.B) { benchTable(b, exp.E19PreparedReuse) }
+
+// BenchmarkApplyDelta measures the incremental-update subsystem (PR 5) on
+// the E21 MutationStream items: one iteration replays the whole delta
+// stream against a warmed session, re-running the item's operation after
+// every delta. "incremental" routes deltas through Session.ApplyDelta
+// (fine-grained cache maintenance), "rebuild" applies the delta and forces
+// the historical whole-epoch flush with Invalidate. Setup (graph build,
+// session warm-up) is excluded per iteration. The acceptance floor for
+// PR 5 is incremental ≥ 2x faster in aggregate (see E21's metrics in
+// BENCH_engine.json for recorded ratios).
+func BenchmarkApplyDelta(b *testing.B) {
+	for _, it := range exp.IncrementalUpdateItems(1) {
+		run := func(name string, apply func(*cxrpq.Session, graph.Delta) error) {
+			b.Run(it.Name+"/"+name, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					sess, deltas, err := exp.SetupMutationStream(it)
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.StartTimer()
+					for step, delta := range deltas {
+						if err := apply(sess, delta); err != nil {
+							b.Fatal(err)
+						}
+						if _, err := it.Do(sess, step); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+			})
+		}
+		run("rebuild", func(sess *cxrpq.Session, delta graph.Delta) error {
+			if _, err := sess.DB().ApplyDelta(delta); err != nil {
+				return err
+			}
+			sess.Invalidate()
+			return nil
+		})
+		run("incremental", func(sess *cxrpq.Session, delta graph.Delta) error {
+			_, err := sess.ApplyDelta(delta)
+			return err
+		})
+	}
+}
 
 // BenchmarkPlannerJoin measures the cost-based planning layer (PR 4) on
 // the skewed-cardinality workload (one dense hub atom + selective atoms,

@@ -1,7 +1,9 @@
 // Command cxrpq-serve is a concurrent CXRPQ evaluation server over the
 // prepared-query subsystem (cxrpq.Prepare / Plan.Bind / Session): an
-// HTTP/JSON front-end with a per-database session pool, automatic session
-// invalidation on database updates, and a bounded in-flight limiter.
+// HTTP/JSON front-end with a per-database session pool, incremental cache
+// maintenance on database updates (insert-only /update deltas retain or
+// frontier-extend the pooled sessions' caches instead of flushing them;
+// see the server.go comment block), and a bounded in-flight limiter.
 //
 // Usage:
 //

@@ -144,6 +144,83 @@ func TestUpdateInvalidatesSessions(t *testing.T) {
 	}
 }
 
+// TestUpdateDeltaMaintainsSessions drives the incremental /update path: an
+// insert-only delta must refresh the pooled sessions fine-grained (the
+// retained/extended counters in /stats move, no extra full rebuild), a
+// "remove" delta must flush and still serve exact answers, and invalid
+// removals are rejected atomically.
+func TestUpdateDeltaMaintainsSessions(t *testing.T) {
+	_, ts := testServer(t)
+	q := `{"db":"g1","query":"ans(x, y)\nx y : a","mode":"eval"}`
+	code, out := postJSON(t, ts.URL+"/query", q)
+	if code != http.StatusOK || out["count"].(float64) != 2 {
+		t.Fatalf("before update: %d %v", code, out)
+	}
+	// A bounded-semantics query materializes atom relations in its pooled
+	// session — the cache the insert-only update must maintain per entry.
+	qb := `{"db":"g1","query":"ans(x, y)\nx y : $w{a|b}\ny z : $w+","semantics":"bounded","k":1,"mode":"eval"}`
+	if code, out := postJSON(t, ts.URL+"/query", qb); code != http.StatusOK {
+		t.Fatalf("bounded query: %d %v", code, out)
+	}
+
+	sessMaint := func() map[string]any {
+		resp, err := http.Get(ts.URL + "/stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var st map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		return st["dbs"].([]any)[0].(map[string]any)["sessions_maint"].(map[string]any)
+	}
+	before := sessMaint()
+
+	// Insert-only update over a known label: fine-grained maintenance.
+	code, out = postJSON(t, ts.URL+"/update", `{"db":"g1","edges":"w a u"}`)
+	if code != http.StatusOK {
+		t.Fatalf("update: %d %v", code, out)
+	}
+	if out["insert_only"] != true || out["added"].(float64) != 1 {
+		t.Fatalf("update response: %v", out)
+	}
+	after := sessMaint()
+	if after["delta_applies"].(float64) != before["delta_applies"].(float64)+2 { // both pooled sessions
+		t.Fatalf("insert-only update did not delta-maintain: %v -> %v", before, after)
+	}
+	if after["full_rebuilds"].(float64) != before["full_rebuilds"].(float64) {
+		t.Fatalf("insert-only update flushed a session: %v -> %v", before, after)
+	}
+	if after["rel_retained"].(float64)+after["rel_extended"].(float64) == 0 {
+		t.Fatalf("no relation entries maintained: %v", after)
+	}
+	code, out = postJSON(t, ts.URL+"/query", q)
+	if code != http.StatusOK || out["count"].(float64) != 3 {
+		t.Fatalf("after insert update: %d %v (want count 3)", code, out)
+	}
+
+	// Removal: full flush, exact answers.
+	code, out = postJSON(t, ts.URL+"/update", `{"db":"g1","remove":"w a u\nu a w"}`)
+	if code != http.StatusOK || out["insert_only"] != false || out["removed"].(float64) != 2 {
+		t.Fatalf("remove update: %d %v", code, out)
+	}
+	code, out = postJSON(t, ts.URL+"/query", q)
+	if code != http.StatusOK || out["count"].(float64) != 1 {
+		t.Fatalf("after remove update: %d %v (want count 1)", code, out)
+	}
+
+	// Invalid removal: rejected, nothing applied.
+	code, _ = postJSON(t, ts.URL+"/update", `{"db":"g1","remove":"u a nope"}`)
+	if code != http.StatusBadRequest {
+		t.Fatalf("invalid removal accepted: %d", code)
+	}
+	code, out = postJSON(t, ts.URL+"/query", q)
+	if code != http.StatusOK || out["count"].(float64) != 1 {
+		t.Fatalf("state changed by rejected removal: %d %v", code, out)
+	}
+}
+
 func TestInflightLimiter(t *testing.T) {
 	srv, ts := testServer(t)
 	// Fill every admission slot, then any query must be shed with 429.

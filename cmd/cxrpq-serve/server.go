@@ -5,14 +5,31 @@ package main
 // (database, query text) pair is served by a pooled cxrpq.Session, so
 // repeated queries reuse the compiled plan and the per-database relation
 // caches. A bounded in-flight limiter sheds load with 429 instead of
-// queueing unboundedly; session invalidation after /update is automatic
-// (sessions observe the graph.DB revision bump).
+// queueing unboundedly.
 //
 //	POST /query   {"db":"g1","query":"ans(x,y)\nx y : a","mode":"eval"}
 //	POST /plan    {"db":"g1","query":"ans(x,y)\nx y : a"}
-//	POST /update  {"db":"g1","edges":"u a v\nv b w"}
+//	POST /update  {"db":"g1","edges":"u a v\nv b w","remove":"u a w"}
 //	GET  /healthz
 //	GET  /stats
+//
+// /update delta semantics: the request is one batched graph.Delta — "edges"
+// are added (interning unknown node names), "remove" deletes one occurrence
+// of each listed edge, which must exist (a delta naming a missing edge or
+// node is rejected with 400 and nothing is applied). The batch runs under
+// the database's write lock, so it is quiescent with respect to queries,
+// and every pooled session is eagerly refreshed through the
+// incremental-update subsystem before the lock is released: an insert-only
+// batch over known labels keeps each session's atom relations (retained or
+// frontier-extended per entry, see cxrpq.Session) and its feasibility memo,
+// dropping only result/label/plan caches; removals, brand-new labels, or an
+// add-only batch that merely cancels a previous removal fall back to the
+// historical whole-epoch flush or wholesale retention respectively.
+// Sessions created later, and sessions of other server replicas sharing
+// the DB, maintain themselves lazily from the same per-revision delta log.
+// The response reports the net delta; /stats exposes the per-database
+// retained-vs-rebuilt maintenance counters (graph index/stats/alphabet and
+// aggregated session caches).
 
 import (
 	"encoding/json"
@@ -437,15 +454,21 @@ func (s *server) handlePlan(w http.ResponseWriter, r *http.Request) {
 }
 
 type updateRequest struct {
-	DB    string `json:"db"`
-	Edges string `json:"edges"` // one "from label to" per line; nodes created as needed
+	DB     string `json:"db"`
+	Edges  string `json:"edges,omitempty"`  // edges to add, one "from label to" per line; nodes created as needed
+	Remove string `json:"remove,omitempty"` // edges to remove (must exist), same format
 }
 
 type updateResponse struct {
-	DB       string `json:"db"`
-	Revision uint64 `json:"revision"`
-	Nodes    int    `json:"nodes"`
-	Edges    int    `json:"edges"`
+	DB         string   `json:"db"`
+	Revision   uint64   `json:"revision"`
+	Nodes      int      `json:"nodes"`
+	Edges      int      `json:"edges"`
+	Added      int      `json:"added"`     // net added edges of the batch
+	Removed    int      `json:"removed"`   // net removed edges of the batch
+	NewNodes   int      `json:"new_nodes"` // nodes interned by the batch
+	NewLabels  []string `json:"new_labels,omitempty"`
+	InsertOnly bool     `json:"insert_only"`
 }
 
 func (s *server) handleUpdate(w http.ResponseWriter, r *http.Request) {
@@ -463,20 +486,48 @@ func (s *server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusNotFound, fmt.Errorf("unknown db %q", req.DB))
 		return
 	}
-	add, err := graph.Parse(req.Edges)
-	if err != nil {
+	var delta graph.Delta
+	var err error
+	if delta.Add, err = graph.ParseDeltaEdges(req.Edges); err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	// Apply under the write lock: no query is in flight, so the sessions'
-	// revision check on their next call safely drops the stale caches.
-	e.mu.Lock()
-	for u := 0; u < add.NumNodes(); u++ {
-		for _, edge := range add.Out(u) {
-			e.db.AddEdgeNames(add.Name(edge.From), edge.Label, add.Name(edge.To))
-		}
+	if delta.Del, err = graph.ParseDeltaEdges(req.Remove); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
 	}
-	resp := updateResponse{DB: e.name, Revision: e.db.Revision(), Nodes: e.db.NumNodes(), Edges: e.db.NumEdges()}
+	// Apply under the write lock: no query is in flight, so the batch is
+	// quiescent. Pooled sessions are refreshed eagerly through the
+	// incremental-update path — the delta cost is paid here, at write time,
+	// not by the first reader of each session.
+	e.mu.Lock()
+	info, err := e.db.ApplyDelta(delta)
+	if err != nil {
+		e.mu.Unlock()
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	e.sessMu.Lock()
+	sessions := make([]*cxrpq.Session, 0, len(e.sessions))
+	for _, sess := range e.sessions {
+		sessions = append(sessions, sess)
+	}
+	e.sessMu.Unlock()
+	// Each session maintains from the shared mutation log independently; if
+	// per-update latency under the write lock ever matters with very large
+	// pools, the net delta and the relation-extension frontier could be
+	// derived once here and shared across the refreshes.
+	for _, sess := range sessions {
+		sess.Refresh()
+	}
+	resp := updateResponse{
+		DB: e.name, Revision: e.db.Revision(), Nodes: e.db.NumNodes(), Edges: e.db.NumEdges(),
+		Added: len(info.Added), Removed: len(info.Removed), NewNodes: info.NewNodes,
+		InsertOnly: info.InsertOnly(),
+	}
+	for _, l := range info.NewLabels {
+		resp.NewLabels = append(resp.NewLabels, string(l))
+	}
 	e.mu.Unlock()
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -494,6 +545,23 @@ type dbStats struct {
 	Edges    int    `json:"edges"`
 	Revision uint64 `json:"revision"`
 	Sessions int    `json:"sessions"`
+
+	// Delta-maintenance counters: which path mutations took through the
+	// database's derived state and the pooled sessions' caches.
+	Maint     graph.MaintStats `json:"maint"`
+	SessMaint sessMaintStats   `json:"sessions_maint"`
+}
+
+// sessMaintStats aggregates cache-maintenance counters over a database's
+// pooled sessions: how often deltas were applied fine-grained vs flushed,
+// and how many relation-cache entries survived (retained or extended)
+// rather than being recomputed from scratch.
+type sessMaintStats struct {
+	DeltaApplies uint64 `json:"delta_applies"`
+	Retains      uint64 `json:"retains"`
+	FullRebuilds uint64 `json:"full_rebuilds"`
+	RelRetained  uint64 `json:"rel_retained"`
+	RelExtended  uint64 `json:"rel_extended"`
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -511,10 +579,19 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 			continue
 		}
 		e.mu.RLock()
-		st := dbStats{Name: e.name, Nodes: e.db.NumNodes(), Edges: e.db.NumEdges(), Revision: e.db.Revision()}
+		st := dbStats{Name: e.name, Nodes: e.db.NumNodes(), Edges: e.db.NumEdges(), Revision: e.db.Revision(),
+			Maint: e.db.MaintStats()}
 		e.mu.RUnlock()
 		e.sessMu.Lock()
 		st.Sessions = len(e.sessions)
+		for _, sess := range e.sessions {
+			ss := sess.Stats()
+			st.SessMaint.DeltaApplies += ss.Maint.DeltaApplies
+			st.SessMaint.Retains += ss.Maint.Retains
+			st.SessMaint.FullRebuilds += ss.Maint.FullRebuilds
+			st.SessMaint.RelRetained += ss.Rel.Retained
+			st.SessMaint.RelExtended += ss.Rel.Extended
+		}
 		e.sessMu.Unlock()
 		dbs = append(dbs, st)
 	}

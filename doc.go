@@ -15,10 +15,15 @@
 //	                     parser, ref-word semantics, fragment classifiers,
 //	                     compilation, Lemma 10 instantiation machinery
 //	internal/graph       graph databases (§2.2) with a label-indexed CSR
-//	                     adjacency view (Index) and per-label statistics
-//	                     (Stats: edge counts, distinct endpoints, extremal
-//	                     degrees), both built once per DB revision; the
-//	                     sorted alphabet is revision-cached too
+//	                     adjacency view (Index), per-label statistics
+//	                     (Stats) and a revision-cached alphabet, all
+//	                     delta-maintained: batched mutations (Delta /
+//	                     ApplyDelta) are recorded in a per-revision log,
+//	                     and insert-only windows extend the index in place
+//	                     (shared CSR base + overlay), recompute only
+//	                     touched labels' stats and revalidate the alphabet
+//	                     instead of rebuilding (MaintStats counts the
+//	                     retained-vs-rebuilt paths)
 //	internal/engine      the product-reachability core shared by every
 //	                     evaluation path: integer-interned graph×NFA BFS
 //	                     with bitset visited sets and a bounded worker pool
@@ -48,24 +53,33 @@
 //	                     concurrency-safe Session owning the per-database
 //	                     caches (atom relations, feasibility memo, result
 //	                     cache, the physical plan of the conjunctive
-//	                     skeleton) with revision-checked invalidation;
-//	                     every one-shot entry point is a thin wrapper over
-//	                     them, and Session.PlanReport exposes the chosen
-//	                     join order with estimated cardinalities
+//	                     skeleton) with revision-checked, delta-maintained
+//	                     invalidation: insert-only mutations retain or
+//	                     frontier-extend cached relations per entry and
+//	                     keep the feasibility memo (Session.ApplyDelta /
+//	                     Refresh; removals and new labels flush), hardened
+//	                     by the metamorphic mutation-sequence harness in
+//	                     mutation_diff_test.go; every one-shot entry point
+//	                     is a thin wrapper over them, and
+//	                     Session.PlanReport exposes the chosen join order
+//	                     with estimated cardinalities
 //	internal/oracle      brute-force reference implementations backing the
 //	                     conformance tests
 //	internal/reductions  executable hardness reductions (Thms 1/3/7)
 //	internal/separations Figure 5 separating queries and witness families
-//	internal/workload    synthetic graph generators and the random query
+//	internal/workload    synthetic graph generators, the random query
 //	                     generator (RandomQuery) behind the differential
-//	                     fuzz harness
-//	internal/exp         the E1-E20 experiment harness (see DESIGN.md)
+//	                     fuzz harness, and the MutationStream delta
+//	                     workload behind the incremental-update experiment
+//	internal/exp         the E1-E21 experiment harness (see DESIGN.md)
 //
 // cmd/cxrpq-serve is the concurrent HTTP/JSON evaluation server over the
 // prepared-query subsystem: a per-database pool of prepared sessions, a
-// bounded in-flight limiter, /update mutations with automatic session
-// invalidation, and a /plan debug endpoint reporting the planner-chosen
-// join order with estimated cardinalities (see the quickstart in
+// bounded in-flight limiter, batched /update deltas (additions and
+// removals) that maintain the pooled sessions' caches incrementally
+// instead of flushing them, a /plan debug endpoint reporting the
+// planner-chosen join order with estimated cardinalities, and /stats
+// counters for retained-vs-rebuilt cache entries (see the quickstart in
 // internal/README.md).
 //
 // internal/README.md describes the architecture of the hot path and the

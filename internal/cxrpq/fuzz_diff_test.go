@@ -22,6 +22,7 @@ import (
 	"testing"
 
 	"cxrpq/internal/cxrpq"
+	"cxrpq/internal/graph"
 	"cxrpq/internal/oracle"
 	"cxrpq/internal/pattern"
 	"cxrpq/internal/workload"
@@ -101,27 +102,77 @@ func diffSeed(t *testing.T, seed int64) {
 	}
 
 	// Oracle: exact on finite seeds, containment on general ones.
-	if finite {
-		want, err := oracle.EvalCXRPQ(q, db, workload.RandomQueryMaxWord)
-		if err != nil {
-			t.Fatalf("seed %d: oracle: %v", seed, err)
-		}
-		if !got.Equal(want) {
-			t.Fatalf("seed %d: session %d tuples, oracle %d tuples\nquery:\n%s",
-				seed, got.Len(), want.Len(), q.Pattern)
-		}
-	} else {
-		want, err := oracle.EvalCXRPQ(q, db, k)
-		if err != nil {
-			t.Fatalf("seed %d: oracle: %v", seed, err)
-		}
-		for _, tup := range want.Sorted() {
-			if !got.Contains(tup) {
-				t.Fatalf("seed %d: oracle tuple %v missing from session result\nquery:\n%s",
-					seed, tup, q.Pattern)
+	checkOracle := func(stage string, res *pattern.TupleSet) {
+		t.Helper()
+		if finite {
+			want, err := oracle.EvalCXRPQ(q, db, workload.RandomQueryMaxWord)
+			if err != nil {
+				t.Fatalf("seed %d %s: oracle: %v", seed, stage, err)
+			}
+			if !res.Equal(want) {
+				t.Fatalf("seed %d %s: session %d tuples, oracle %d tuples\nquery:\n%s",
+					seed, stage, res.Len(), want.Len(), q.Pattern)
+			}
+		} else {
+			want, err := oracle.EvalCXRPQ(q, db, k)
+			if err != nil {
+				t.Fatalf("seed %d %s: oracle: %v", seed, stage, err)
+			}
+			for _, tup := range want.Sorted() {
+				if !res.Contains(tup) {
+					t.Fatalf("seed %d %s: oracle tuple %v missing from session result\nquery:\n%s",
+						seed, stage, tup, q.Pattern)
+				}
 			}
 		}
 	}
+	checkOracle("pre-delta", got)
+
+	// Delta interleaving: mutate the database between queries through the
+	// session's incremental-update path and re-run the three-way check on
+	// the maintained caches. Labels stay within the query alphabet so the
+	// finite-mode oracle stays exact; every third seed also removes an edge
+	// to exercise the full-flush path in the same sequence. Half the seeds
+	// interleave (the re-check re-runs the oracle, which dominates the
+	// harness cost); the dedicated mutation-sequence harness
+	// (mutation_diff_test.go) covers delta maintenance in depth.
+	if seed%2 != 0 {
+		return
+	}
+	delta := graph.Delta{Add: []graph.DeltaEdge{
+		{From: db.Name(r.Intn(db.NumNodes())), Label: []rune("ab")[r.Intn(2)], To: db.Name(r.Intn(db.NumNodes()))},
+		{From: db.Name(r.Intn(db.NumNodes())), Label: []rune("ab")[r.Intn(2)], To: db.Name(r.Intn(db.NumNodes()))},
+	}}
+	if seed%3 == 0 && db.NumEdges() > 0 {
+		e := db.Out(firstNonEmptyOut(db))[0]
+		delta.Del = append(delta.Del, graph.DeltaEdge{From: db.Name(e.From), Label: e.Label, To: db.Name(e.To)})
+	}
+	if _, err := sess.ApplyDelta(delta); err != nil {
+		t.Fatalf("seed %d: ApplyDelta: %v", seed, err)
+	}
+	got, err = sess.EvalBounded(k)
+	if err != nil {
+		t.Fatalf("seed %d: post-delta Session.EvalBounded: %v", seed, err)
+	}
+	naive, err = cxrpq.EvalBoundedNaive(q, db, k)
+	if err != nil {
+		t.Fatalf("seed %d: post-delta EvalBoundedNaive: %v", seed, err)
+	}
+	if !got.Equal(naive) {
+		t.Fatalf("seed %d: post-delta session %d tuples, naive %d tuples\nquery:\n%s",
+			seed, got.Len(), naive.Len(), q.Pattern)
+	}
+	checkOracle("post-delta", got)
+}
+
+// firstNonEmptyOut returns a node with at least one outgoing edge.
+func firstNonEmptyOut(db *graph.DB) int {
+	for u := 0; u < db.NumNodes(); u++ {
+		if len(db.Out(u)) > 0 {
+			return u
+		}
+	}
+	return 0
 }
 
 // fuzzCorpus is the deterministic replay corpus: a spread of seeds covering

@@ -1,0 +1,300 @@
+package cxrpq_test
+
+// Metamorphic mutation-sequence harness for the incremental-update
+// subsystem: every seed generates a random small graph and query
+// (internal/workload), binds a Session, and drives a randomized
+// Session.ApplyDelta sequence — edge additions, fresh-node interning,
+// occasional removals and new labels — asserting after every step that
+//
+//	(a) the delta-maintained session result equals a re-evaluation on a
+//	    structurally fresh database rebuilt from the live edge multiset
+//	    (catching bugs anywhere in the graph index / stats / relation
+//	    maintenance chain) and equals EvalBoundedNaive on the live
+//	    database (catching engine-level divergence on the maintained
+//	    index);
+//	(b) under insert-only deltas the answer sets of Eval/EvalBounded and
+//	    the verdicts of EvalBoundedBool/CheckBounded grow monotonically
+//	    (CXRPQ semantics are monotone in the edge set);
+//	(c) an add-then-remove round trip restores the original tuple set.
+//
+// TestMutationCorpus replays a fixed seed list so CI exercises the laws
+// deterministically via `go test -run Mutation -short`;
+// TestMutationSequenceRandom sweeps 500+ fresh seeds.
+
+import (
+	"fmt"
+	"testing"
+
+	"cxrpq/internal/cxrpq"
+	"cxrpq/internal/graph"
+	"cxrpq/internal/pattern"
+	"cxrpq/internal/workload"
+)
+
+// mutationState mirrors the live database so a structurally fresh copy can
+// be rebuilt at every step (same interning order, hence identical node ids).
+type mutationState struct {
+	db    *graph.DB
+	sess  *cxrpq.Session
+	q     *cxrpq.Query
+	k     int
+	names []string
+}
+
+// freshEval rebuilds the database from scratch and evaluates with a fresh
+// plan and session — the ground truth of law (a).
+func (m *mutationState) freshEval(t *testing.T, seed int64) *pattern.TupleSet {
+	t.Helper()
+	fresh := graph.New()
+	for _, name := range m.names {
+		fresh.Node(name)
+	}
+	for u := 0; u < m.db.NumNodes(); u++ {
+		for _, e := range m.db.Out(u) {
+			fresh.AddEdge(e.From, e.Label, e.To)
+		}
+	}
+	res, err := cxrpq.MustPrepare(m.q).Bind(fresh).EvalBounded(m.k)
+	if err != nil {
+		t.Fatalf("seed %d: fresh re-evaluation: %v", seed, err)
+	}
+	return res
+}
+
+// checkStep asserts law (a) for the current state and returns the session
+// result.
+func (m *mutationState) checkStep(t *testing.T, seed int64, step string) *pattern.TupleSet {
+	t.Helper()
+	got, err := m.sess.EvalBounded(m.k)
+	if err != nil {
+		t.Fatalf("seed %d %s: Session.EvalBounded: %v", seed, step, err)
+	}
+	fresh := m.freshEval(t, seed)
+	if !got.Equal(fresh) {
+		t.Fatalf("seed %d %s: maintained session %d tuples, fresh re-evaluation %d\nquery:\n%s",
+			seed, step, got.Len(), fresh.Len(), m.q.Pattern)
+	}
+	naive, err := cxrpq.EvalBoundedNaive(m.q, m.db, m.k)
+	if err != nil {
+		t.Fatalf("seed %d %s: EvalBoundedNaive: %v", seed, step, err)
+	}
+	if !got.Equal(naive) {
+		t.Fatalf("seed %d %s: maintained session %d tuples, naive on live DB %d\nquery:\n%s",
+			seed, step, got.Len(), naive.Len(), m.q.Pattern)
+	}
+	return got
+}
+
+// apply routes a delta through Session.ApplyDelta and keeps the name mirror
+// in sync.
+func (m *mutationState) apply(t *testing.T, seed int64, delta graph.Delta) *graph.DeltaInfo {
+	t.Helper()
+	info, err := m.sess.ApplyDelta(delta)
+	if err != nil {
+		t.Fatalf("seed %d: ApplyDelta(%+v): %v", seed, delta, err)
+	}
+	for len(m.names) < m.db.NumNodes() {
+		m.names = append(m.names, m.db.Name(len(m.names)))
+	}
+	return info
+}
+
+// randomDelta draws a small mutation: mostly additions over the existing
+// alphabet, sometimes interning a fresh node, sometimes (when allowed)
+// removing a live edge or introducing a brand-new label.
+func randomDelta(r *workload.RNG, db *graph.DB, step int, insertOnly bool) graph.Delta {
+	var delta graph.Delta
+	node := func() string { return db.Name(r.Intn(db.NumNodes())) }
+	for i := 0; i <= r.Intn(2); i++ {
+		to := node()
+		if r.Intn(4) == 0 {
+			to = fmt.Sprintf("f%d_%d", step, i) // fresh node
+		}
+		label := []rune("ab")[r.Intn(2)]
+		if !insertOnly && r.Intn(8) == 0 {
+			label = 'c' // brand-new label: forces the full-flush path
+		}
+		delta.Add = append(delta.Add, graph.DeltaEdge{From: node(), Label: label, To: to})
+	}
+	if !insertOnly && r.Intn(3) == 0 && db.NumEdges() > 0 {
+		// Remove a uniformly random live edge.
+		pick := r.Intn(db.NumEdges())
+		for u := 0; u < db.NumNodes(); u++ {
+			es := db.Out(u)
+			if pick < len(es) {
+				e := es[pick]
+				delta.Del = append(delta.Del, graph.DeltaEdge{From: db.Name(e.From), Label: e.Label, To: db.Name(e.To)})
+				break
+			}
+			pick -= len(es)
+		}
+	}
+	return delta
+}
+
+// tupleSubset reports a ⊆ b.
+func tupleSubset(a, b *pattern.TupleSet) bool {
+	for _, t := range a.Sorted() {
+		if !b.Contains(t) {
+			return false
+		}
+	}
+	return true
+}
+
+// mutationSeed runs one full metamorphic sequence for a seed.
+func mutationSeed(t *testing.T, seed int64) {
+	t.Helper()
+	r := workload.NewRNG(seed)
+	q := workload.RandomQuery(r, true) // finite-language templates keep the naive baseline fast
+	nodes := 3 + r.Intn(3)
+	db := workload.Random(seed^0x0ddba11, nodes, nodes+r.Intn(nodes+2), "ab")
+	m := &mutationState{db: db, sess: cxrpq.MustPrepare(q).Bind(db), q: q, k: 1}
+	for id := 0; id < db.NumNodes(); id++ {
+		m.names = append(m.names, db.Name(id))
+	}
+
+	prev := m.checkStep(t, seed, "initial")
+	steps := 3 + r.Intn(3)
+	for step := 0; step < steps; step++ {
+		delta := randomDelta(r, m.db, step, step%2 == 0)
+		info := m.apply(t, seed, delta)
+		got := m.checkStep(t, seed, fmt.Sprintf("step %d", step))
+
+		if info.InsertOnly() {
+			// Law (b): monotone growth of the answer set…
+			if !tupleSubset(prev, got) {
+				t.Fatalf("seed %d step %d: insert-only delta shrank the answer set (%d -> %d)\nquery:\n%s",
+					seed, step, prev.Len(), got.Len(), q.Pattern)
+			}
+			// …of the Boolean verdict…
+			if prev.Len() > 0 {
+				if ok, err := m.sess.EvalBoundedBool(m.k); err != nil || !ok {
+					t.Fatalf("seed %d step %d: Boolean verdict regressed (ok=%v err=%v)", seed, step, ok, err)
+				}
+				// …and of Check on a previously accepted tuple.
+				tup := prev.Sorted()[r.Intn(prev.Len())]
+				if ok, err := m.sess.CheckBounded(m.k, tup); err != nil || !ok {
+					t.Fatalf("seed %d step %d: CheckBounded(%v) regressed (ok=%v err=%v)", seed, step, tup, ok, err)
+				}
+			}
+		}
+		prev = got
+	}
+
+	// Law (c): an add-then-remove round trip restores the original tuples.
+	before := prev
+	roundTrip := graph.Delta{Add: []graph.DeltaEdge{
+		{From: m.names[r.Intn(len(m.names))], Label: 'a', To: m.names[r.Intn(len(m.names))]},
+		{From: m.names[r.Intn(len(m.names))], Label: 'b', To: m.names[r.Intn(len(m.names))]},
+	}}
+	m.apply(t, seed, roundTrip)
+	mid := m.checkStep(t, seed, "round-trip add")
+	if !tupleSubset(before, mid) {
+		t.Fatalf("seed %d: round-trip addition shrank the answer set", seed)
+	}
+	m.apply(t, seed, graph.Delta{Del: roundTrip.Add})
+	after := m.checkStep(t, seed, "round-trip remove")
+	if !after.Equal(before) {
+		t.Fatalf("seed %d: add-then-remove round trip did not restore the tuple set (%d vs %d)\nquery:\n%s",
+			seed, after.Len(), before.Len(), q.Pattern)
+	}
+}
+
+// mutationCorpus is the deterministic replay list: a spread over the
+// template families plus seeds whose sequences hit removals, new labels and
+// fresh-node interning early.
+var mutationCorpus = []int64{
+	0, 1, 2, 3, 5, 8, 13, 21, 34, 55, 89, 144,
+	233, 377, 610, 987, 1597, 2584, 4181, 6765,
+	31337, 54321,
+}
+
+// TestMutationCorpus replays the fixed corpus (always, including -short).
+func TestMutationCorpus(t *testing.T) {
+	for _, seed := range mutationCorpus {
+		mutationSeed(t, seed)
+	}
+}
+
+// TestMutationSequenceRandom sweeps 500+ fresh seeds; -short trims the
+// sweep but never skips it entirely.
+func TestMutationSequenceRandom(t *testing.T) {
+	n := int64(520)
+	if testing.Short() {
+		n = 60
+	}
+	for seed := int64(700000); seed < 700000+n; seed++ {
+		mutationSeed(t, seed)
+	}
+}
+
+// TestMutationMaintStats pins that an insert-only known-label delta takes
+// the fine-grained path (relation entries retained or extended, no full
+// flush) and that removals and new labels take the full-flush path.
+func TestMutationMaintStats(t *testing.T) {
+	q := cxrpq.MustParse("ans(p, q)\np m : $x{a|b}\nm q : $x|b\n")
+	db := workload.Random(99, 6, 14, "ab")
+	sess := cxrpq.MustPrepare(q).Bind(db)
+	if _, err := sess.EvalBounded(1); err != nil {
+		t.Fatal(err)
+	}
+	base := sess.Stats()
+	if base.Maint.FullRebuilds != 1 || base.Maint.DeltaApplies != 0 {
+		t.Fatalf("unexpected baseline maint stats: %+v", base.Maint)
+	}
+
+	if _, err := sess.ApplyDelta(graph.Delta{Add: []graph.DeltaEdge{{From: db.Name(0), Label: 'a', To: db.Name(1)}}}); err != nil {
+		t.Fatal(err)
+	}
+	st := sess.Stats()
+	if st.Maint.DeltaApplies != 1 || st.Maint.FullRebuilds != 1 {
+		t.Fatalf("insert-only delta did not take the fine-grained path: %+v", st.Maint)
+	}
+	if st.Rel.Retained+st.Rel.Extended == 0 {
+		t.Fatalf("no relation entries maintained: %+v", st.Rel)
+	}
+
+	// A removal must force the full flush.
+	if _, err := sess.ApplyDelta(graph.Delta{Del: []graph.DeltaEdge{{From: db.Name(0), Label: 'a', To: db.Name(1)}}}); err != nil {
+		t.Fatal(err)
+	}
+	st = sess.Stats()
+	if st.Maint.FullRebuilds != 2 {
+		t.Fatalf("removal did not force a full flush: %+v", st.Maint)
+	}
+
+	// A brand-new label must force the full flush too.
+	if _, err := sess.EvalBounded(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.ApplyDelta(graph.Delta{Add: []graph.DeltaEdge{{From: db.Name(0), Label: 'z', To: db.Name(1)}}}); err != nil {
+		t.Fatal(err)
+	}
+	if st := sess.Stats(); st.Maint.FullRebuilds != 3 {
+		t.Fatalf("new label did not force a full flush: %+v", st.Maint)
+	}
+
+	// An add-then-remove round trip between calls nets out: everything —
+	// including the result cache — is retained.
+	if _, err := sess.EvalBounded(1); err != nil {
+		t.Fatal(err)
+	}
+	pre := sess.Stats()
+	if _, err := db.ApplyDelta(graph.Delta{Add: []graph.DeltaEdge{{From: db.Name(2), Label: 'a', To: db.Name(3)}}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.ApplyDelta(graph.Delta{Del: []graph.DeltaEdge{{From: db.Name(2), Label: 'a', To: db.Name(3)}}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.EvalBounded(1); err != nil {
+		t.Fatal(err)
+	}
+	st = sess.Stats()
+	if st.Maint.Retains != pre.Maint.Retains+1 {
+		t.Fatalf("net-empty window not retained: %+v -> %+v", pre.Maint, st.Maint)
+	}
+	if st.ResultHits != pre.ResultHits+1 {
+		t.Fatalf("net-empty window dropped the result cache: %+v -> %+v", pre, st)
+	}
+}

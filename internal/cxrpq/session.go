@@ -22,10 +22,15 @@ import (
 //
 // Invalidation contract: the database must not be mutated while a call is
 // in flight. After a (quiescent) mutation, the next call observes the
-// bumped graph.DB revision and transparently drops every cache; Invalidate
-// forces the same drop explicitly. Results returned by Eval/EvalBounded may
-// be served from the result cache and shared between callers — treat the
-// returned TupleSet as immutable.
+// bumped graph.DB revision and re-maintains the caches — fine-grained when
+// the DB's delta log covers the window with an insert-only, known-label
+// delta (atom relations are retained or frontier-extended per entry, the
+// feasibility memo survives, only the result/label/plan caches drop; see
+// maintainLocked for the full matrix), wholesale otherwise. Session.
+// ApplyDelta applies a batched mutation and maintains eagerly; Invalidate
+// always forces the wholesale drop. Results returned by Eval/EvalBounded
+// may be served from the result cache and shared between callers — treat
+// the returned TupleSet as immutable.
 
 const (
 	// defaultFeasCap bounds the session feasibility memo.
@@ -119,6 +124,22 @@ func newSessionCaches(relCap, feasCap int) *sessionCaches {
 	}
 }
 
+// dropDerived clears the caches a fine-grained delta pass cannot keep: the
+// path-label candidate lists (insertions may create new words) and the
+// physical plan (graph statistics moved). The relation cache and the
+// feasibility memo — the expensive state — are maintained by the caller.
+func (sc *sessionCaches) dropDerived() {
+	sc.labMu.Lock()
+	sc.labels = map[int][]string{}
+	sc.labMu.Unlock()
+	sc.planMu.Lock()
+	sc.planDone = false
+	sc.planAtoms = nil
+	sc.planSpec = nil
+	sc.planErr = nil
+	sc.planMu.Unlock()
+}
+
 func (sc *sessionCaches) feasGet(key string) (res, ok bool) { return sc.feas.get(key) }
 
 func (sc *sessionCaches) feasPut(key string, res bool) { sc.feas.put(key, res) }
@@ -185,6 +206,17 @@ type Session struct {
 	sigma   []rune
 	caches  *sessionCaches
 	results *resultCache
+	maint   SessionMaint
+}
+
+// SessionMaint counts how the session reacted to database revision moves:
+// fine-grained delta maintenance, wholesale retention of a net-empty delta,
+// or a full cache flush (first bind, removals, new labels, an uncovered
+// revision window, or an explicit Invalidate).
+type SessionMaint struct {
+	DeltaApplies uint64 // per-entry maintenance passes (insert-only deltas)
+	Retains      uint64 // net-empty deltas: every cache kept, results included
+	FullRebuilds uint64 // whole-epoch flushes
 }
 
 // Bind binds the plan to a database with default cache options.
@@ -195,27 +227,100 @@ func (p *Plan) BindOpts(db *graph.DB, opts SessionOptions) *Session {
 	return &Session{plan: p, db: db, opts: opts}
 }
 
-// current returns this call's cache epoch, transparently starting a fresh
-// one when the database revision moved since the last call. Calls already
-// in flight keep the epoch they started with.
+// current returns this call's cache epoch, transparently maintaining it
+// when the database revision moved since the last call (see refreshLocked).
+// Calls already in flight keep the epoch they started with.
 func (s *Session) current() (*sessionCaches, *resultCache, []rune) {
 	rev := s.db.Revision()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if !s.bound || rev != s.rev {
-		s.bound = true
-		s.rev = rev
-		s.sigma = mergeDBAlphabet(s.db, s.plan.c)
-		s.caches = newSessionCaches(s.opts.RelCacheCap, s.opts.FeasCacheCap)
-		s.results = newResultCache(s.opts.ResultCacheCap)
+		s.refreshLocked(rev)
 	}
 	return s.caches, s.results, s.sigma
 }
 
-// Invalidate drops every cache of the session unconditionally. Calling it
-// is never required for correctness after a quiescent DB mutation (the
-// revision check does it), but it releases memory immediately and covers
-// callers that mutated derived state out of band.
+// refreshLocked brings the cache epoch up to revision rev: fine-grained
+// delta maintenance when the DB's mutation log covers the window with a
+// maintainable delta, a fresh epoch otherwise.
+func (s *Session) refreshLocked(rev uint64) {
+	if s.bound && s.caches != nil && rev != s.rev {
+		if info := s.db.DeltaSince(s.rev); info != nil && s.maintainLocked(info) {
+			s.rev = rev
+			return
+		}
+	}
+	s.bound = true
+	s.rev = rev
+	s.sigma = mergeDBAlphabet(s.db, s.plan.c)
+	s.caches = newSessionCaches(s.opts.RelCacheCap, s.opts.FeasCacheCap)
+	s.results = newResultCache(s.opts.ResultCacheCap)
+	s.maint.FullRebuilds++
+}
+
+// maintainLocked applies the per-cache invalidation matrix for one delta
+// window and reports whether fine-grained maintenance succeeded (false
+// demands a full flush):
+//
+//	delta kind              rels        feas   labels  plan   results
+//	net-empty (cancelled)   keep        keep   keep    keep   keep
+//	insert-only, no new     retain/     keep   drop    drop   drop
+//	labels                  extend
+//	removals / new labels   — full flush —
+//
+// The feasibility memo depends only on the session alphabet (definition
+// bodies × candidate words), which is unchanged exactly when the delta
+// introduces no label; the relation cache delegates to ecrpq.RelCache.
+// ApplyDelta.
+func (s *Session) maintainLocked(info *graph.DeltaInfo) bool {
+	if info.Empty() {
+		s.maint.Retains++
+		return true
+	}
+	if !info.InsertOnly() || len(info.NewLabels) > 0 {
+		return false
+	}
+	if _, _, err := s.caches.rels.ApplyDelta(s.db, info); err != nil {
+		return false
+	}
+	s.caches.dropDerived()
+	s.results = newResultCache(s.opts.ResultCacheCap)
+	s.maint.DeltaApplies++
+	return true
+}
+
+// ApplyDelta applies a batched mutation to the bound database and eagerly
+// re-maintains the session caches, so the delta cost is paid at write time
+// instead of on the next query. Like every mutation it must be quiescent:
+// no session call (on any session bound to the same DB) may be in flight.
+// Other sessions bound to the database maintain themselves lazily on their
+// next call through the same delta log.
+func (s *Session) ApplyDelta(delta graph.Delta) (*graph.DeltaInfo, error) {
+	info, err := s.db.ApplyDelta(delta)
+	if err != nil {
+		return info, err
+	}
+	s.Refresh()
+	return info, nil
+}
+
+// Refresh brings the session caches up to the database's current revision
+// immediately (delta maintenance or full flush, whichever applies) instead
+// of waiting for the next call. It is a no-op when nothing changed.
+func (s *Session) Refresh() {
+	rev := s.db.Revision()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.bound || rev != s.rev {
+		s.refreshLocked(rev)
+	}
+}
+
+// Invalidate drops every cache of the session unconditionally — no delta
+// maintenance, the next call starts a fresh epoch. Calling it is never
+// required for correctness after a quiescent DB mutation (the revision
+// check does it), but it releases memory immediately and covers callers
+// that mutated derived state out of band.
 func (s *Session) Invalidate() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -239,6 +344,7 @@ type SessionStats struct {
 	Revision     uint64
 	Fragment     string
 	Rel          ecrpq.RelCacheStats
+	Maint        SessionMaint
 	FeasSize     int
 	ResultHits   uint64
 	ResultMisses uint64
@@ -249,7 +355,7 @@ type SessionStats struct {
 func (s *Session) Stats() SessionStats {
 	s.mu.Lock()
 	sc, rc := s.caches, s.results
-	st := SessionStats{Revision: s.rev, Fragment: s.plan.fragment}
+	st := SessionStats{Revision: s.rev, Fragment: s.plan.fragment, Maint: s.maint}
 	s.mu.Unlock()
 	if sc != nil {
 		st.Rel = sc.rels.Stats()

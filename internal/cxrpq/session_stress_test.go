@@ -10,7 +10,9 @@ package cxrpq_test
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"cxrpq/internal/cxrpq"
 	"cxrpq/internal/graph"
@@ -217,4 +219,151 @@ func TestSessionInvalidation(t *testing.T) {
 	// A new symbol extends the session alphabet too.
 	db.AddEdge(w, 'c', u)
 	check("after alphabet-extending mutation")
+}
+
+// TestSessionConcurrentDeltaStress drives concurrent Session.Do readers
+// against a writer looping ApplyDelta under -race. The writer coordinates
+// with readers through an RWMutex — the server's quiescence pattern — and
+// walks a fixed delta script whose per-generation ground truths are
+// precomputed, so every reader can verify the exact tuple set of the
+// revision it observed while the caches around it are being
+// delta-maintained.
+func TestSessionConcurrentDeltaStress(t *testing.T) {
+	q := cxrpq.MustParse("ans(p, q)\np m : $x{a|b}\nm q : ($x|b)a?\n")
+	db := workload.Random(23, 6, 12, "ab")
+	const k = 1
+
+	// The delta script: additions (fine-grained maintenance), a removal
+	// (full flush) and a round trip (net-empty retention), cycled.
+	script := []graph.Delta{
+		{Add: []graph.DeltaEdge{{From: db.Name(0), Label: 'a', To: db.Name(3)}}},
+		{Add: []graph.DeltaEdge{{From: db.Name(1), Label: 'b', To: "fresh0"}, {From: "fresh0", Label: 'a', To: db.Name(2)}}},
+		{Del: []graph.DeltaEdge{{From: db.Name(0), Label: 'a', To: db.Name(3)}}},
+		{Add: []graph.DeltaEdge{{From: db.Name(4), Label: 'a', To: db.Name(5)}}},
+		{Add: []graph.DeltaEdge{{From: db.Name(2), Label: 'b', To: db.Name(0)}}, Del: []graph.DeltaEdge{{From: db.Name(4), Label: 'a', To: db.Name(5)}}},
+	}
+
+	// Precompute the ground truth of every generation on a scratch copy.
+	scratch := workload.Random(23, 6, 12, "ab")
+	truths := make([]*pattern.TupleSet, 0, len(script)+1)
+	truth := func() *pattern.TupleSet {
+		res, err := cxrpq.EvalBoundedNaive(q, scratch, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	truths = append(truths, truth())
+	for _, delta := range script {
+		if _, err := scratch.ApplyDelta(delta); err != nil {
+			t.Fatal(err)
+		}
+		truths = append(truths, truth())
+	}
+
+	sess := cxrpq.MustPrepare(q).Bind(db)
+	var dbMu sync.RWMutex
+	var gen atomic.Int64
+
+	const readers = 6
+	errs := make(chan error, readers*64)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				dbMu.RLock()
+				want := truths[gen.Load()]
+				resp := sess.Do(cxrpq.Request{Op: "eval", Semantics: "bounded", K: k})
+				dbMu.RUnlock()
+				if resp.Err != nil {
+					errs <- fmt.Errorf("reader %d: %v", g, resp.Err)
+					return
+				}
+				if !resp.Tuples.Equal(want) {
+					errs <- fmt.Errorf("reader %d iter %d: %d tuples, want %d", g, i, resp.Tuples.Len(), want.Len())
+					return
+				}
+			}
+		}(g)
+	}
+
+	// Writer: walk the script under the write lock, yielding between steps
+	// so readers interleave with every generation.
+	for step, delta := range script {
+		time.Sleep(2 * time.Millisecond)
+		dbMu.Lock()
+		if _, err := sess.ApplyDelta(delta); err != nil {
+			dbMu.Unlock()
+			t.Fatalf("writer step %d: %v", step, err)
+		}
+		gen.Store(int64(step + 1))
+		dbMu.Unlock()
+	}
+	time.Sleep(5 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	st := sess.Stats()
+	if st.Maint.DeltaApplies == 0 {
+		t.Errorf("no fine-grained delta maintenance happened under stress: %+v", st.Maint)
+	}
+	if st.Maint.FullRebuilds < 2 { // initial bind + the removal step
+		t.Errorf("removal step did not force a full flush: %+v", st.Maint)
+	}
+}
+
+// TestSessionInvalidateForcesFullFlush is the regression test for the
+// explicit escape hatch: Invalidate must always start a fresh epoch — no
+// delta maintenance, empty relation cache — even when the delta log could
+// have maintained the caches fine-grained.
+func TestSessionInvalidateForcesFullFlush(t *testing.T) {
+	q := cxrpq.MustParse("ans(p, q)\np m : $x{a|b}\nm q : $x|b\n")
+	db := workload.Random(31, 5, 10, "ab")
+	sess := cxrpq.MustPrepare(q).Bind(db)
+	if _, err := sess.EvalBounded(1); err != nil {
+		t.Fatal(err)
+	}
+	pre := sess.Stats()
+	if pre.Rel.Size == 0 {
+		t.Fatal("relation cache unexpectedly empty after a bounded eval")
+	}
+
+	// Insert-only delta — maintainable — but Invalidate must win.
+	if _, err := db.ApplyDelta(graph.Delta{Add: []graph.DeltaEdge{{From: db.Name(0), Label: 'a', To: db.Name(1)}}}); err != nil {
+		t.Fatal(err)
+	}
+	sess.Invalidate()
+	got, err := sess.EvalBounded(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := cxrpq.EvalBoundedNaive(q, db, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Fatalf("post-Invalidate result diverged: %d tuples, want %d", got.Len(), want.Len())
+	}
+	st := sess.Stats()
+	if st.Maint.DeltaApplies != 0 {
+		t.Fatalf("Invalidate was bypassed by delta maintenance: %+v", st.Maint)
+	}
+	if st.Maint.FullRebuilds != pre.Maint.FullRebuilds+1 {
+		t.Fatalf("Invalidate did not force a full flush: %+v -> %+v", pre.Maint, st.Maint)
+	}
+	if st.Rel.Retained != 0 || st.Rel.Extended != 0 {
+		t.Fatalf("fresh epoch inherited maintenance counters: %+v", st.Rel)
+	}
 }

@@ -15,13 +15,32 @@ import (
 // session. On overflow the whole epoch is dropped (entries are pure caches,
 // so correctness is unaffected). The zero value is not usable; construct
 // with NewRelCache. All methods are safe for concurrent use.
+//
+// Entries carry the metadata delta maintenance needs — the label's AST, its
+// literal alphabet, ε-acceptance and the compile alphabet — so an
+// insert-only database delta can retain, grow or frontier-extend each
+// relation (ApplyDelta) instead of the historical whole-cache flush.
 type RelCache struct {
 	mu        sync.Mutex
 	cap       int
-	m         map[string]*EdgeRel
+	m         map[string]*relEntry
 	hits      uint64
 	misses    uint64
 	evictions uint64
+	retained  uint64
+	extended  uint64
+}
+
+// relEntry is one cached relation plus the metadata classifying it against
+// mutation deltas (see RelCache.ApplyDelta).
+type relEntry struct {
+	rel   *EdgeRel
+	label xregex.Node
+	sigma []rune
+
+	syms      map[rune]bool // literal symbols of the label's language
+	universal bool          // label may involve any symbol of Σ (negated class, variables)
+	hasEps    bool          // ε ∈ L(label)
 }
 
 // DefaultRelCacheCap is the capacity used when NewRelCache receives n <= 0.
@@ -33,7 +52,7 @@ func NewRelCache(n int) *RelCache {
 	if n <= 0 {
 		n = DefaultRelCacheCap
 	}
-	return &RelCache{cap: n, m: map[string]*EdgeRel{}}
+	return &RelCache{cap: n, m: map[string]*relEntry{}}
 }
 
 // For resolves the relation of label over db through the cache, computing
@@ -41,10 +60,10 @@ func NewRelCache(n int) *RelCache {
 func (c *RelCache) For(db *graph.DB, label xregex.Node, sigma []rune) (*EdgeRel, error) {
 	key := xregex.String(label) + "\x00" + string(sigma)
 	c.mu.Lock()
-	if r, ok := c.m[key]; ok {
+	if e, ok := c.m[key]; ok {
 		c.hits++
 		c.mu.Unlock()
-		return r, nil
+		return e.rel, nil
 	}
 	c.misses++
 	c.mu.Unlock()
@@ -52,17 +71,33 @@ func (c *RelCache) For(db *graph.DB, label xregex.Node, sigma []rune) (*EdgeRel,
 	if err != nil {
 		return nil, err
 	}
+	e := newRelEntry(r, label, sigma)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if old, ok := c.m[key]; ok { // raced with another worker
-		return old, nil
+		return old.rel, nil
 	}
 	if len(c.m) >= c.cap {
-		c.m = map[string]*EdgeRel{}
+		c.m = map[string]*relEntry{}
 		c.evictions++
 	}
-	c.m[key] = r
+	c.m[key] = e
 	return r, nil
+}
+
+// newRelEntry derives the delta-classification metadata of a freshly
+// computed relation.
+func newRelEntry(r *EdgeRel, label xregex.Node, sigma []rune) *relEntry {
+	e := &relEntry{rel: r, label: label, sigma: sigma}
+	e.syms, e.universal = labelAlphabet(label)
+	if _, empty := label.(*xregex.Empty); !empty {
+		if ent, err := compiledFor(label, sigma); err == nil {
+			e.hasEps = ent.shape().HasEps
+		} else {
+			e.universal = true // unknown shape: treat conservatively
+		}
+	}
+	return e
 }
 
 // RelCacheStats is a point-in-time snapshot of a RelCache's counters.
@@ -70,6 +105,8 @@ type RelCacheStats struct {
 	Hits      uint64
 	Misses    uint64
 	Evictions uint64 // whole-epoch drops on overflow
+	Retained  uint64 // delta maintenance: entries kept (possibly grown for new nodes)
+	Extended  uint64 // delta maintenance: entries frontier-recomputed
 	Size      int    // live entries
 	Cap       int
 }
@@ -78,7 +115,8 @@ type RelCacheStats struct {
 func (c *RelCache) Stats() RelCacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return RelCacheStats{Hits: c.hits, Misses: c.misses, Evictions: c.evictions, Size: len(c.m), Cap: c.cap}
+	return RelCacheStats{Hits: c.hits, Misses: c.misses, Evictions: c.evictions,
+		Retained: c.retained, Extended: c.extended, Size: len(c.m), Cap: c.cap}
 }
 
 // Reset drops every entry (the counters are kept); used by session
@@ -86,5 +124,5 @@ func (c *RelCache) Stats() RelCacheStats {
 func (c *RelCache) Reset() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.m = map[string]*EdgeRel{}
+	c.m = map[string]*relEntry{}
 }

@@ -28,9 +28,12 @@ type DB struct {
 	out    [][]Edge       // adjacency by source
 	in     [][]Edge       // adjacency by target
 	nEdges int
-	sigma  map[rune]bool
+	sigma  map[rune]int // label -> live edge count
 
-	version    uint64 // bumped on every mutation
+	version uint64   // bumped on every mutation
+	log     deltaLog // per-revision mutation records (see delta.go)
+	maint   maintCounters
+
 	idxMu      sync.Mutex
 	idx        *Index
 	idxVersion uint64
@@ -47,7 +50,7 @@ type DB struct {
 
 // New returns an empty graph database.
 func New() *DB {
-	return &DB{byName: map[string]int{}, sigma: map[rune]bool{}}
+	return &DB{byName: map[string]int{}, sigma: map[rune]int{}}
 }
 
 // Node returns the id for name, adding a fresh node if necessary.
@@ -61,6 +64,7 @@ func (d *DB) Node(name string) int {
 	d.out = append(d.out, nil)
 	d.in = append(d.in, nil)
 	d.version++
+	d.log.append(deltaRec{kind: recAddNode, edge: Edge{From: id}})
 	return id
 }
 
@@ -82,21 +86,45 @@ func (d *DB) AddEdge(from int, label rune, to int) {
 	d.out[from] = append(d.out[from], e)
 	d.in[to] = append(d.in[to], e)
 	d.nEdges++
-	d.sigma[label] = true
+	fresh := d.sigma[label] == 0
+	d.sigma[label]++
 	d.version++
+	d.log.append(deltaRec{kind: recAddEdge, edge: e, newLbl: fresh})
 }
 
 // Index returns the label-indexed CSR adjacency view of the database,
-// building it on first use and rebuilding it after mutations. The returned
-// Index is immutable and safe for concurrent readers; concurrent Index
-// calls are safe as long as no goroutine is mutating the DB.
+// building it on first use and maintaining it across mutations: an
+// insert-only delta covered by the mutation log extends the previous view
+// in place (shared CSR storage plus a small overlay, see extendIndex), a
+// net-empty delta retains it outright, and anything else — removals, new
+// labels, an overgrown overlay, an uncovered revision window — rebuilds.
+// The returned Index is immutable and safe for concurrent readers;
+// concurrent Index calls are safe as long as no goroutine is mutating the
+// DB.
 func (d *DB) Index() *Index {
 	d.idxMu.Lock()
 	defer d.idxMu.Unlock()
-	if d.idx == nil || d.idxVersion != d.version {
-		d.idx = buildIndex(d)
-		d.idxVersion = d.version
+	if d.idx != nil && d.idxVersion == d.version {
+		return d.idx
 	}
+	if d.idx != nil {
+		if info := d.DeltaSince(d.idxVersion); info != nil && info.InsertOnly() {
+			if info.Empty() {
+				d.idxVersion = d.version
+				d.maint.idxRetained.Add(1)
+				return d.idx
+			}
+			if nix := extendIndex(d, d.idx, info); nix != nil {
+				d.idx = nix
+				d.idxVersion = d.version
+				d.maint.idxExtended.Add(1)
+				return d.idx
+			}
+		}
+	}
+	d.idx = buildIndex(d)
+	d.idxVersion = d.version
+	d.maint.idxRebuilt.Add(1)
 	return d.idx
 }
 
@@ -146,25 +174,58 @@ func (d *DB) Out(u int) []Edge { return d.out[u] }
 // In returns the incoming edges of node u (caller must not modify).
 func (d *DB) In(u int) []Edge { return d.in[u] }
 
-// Alphabet returns the sorted set of edge labels. The slice is cached per
-// DB revision (it feeds RelationFor and the alphabet merges on every
-// evaluation) and shared between callers: treat it as immutable. A mutation
-// invalidates the cache; the usual revision contract applies (mutations must
-// not run concurrently with readers).
+// Alphabet returns the sorted set of edge labels. The slice is cached (it
+// feeds RelationFor and the alphabet merges on every evaluation) and shared
+// between callers: treat it as immutable. A mutation that cannot change the
+// label set — a delta touching only labels that keep at least one edge —
+// revalidates the cached slice instead of recomputing it; anything else
+// re-sorts from the per-label counts. The usual revision contract applies
+// (mutations must not run concurrently with readers).
 func (d *DB) Alphabet() []rune {
 	d.alphaMu.Lock()
 	defer d.alphaMu.Unlock()
-	if !d.alphaOK || d.alphaVersion != d.version {
-		out := make([]rune, 0, len(d.sigma))
-		for r := range d.sigma {
-			out = append(out, r)
-		}
-		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-		d.alpha = out
-		d.alphaOK = true
-		d.alphaVersion = d.version
+	if d.alphaOK && d.alphaVersion == d.version {
+		return d.alpha
 	}
+	if d.alphaOK {
+		if info := d.DeltaSince(d.alphaVersion); info != nil && d.alphaCoversLocked(info) {
+			d.alphaVersion = d.version
+			d.maint.alphaRetained.Add(1)
+			return d.alpha
+		}
+	}
+	out := make([]rune, 0, len(d.sigma))
+	for r := range d.sigma {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	d.alpha = out
+	d.alphaOK = true
+	d.alphaVersion = d.version
+	d.maint.alphaRebuilt.Add(1)
 	return d.alpha
+}
+
+// alphaCoversLocked reports whether the cached alphabet is still exactly the
+// label set after the delta window: every label the window touched must be
+// present in the cache iff it still has live edges.
+func (d *DB) alphaCoversLocked(info *DeltaInfo) bool {
+	check := func(r rune) bool {
+		i := sort.Search(len(d.alpha), func(i int) bool { return d.alpha[i] >= r })
+		cached := i < len(d.alpha) && d.alpha[i] == r
+		return cached == (d.sigma[r] > 0)
+	}
+	for _, r := range info.Labels {
+		if !check(r) {
+			return false
+		}
+	}
+	for _, r := range info.NewLabels {
+		if !check(r) {
+			return false
+		}
+	}
+	return true
 }
 
 // Names returns the node names in id order.
@@ -334,15 +395,11 @@ func Read(r io.Reader) (*DB, error) {
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
 		}
-		fields := strings.Fields(line)
-		if len(fields) != 3 {
-			return nil, fmt.Errorf("graph: line %d: want 'from label to', got %q", lineNo, line)
+		from, label, to, err := parseEdgeLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: %v", lineNo, err)
 		}
-		label := []rune(fields[1])
-		if len(label) != 1 {
-			return nil, fmt.Errorf("graph: line %d: label must be a single symbol, got %q", lineNo, fields[1])
-		}
-		d.AddEdgeNames(fields[0], label[0], fields[2])
+		d.AddEdgeNames(from, label, to)
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err

@@ -9,6 +9,15 @@ import "sort"
 // DB.Index) and replaces the per-BFS-step label grouping that the product
 // engines previously recomputed at every visited node.
 //
+// After an insert-only mutation delta the view is extended instead of
+// rebuilt (extendIndex): the new Index shares the base CSR arrays of its
+// predecessor and carries the touched (node, symbol) spans — plus all spans
+// of nodes interned after the base was built — in a small overlay map.
+// Lookups check the overlay first (one nil test on the hot path when the
+// index is a fresh build); when the overlay grows past a fraction of the
+// base, DB.Index compacts by rebuilding. Removals and new labels always
+// rebuild, so symbol ids stay the dense ids of the sorted alphabet.
+//
 // All methods are safe for concurrent use; the returned slices are views
 // into shared storage and must not be modified.
 type Index struct {
@@ -17,6 +26,15 @@ type Index struct {
 	symID map[rune]int32
 	out   labelCSR
 	in    labelCSR
+
+	// Overlay of a delta-extended index. baseN/baseSyms delimit the CSR
+	// arrays (built for an older revision); ovOut/ovIn hold the merged
+	// spans of every (node, symbol) pair touched since. nil maps mean a
+	// fresh build.
+	baseN   int
+	ovOut   map[int64][]int32
+	ovIn    map[int64][]int32
+	ovEdges int // overlay-carried edges, the compaction trigger
 }
 
 // labelCSR stores, for each (node, symbol id) pair, a span into a flat
@@ -38,7 +56,7 @@ func buildIndex(d *DB) *Index {
 	for i, r := range syms {
 		symID[r] = int32(i)
 	}
-	ix := &Index{n: n, syms: syms, symID: symID}
+	ix := &Index{n: n, baseN: n, syms: syms, symID: symID}
 	ix.out = buildCSR(n, len(syms), symID, d.out, func(e Edge) int { return e.To })
 	ix.in = buildCSR(n, len(syms), symID, d.in, func(e Edge) int { return e.From })
 	return ix
@@ -66,6 +84,74 @@ func buildCSR(n, nSyms int, symID map[rune]int32, adj [][]Edge, endpoint func(Ed
 	return labelCSR{off: off, tgt: tgt}
 }
 
+// ovKey packs a (node, symbol id) pair into one overlay map key.
+func ovKey(u int, s int32) int64 { return int64(u)<<32 | int64(uint32(s)) }
+
+// extendIndexFrac caps the overlay at 1/extendIndexFrac of the edge count
+// before compaction (a full rebuild) kicks in.
+const extendIndexFrac = 4
+
+// extendIndex derives the index of the current revision from prev by
+// applying an insert-only delta: the CSR arrays are shared, and only the
+// (node, symbol) spans the delta touches get fresh merged slices in the
+// overlay. It returns nil — asking the caller to rebuild — when the delta
+// carries a label unknown to prev (dense ids would shift) or when the
+// accumulated overlay would exceed its fraction of the edge set.
+func extendIndex(d *DB, prev *Index, info *DeltaInfo) *Index {
+	for _, r := range info.Labels {
+		if _, ok := prev.symID[r]; !ok {
+			return nil
+		}
+	}
+	ovEdges := prev.ovEdges + len(info.Added)
+	if ovEdges*extendIndexFrac > d.nEdges+extendIndexFrac {
+		return nil
+	}
+	ix := &Index{
+		n:     d.NumNodes(),
+		baseN: prev.baseN,
+		syms:  prev.syms,
+		symID: prev.symID,
+		out:   prev.out,
+		in:    prev.in,
+		ovOut: cloneOverlay(prev.ovOut, len(info.Added)),
+		ovIn:  cloneOverlay(prev.ovIn, len(info.Added)),
+
+		ovEdges: ovEdges,
+	}
+	for _, e := range info.Added {
+		s := ix.symID[e.Label]
+		ix.ovOut[ovKey(e.From, s)] = ix.appendSpan(ix.ovOut, &ix.out, e.From, s, int32(e.To))
+		ix.ovIn[ovKey(e.To, s)] = ix.appendSpan(ix.ovIn, &ix.in, e.To, s, int32(e.From))
+	}
+	return ix
+}
+
+func cloneOverlay(m map[int64][]int32, extra int) map[int64][]int32 {
+	out := make(map[int64][]int32, len(m)+extra)
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// appendSpan returns the overlay span of (u, s) with v appended, starting
+// from the existing overlay entry or from a fresh copy of the base span.
+// Appending to a predecessor's overlay slice is safe: every older index
+// sees a strictly shorter length over the same backing array.
+func (ix *Index) appendSpan(ov map[int64][]int32, base *labelCSR, u int, s int32, v int32) []int32 {
+	if sp, ok := ov[ovKey(u, s)]; ok {
+		return append(sp, v)
+	}
+	var bs []int32
+	if u < ix.baseN {
+		bs = base.span(u, s, len(ix.syms))
+	}
+	sp := make([]int32, len(bs), len(bs)+4)
+	copy(sp, bs)
+	return append(sp, v)
+}
+
 // NumNodes returns the number of nodes covered by the index.
 func (ix *Index) NumNodes() int { return ix.n }
 
@@ -82,15 +168,35 @@ func (ix *Index) SymID(r rune) (int32, bool) {
 }
 
 // OutByID returns the targets of u's outgoing edges labelled with symbol id s.
-func (ix *Index) OutByID(u int, s int32) []int32 { return ix.out.span(u, s, len(ix.syms)) }
+func (ix *Index) OutByID(u int, s int32) []int32 {
+	if ix.ovOut != nil {
+		if sp, ok := ix.ovOut[ovKey(u, s)]; ok {
+			return sp
+		}
+	}
+	if u < ix.baseN {
+		return ix.out.span(u, s, len(ix.syms))
+	}
+	return nil
+}
 
 // InByID returns the sources of u's incoming edges labelled with symbol id s.
-func (ix *Index) InByID(u int, s int32) []int32 { return ix.in.span(u, s, len(ix.syms)) }
+func (ix *Index) InByID(u int, s int32) []int32 {
+	if ix.ovIn != nil {
+		if sp, ok := ix.ovIn[ovKey(u, s)]; ok {
+			return sp
+		}
+	}
+	if u < ix.baseN {
+		return ix.in.span(u, s, len(ix.syms))
+	}
+	return nil
+}
 
 // OutByLabel returns the targets of u's outgoing edges labelled r.
 func (ix *Index) OutByLabel(u int, r rune) []int32 {
 	if s, ok := ix.symID[r]; ok {
-		return ix.out.span(u, s, len(ix.syms))
+		return ix.OutByID(u, s)
 	}
 	return nil
 }
@@ -98,7 +204,7 @@ func (ix *Index) OutByLabel(u int, r rune) []int32 {
 // InByLabel returns the sources of u's incoming edges labelled r.
 func (ix *Index) InByLabel(u int, r rune) []int32 {
 	if s, ok := ix.symID[r]; ok {
-		return ix.in.span(u, s, len(ix.syms))
+		return ix.InByID(u, s)
 	}
 	return nil
 }
@@ -107,14 +213,23 @@ func (ix *Index) InByLabel(u int, r rune) []int32 {
 func (ix *Index) OutDegree(u int, s int32) int { return len(ix.OutByID(u, s)) }
 
 // SortSpans sorts every neighbour span in place (deterministic iteration
-// order for tests; the engines do not rely on it).
+// order for tests; the engines do not rely on it). Overlay spans are copied
+// before sorting: their backing arrays may be shared with the predecessor
+// index the overlay was extended from.
 func (ix *Index) SortSpans() {
-	for u := 0; u < ix.n; u++ {
+	for u := 0; u < ix.baseN; u++ {
 		for s := int32(0); s < int32(len(ix.syms)); s++ {
 			span := ix.out.span(u, s, len(ix.syms))
 			sort.Slice(span, func(i, j int) bool { return span[i] < span[j] })
 			span = ix.in.span(u, s, len(ix.syms))
 			sort.Slice(span, func(i, j int) bool { return span[i] < span[j] })
+		}
+	}
+	for _, ov := range []map[int64][]int32{ix.ovOut, ix.ovIn} {
+		for k, sp := range ov {
+			cp := append([]int32(nil), sp...)
+			sort.Slice(cp, func(i, j int) bool { return cp[i] < cp[j] })
+			ov[k] = cp
 		}
 	}
 }

@@ -48,17 +48,52 @@ func (s *Stats) Label(r rune) (LabelStat, bool) {
 }
 
 // Stats returns the per-label statistics of the database, computing them on
-// first use and recomputing after mutations (same revision contract as
-// Index: mutations must not run concurrently with readers).
+// first use and maintaining them across mutations (same revision contract
+// as Index: mutations must not run concurrently with readers). An
+// insert-only delta covered by the mutation log recomputes only the
+// LabelStat entries of labels the delta touched and carries every other
+// label over unchanged; removals, new labels and uncovered windows rebuild
+// the whole snapshot.
 func (d *DB) Stats() *Stats {
 	ix := d.Index() // ensure the index matches the current revision first
 	d.statsMu.Lock()
 	defer d.statsMu.Unlock()
-	if d.stats == nil || d.statsVersion != d.version {
-		d.stats = buildStats(d, ix)
-		d.statsVersion = d.version
+	if d.stats != nil && d.statsVersion == d.version {
+		return d.stats
 	}
+	if d.stats != nil {
+		if info := d.DeltaSince(d.statsVersion); info != nil && info.InsertOnly() && len(info.NewLabels) == 0 {
+			d.stats = updateStats(d, ix, d.stats, info)
+			d.statsVersion = d.version
+			d.maint.statsDelta.Add(1)
+			d.maint.labelStatsRetained.Add(uint64(len(d.stats.BySym) - len(info.Labels)))
+			d.maint.labelStatsRecomputed.Add(uint64(len(info.Labels)))
+			return d.stats
+		}
+	}
+	d.stats = buildStats(d, ix)
+	d.statsVersion = d.version
+	d.maint.statsRebuilt.Add(1)
 	return d.stats
+}
+
+// updateStats derives the statistics of the current revision from prev by
+// recomputing exactly the labels an insert-only delta touched (one index
+// sweep per touched label) and retaining the rest. The caller guarantees
+// the delta introduced no new label, so the dense symbol ids of prev.BySym
+// still match the index.
+func updateStats(d *DB, ix *Index, prev *Stats, info *DeltaInfo) *Stats {
+	st := &Stats{
+		Nodes: ix.NumNodes(),
+		Edges: d.NumEdges(),
+		BySym: append([]LabelStat(nil), prev.BySym...),
+		symID: prev.symID,
+	}
+	for _, r := range info.Labels {
+		s := prev.symID[r]
+		st.BySym[s] = sweepLabel(ix, s)
+	}
+	return st
 }
 
 func buildStats(d *DB, ix *Index) *Stats {
@@ -71,24 +106,31 @@ func buildStats(d *DB, ix *Index) *Stats {
 		symID: make(map[rune]int32, nSyms),
 	}
 	for s := int32(0); s < int32(nSyms); s++ {
-		ls := LabelStat{Sym: ix.Sym(s)}
-		for u := 0; u < n; u++ {
-			if out := len(ix.OutByID(u, s)); out > 0 {
-				ls.Edges += out
-				ls.Srcs++
-				if out > ls.MaxOut {
-					ls.MaxOut = out
-				}
-			}
-			if in := len(ix.InByID(u, s)); in > 0 {
-				ls.Tgts++
-				if in > ls.MaxIn {
-					ls.MaxIn = in
-				}
-			}
-		}
+		ls := sweepLabel(ix, s)
 		st.BySym[s] = ls
 		st.symID[ls.Sym] = s
 	}
 	return st
+}
+
+// sweepLabel computes one label's statistics by a full sweep over the
+// index's per-node spans.
+func sweepLabel(ix *Index, s int32) LabelStat {
+	ls := LabelStat{Sym: ix.Sym(s)}
+	for u := 0; u < ix.NumNodes(); u++ {
+		if out := len(ix.OutByID(u, s)); out > 0 {
+			ls.Edges += out
+			ls.Srcs++
+			if out > ls.MaxOut {
+				ls.MaxOut = out
+			}
+		}
+		if in := len(ix.InByID(u, s)); in > 0 {
+			ls.Tgts++
+			if in > ls.MaxIn {
+				ls.MaxIn = in
+			}
+		}
+	}
+	return ls
 }

@@ -153,6 +153,45 @@ func Layered(seed int64, layers, width int, alphabet string) *graph.DB {
 	return d
 }
 
+// MutationStream returns the live-mutation workload of the E21
+// incremental-update experiment: a random base graph of `base` nodes over
+// labels a/b plus a stream of `steps` insert-only deltas, each interning
+// `perStep` fresh "arrival" nodes whose edges point INTO the existing
+// graph (new users messaging existing ones — the append-mostly shape of an
+// event stream). Because nothing points at an arrival node, the set of
+// sources whose reachability can change is tiny, which is exactly the case
+// delta maintenance converts from O(rebuild) to O(delta); every delta
+// still changes the answer set of queries over a/b, so result caches
+// cannot mask the work. The same (seed, …) arguments always produce the
+// same base graph and stream.
+func MutationStream(seed int64, base, steps, perStep int) (*graph.DB, []graph.Delta) {
+	r := NewRNG(seed)
+	d := graph.New()
+	for i := 0; i < base; i++ {
+		d.Node(fmt.Sprintf("n%d", i))
+	}
+	al := []rune("ab")
+	for i := 0; i < 3*base; i++ {
+		d.AddEdge(r.Intn(base), al[r.Intn(2)], r.Intn(base))
+	}
+	deltas := make([]graph.Delta, steps)
+	for s := 0; s < steps; s++ {
+		var delta graph.Delta
+		for j := 0; j < perStep; j++ {
+			fresh := fmt.Sprintf("u%d_%d", s, j)
+			for e := 0; e <= r.Intn(2); e++ {
+				delta.Add = append(delta.Add, graph.DeltaEdge{
+					From:  fresh,
+					Label: al[r.Intn(2)],
+					To:    fmt.Sprintf("n%d", r.Intn(base)),
+				})
+			}
+		}
+		deltas[s] = delta
+	}
+	return d, deltas
+}
+
 // SkewedJoin returns the join-order stress graph of the planner
 // benchmarks and differential tests: a dense h-labelled bipartite hub
 // (hub × hub pairs ai -h-> bj) plus a short selective s-chain off a single
