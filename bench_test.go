@@ -6,6 +6,7 @@ package repro
 // EXPERIMENTS.md tables were produced from the same code via cmd/cxrpq-exp.
 
 import (
+	"fmt"
 	"os"
 	"testing"
 
@@ -264,6 +265,54 @@ func BenchmarkEngineReachAll(b *testing.B) {
 		engine.ReachAll(ix, c, srcs, true)
 	}
 }
+
+// BenchmarkReachBatch measures the sharded multi-source kernel (PR 6) on
+// the scaled E22 gMark-style workload against the per-source ReachAll fan:
+// "reachall" is the historical baseline (one BFS per source, parallelism
+// from Fan), "batch/x1" is MS-BFS source batching alone (single shard,
+// inline), and "batch/xN" adds the frontier-exchange sharding at the
+// effective shard count (forced to ≥4 so the exchange machinery is
+// exercised even on single-core runners). The acceptance floor for PR 6 is
+// batch ≥ 2x over reachall — an algorithmic win (64 sources share each
+// product-edge sweep), so it holds at any GOMAXPROCS.
+func BenchmarkReachBatch(b *testing.B) {
+	db := workload.GMark(7, 2400)
+	ix := db.Index()
+	m := xregex.MustCompile(xregex.MustParse("a(a|b)*"), db.Alphabet())
+	srcs := make([]int, db.NumNodes())
+	for i := range srcs {
+		srcs[i] = i
+	}
+	shards := engine.Shards()
+	if shards < 4 {
+		shards = 4
+	}
+	b.Run("reachall", func(b *testing.B) {
+		c := automata.NewSubsetCache(m)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			engine.ReachAll(ix, c, srcs, true)
+		}
+	})
+	b.Run("batch/x1", func(b *testing.B) {
+		c := automata.NewSubsetCache(m)
+		part := db.Partition(1)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			engine.ReachBatch(ix, part, c, srcs, true)
+		}
+	})
+	b.Run(fmt.Sprintf("batch/x%d", shards), func(b *testing.B) {
+		c := automata.NewSubsetCache(m)
+		part := db.Partition(shards)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			engine.ReachBatch(ix, part, c, srcs, true)
+		}
+	})
+}
+
+func BenchmarkE22ShardedReach(b *testing.B) { benchTable(b, exp.E22ShardedReach) }
 
 // BenchmarkPreparedReuse measures the prepared-query subsystem on the
 // E2/E6/E9 workloads: "oneshot" re-prepares and re-derives everything per

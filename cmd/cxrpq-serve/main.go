@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	cxrpq-serve [-addr :8080] [-db name=path]... [-inflight 64] [-sessions 128]
+//	cxrpq-serve [-addr :8080] [-db name=path]... [-inflight 64] [-sessions 128] [-shards 0] [-pprof]
 //
 // Databases are the textual graph format (one "from label to" triple per
 // line); requests may alternatively carry an inline graph. Quickstart:
@@ -29,6 +29,7 @@ import (
 	"net/http"
 	"os"
 
+	"cxrpq/internal/engine"
 	"cxrpq/internal/graph"
 )
 
@@ -41,11 +42,16 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	inflight := flag.Int("inflight", 64, "max concurrent query/update requests (excess is shed with 429)")
 	sessions := flag.Int("sessions", 128, "pooled prepared sessions per database")
+	shards := flag.Int("shards", 0, "reachability-kernel shard count (0 = GOMAXPROCS; normalized to a power of two)")
+	pprof := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ for profile-driven shard tuning")
 	var dbs dbFlags
 	flag.Var(&dbs, "db", "named database as name=path (repeatable)")
 	flag.Parse()
 
-	srv := newServer(serverOptions{maxInflight: *inflight, sessionCap: *sessions})
+	if *shards != 0 {
+		engine.SetShards(*shards)
+	}
+	srv := newServer(serverOptions{maxInflight: *inflight, sessionCap: *sessions, pprof: *pprof})
 	for _, v := range dbs {
 		name, path, err := parseDBFlag(v)
 		if err != nil {

@@ -35,20 +35,23 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"sort"
 	"strings"
 	"sync"
 	"time"
 
 	"cxrpq/internal/cxrpq"
+	"cxrpq/internal/engine"
 	"cxrpq/internal/graph"
 	"cxrpq/internal/pattern"
 	"cxrpq/internal/xregex"
 )
 
 type serverOptions struct {
-	maxInflight int // concurrent /query+/update requests admitted
-	sessionCap  int // pooled sessions per database
+	maxInflight int  // concurrent /query+/update requests admitted
+	sessionCap  int  // pooled sessions per database
+	pprof       bool // mount net/http/pprof under /debug/pprof/
 }
 
 func defaultOptions() serverOptions {
@@ -142,6 +145,16 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("/update", s.limited(s.handleUpdate))
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/stats", s.handleStats)
+	if s.opts.pprof {
+		// Mounted explicitly (not via the package's DefaultServeMux side
+		// effect) so profiling endpoints exist only behind the -pprof flag
+		// and never bypass it; deliberately outside the in-flight limiter.
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
@@ -600,6 +613,10 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"dbs":         dbs,
 		"match_cache": map[string]any{"hits": mc.Hits, "misses": mc.Misses, "size": mc.Size},
 		"inflight":    len(s.inflight),
+		// Sharded reachability-kernel counters: batch/level/source totals,
+		// edge volume, cross-shard exchange volume and the per-shard
+		// breakdown (for shard-count tuning alongside -pprof).
+		"engine": engine.ReachBatchStats(),
 	})
 }
 

@@ -16,7 +16,9 @@
 //	                     compilation, Lemma 10 instantiation machinery
 //	internal/graph       graph databases (§2.2) with a label-indexed CSR
 //	                     adjacency view (Index), per-label statistics
-//	                     (Stats) and a revision-cached alphabet, all
+//	                     (Stats), a revision-cached alphabet and a
+//	                     degree-balanced shard map (Partition) for the
+//	                     sharded reachability kernel, all
 //	                     delta-maintained: batched mutations (Delta /
 //	                     ApplyDelta) are recorded in a per-revision log,
 //	                     and insert-only windows extend the index in place
@@ -26,7 +28,15 @@
 //	                     retained-vs-rebuilt paths)
 //	internal/engine      the product-reachability core shared by every
 //	                     evaluation path: integer-interned graph×NFA BFS
-//	                     with bitset visited sets and a bounded worker pool
+//	                     with bitset visited sets (Reach/ReachBits), a
+//	                     bounded worker pool (Fan/ReachAll), and the
+//	                     sharded multi-source kernel (ReachBatch): a
+//	                     level-synchronous frontier-exchange BFS over the
+//	                     graph×automaton product with one goroutine per
+//	                     degree-balanced shard, MS-BFS source batching (64
+//	                     sources per machine word) and per-shard exchange
+//	                     counters; relation construction in ecrpq runs
+//	                     through it instead of the per-source fan
 //	internal/pattern     graph patterns / conjunctive path queries (§2.3)
 //	internal/planner     the cost-based query-planning layer: per-atom
 //	                     cardinality estimation (first/last-symbol NFA
@@ -67,11 +77,12 @@
 //	                     conformance tests
 //	internal/reductions  executable hardness reductions (Thms 1/3/7)
 //	internal/separations Figure 5 separating queries and witness families
-//	internal/workload    synthetic graph generators, the random query
+//	internal/workload    synthetic graph generators (incl. the gMark-style
+//	                     skewed GMark), the random query
 //	                     generator (RandomQuery) behind the differential
 //	                     fuzz harness, and the MutationStream delta
 //	                     workload behind the incremental-update experiment
-//	internal/exp         the E1-E21 experiment harness (see DESIGN.md)
+//	internal/exp         the E1-E22 experiment harness (see DESIGN.md)
 //
 // cmd/cxrpq-serve is the concurrent HTTP/JSON evaluation server over the
 // prepared-query subsystem: a per-database pool of prepared sessions, a
@@ -79,8 +90,9 @@
 // removals) that maintain the pooled sessions' caches incrementally
 // instead of flushing them, a /plan debug endpoint reporting the
 // planner-chosen join order with estimated cardinalities, and /stats
-// counters for retained-vs-rebuilt cache entries (see the quickstart in
-// internal/README.md).
+// counters for retained-vs-rebuilt cache entries and the sharded kernel's
+// per-shard edge/exchange volumes; -shards pins the kernel shard count and
+// -pprof mounts net/http/pprof (see the quickstart in internal/README.md).
 //
 // internal/README.md describes the architecture of the hot path and the
 // Plan/Session lifecycle. bench_test.go in this directory exposes every

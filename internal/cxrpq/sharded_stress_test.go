@@ -1,0 +1,196 @@
+package cxrpq_test
+
+// Sharded-kernel coverage at the query level: a differential sweep of
+// random CXRPQs across engine shard counts, and a -race stress test driving
+// concurrent sharded session evaluations against an ApplyDelta writer on a
+// graph large enough that the frontier-exchange kernel really shards.
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cxrpq/internal/cxrpq"
+	"cxrpq/internal/engine"
+	"cxrpq/internal/graph"
+	"cxrpq/internal/pattern"
+	"cxrpq/internal/workload"
+)
+
+// shardSweep returns the deduplicated shard counts to sweep: 1 (MS-BFS
+// batching only), 2, 4 (so frontier exchange runs even on one core),
+// GOMAXPROCS and 2·GOMAXPROCS.
+func shardSweep() []int {
+	p := runtime.GOMAXPROCS(0)
+	var out []int
+	for _, k := range []int{1, 2, 4, p, 2 * p} {
+		dup := false
+		for _, seen := range out {
+			if seen == k {
+				dup = true
+			}
+		}
+		if !dup {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// TestShardedRandomQueryDifferential sweeps workload.RandomQuery seeds
+// across every shard count: the full pipeline (parse → plan → sharded
+// relation construction → join) must agree with the naive Theorem 6
+// baseline on small graphs, and stay self-consistent across shard counts on
+// a graph above the kernel's single-shard gate.
+func TestShardedRandomQueryDifferential(t *testing.T) {
+	restore := engine.SetShards(1)
+	defer engine.SetShards(restore)
+	for seed := int64(0); seed < 8; seed++ {
+		r := workload.NewRNG(seed*977 + 11)
+		q := workload.RandomQuery(r, r.Intn(4) != 0)
+		nodes := 3 + r.Intn(3)
+		db := workload.Random(seed^0x5ad, nodes, nodes+r.Intn(nodes+3), "ab")
+		k := 1 + r.Intn(2)
+		want, err := cxrpq.EvalBoundedNaive(q, db, k)
+		if err != nil {
+			t.Fatalf("seed %d: naive: %v\nquery:\n%s", seed, err, q.Pattern)
+		}
+		for _, shards := range shardSweep() {
+			engine.SetShards(shards)
+			got, err := cxrpq.EvalBounded(q, db, k)
+			if err != nil {
+				t.Fatalf("seed %d shards %d: %v\nquery:\n%s", seed, shards, err, q.Pattern)
+			}
+			if !got.Equal(want) {
+				t.Fatalf("seed %d shards %d: %d tuples, naive %d\nquery:\n%s",
+					seed, shards, got.Len(), want.Len(), q.Pattern)
+			}
+		}
+	}
+
+	// Above the gate: the answer set must not depend on the shard count.
+	q := cxrpq.MustParse("ans(p, q)\np m : $x{a|b}\nm q : ($x|b)a?\n")
+	db := workload.Random(23, 200, 600, "ab")
+	engine.SetShards(1)
+	want, err := cxrpq.EvalBounded(q, db, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range shardSweep()[1:] {
+		engine.SetShards(shards)
+		got, err := cxrpq.EvalBounded(q, db, 1)
+		if err != nil {
+			t.Fatalf("shards %d: %v", shards, err)
+		}
+		if !got.Equal(want) {
+			t.Fatalf("shards %d: %d tuples, single-shard %d", shards, got.Len(), want.Len())
+		}
+	}
+}
+
+// TestSessionConcurrentShardedDeltaStress is the sharded twin of
+// TestSessionConcurrentDeltaStress: concurrent Session.Do readers against
+// an ApplyDelta writer under -race, with the engine forced to 4 shards and
+// a 200-node base graph so every relation build runs the frontier-exchange
+// kernel with goroutine-owned shards. Per-generation ground truths are
+// computed up front with one-shot evaluations on a scratch copy (the naive
+// baseline would be too slow at this node count).
+func TestSessionConcurrentShardedDeltaStress(t *testing.T) {
+	restore := engine.SetShards(4)
+	defer engine.SetShards(restore)
+
+	q := cxrpq.MustParse("ans(p, q)\np m : $x{a|b}\nm q : ($x|b)a?\n")
+	mkDB := func() *graph.DB { return workload.Random(23, 200, 600, "ab") }
+	db := mkDB()
+	const k = 1
+
+	// Additions (fine-grained maintenance), a removal (full flush) and a
+	// round trip, as in the unsharded stress test.
+	script := []graph.Delta{
+		{Add: []graph.DeltaEdge{{From: db.Name(0), Label: 'a', To: db.Name(3)}}},
+		{Add: []graph.DeltaEdge{{From: db.Name(1), Label: 'b', To: "fresh0"}, {From: "fresh0", Label: 'a', To: db.Name(2)}}},
+		{Del: []graph.DeltaEdge{{From: db.Name(0), Label: 'a', To: db.Name(3)}}},
+		{Add: []graph.DeltaEdge{{From: db.Name(4), Label: 'a', To: db.Name(5)}}},
+		{Add: []graph.DeltaEdge{{From: db.Name(2), Label: 'b', To: db.Name(0)}}, Del: []graph.DeltaEdge{{From: db.Name(4), Label: 'a', To: db.Name(5)}}},
+	}
+
+	scratch := mkDB()
+	truths := make([]*pattern.TupleSet, 0, len(script)+1)
+	truth := func() *pattern.TupleSet {
+		res, err := cxrpq.EvalBounded(q, scratch, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	truths = append(truths, truth())
+	for _, delta := range script {
+		if _, err := scratch.ApplyDelta(delta); err != nil {
+			t.Fatal(err)
+		}
+		truths = append(truths, truth())
+	}
+
+	sess := cxrpq.MustPrepare(q).Bind(db)
+	var dbMu sync.RWMutex
+	var gen atomic.Int64
+
+	const readers = 6
+	errs := make(chan error, readers*64)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				dbMu.RLock()
+				want := truths[gen.Load()]
+				resp := sess.Do(cxrpq.Request{Op: "eval", Semantics: "bounded", K: k})
+				dbMu.RUnlock()
+				if resp.Err != nil {
+					errs <- fmt.Errorf("reader %d: %v", g, resp.Err)
+					return
+				}
+				if !resp.Tuples.Equal(want) {
+					errs <- fmt.Errorf("reader %d iter %d: %d tuples, want %d", g, i, resp.Tuples.Len(), want.Len())
+					return
+				}
+			}
+		}(g)
+	}
+
+	for step, delta := range script {
+		time.Sleep(2 * time.Millisecond)
+		dbMu.Lock()
+		if _, err := sess.ApplyDelta(delta); err != nil {
+			dbMu.Unlock()
+			t.Fatalf("writer step %d: %v", step, err)
+		}
+		gen.Store(int64(step + 1))
+		dbMu.Unlock()
+	}
+	time.Sleep(5 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	st := sess.Stats()
+	if st.Maint.DeltaApplies == 0 {
+		t.Errorf("no fine-grained delta maintenance happened under stress: %+v", st.Maint)
+	}
+	if st.Maint.FullRebuilds < 2 { // initial bind + the removal step
+		t.Errorf("removal step did not force a full flush: %+v", st.Maint)
+	}
+}

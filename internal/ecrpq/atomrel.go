@@ -30,10 +30,12 @@ type EdgeRel struct {
 	est     planner.Estimate
 }
 
-// RelationFor computes the full relation of label over db, fanning the
-// per-source product searches across the engine worker pool and reusing the
-// process-wide compiled-NFA/subset caches. The ∅ expression short-circuits
-// to the empty relation without touching the automata layer.
+// RelationFor computes the full relation of label over db with the sharded
+// multi-source kernel (engine.ReachBatch over db's degree-balanced
+// partition — one batched product sweep per 64 sources instead of a
+// per-source BFS fan), reusing the process-wide compiled-NFA/subset caches.
+// The ∅ expression short-circuits to the empty relation without touching
+// the automata layer.
 func RelationFor(db *graph.DB, label xregex.Node, sigma []rune) (*EdgeRel, error) {
 	n := db.NumNodes()
 	r := &EdgeRel{fwd: make([][]int, n)}
@@ -49,7 +51,7 @@ func RelationFor(db *graph.DB, label xregex.Node, sigma []rune) (*EdgeRel, error
 	for i := range srcs {
 		srcs[i] = i
 	}
-	res := engine.ReachAll(ix, ent.cache, srcs, true)
+	res := engine.ReachBatch(ix, db.Partition(engine.Shards()), ent.cache, srcs, true)
 	for u, vs := range res {
 		r.fwd[u] = vs
 		r.size += len(vs)

@@ -205,14 +205,15 @@ func growRelation(old *EdgeRel, newN int, hasEps bool) *EdgeRel {
 }
 
 // extendRelation recomputes exactly the frontier sources' rows of a touched
-// relation over the updated graph and carries every other row over.
+// relation over the updated graph (one sharded ReachBatch sweep over the
+// frontier instead of a per-source fan) and carries every other row over.
 func extendRelation(db *graph.DB, e *relEntry, frontier *deltaFrontier, newN int) (*EdgeRel, error) {
 	ent, err := compiledFor(e.label, e.sigma)
 	if err != nil {
 		return nil, err
 	}
 	ix := db.Index()
-	res := engine.ReachAll(ix, ent.cache, frontier.list, true)
+	res := engine.ReachBatch(ix, db.Partition(engine.Shards()), ent.cache, frontier.list, true)
 	r := &EdgeRel{fwd: make([][]int, newN)}
 	copy(r.fwd, e.rel.fwd)
 	for i, u := range frontier.list {

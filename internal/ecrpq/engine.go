@@ -145,8 +145,9 @@ func (ev *evaluator) forward(ei, u int) []int {
 	return vs
 }
 
-// forwardAll fills the forward memo of edge ei for every node, fanning the
-// independent single-source searches out across the engine's worker pool.
+// forwardAll fills the forward memo of edge ei for every node still
+// missing, in one sharded multi-source sweep (engine.ReachBatch) instead of
+// a per-source fan.
 func (ev *evaluator) forwardAll(ei int) {
 	if ev.fwdOK[ei] {
 		return
@@ -157,7 +158,7 @@ func (ev *evaluator) forwardAll(ei int) {
 			missing = append(missing, u)
 		}
 	}
-	res := engine.ReachAll(ev.ix, ev.ents[ei].cache, missing, true)
+	res := engine.ReachBatch(ev.ix, ev.db.Partition(engine.Shards()), ev.ents[ei].cache, missing, true)
 	for i, u := range missing {
 		ev.fwd[ei][u] = res[i]
 	}

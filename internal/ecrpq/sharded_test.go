@@ -1,0 +1,165 @@
+package ecrpq
+
+// Differential tests of the sharded relation-construction path: with the
+// engine shard knob swept over 1, 2, 4, GOMAXPROCS and 2·GOMAXPROCS, the
+// relations materialized through engine.ReachBatch (RelationFor and the
+// RelCache frontier-extension path) must equal the per-source engine.Reach
+// results on the same graph, including after insert-only deltas.
+
+import (
+	"runtime"
+	"testing"
+
+	"cxrpq/internal/automata"
+	"cxrpq/internal/engine"
+	"cxrpq/internal/graph"
+	"cxrpq/internal/xregex"
+)
+
+// shardSweep returns the deduplicated shard counts the differential tests
+// sweep. 4 is always included so the frontier-exchange path runs even on a
+// single-core test machine.
+func shardSweep() []int {
+	p := runtime.GOMAXPROCS(0)
+	var out []int
+	for _, k := range []int{1, 2, 4, p, 2 * p} {
+		dup := false
+		for _, seen := range out {
+			if seen == k {
+				dup = true
+			}
+		}
+		if !dup {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// rowEqual compares one relation row against a per-source Reach result
+// (both sorted; nil and empty are interchangeable).
+func rowEqual(got, want []int) bool {
+	if len(got) != len(want) {
+		return false
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// perSourceRows computes the baseline relation of label over db one source
+// at a time with the scalar Reach kernel.
+func perSourceRows(t *testing.T, db *graph.DB, label xregex.Node, sigma []rune) [][]int {
+	t.Helper()
+	m, err := xregex.Compile(label, sigma)
+	if err != nil {
+		t.Fatalf("compile %s: %v", xregex.String(label), err)
+	}
+	ix := db.Index()
+	c := automata.NewSubsetCache(m)
+	rows := make([][]int, db.NumNodes())
+	for u := range rows {
+		rows[u] = engine.Reach(ix, c, u, true)
+	}
+	return rows
+}
+
+// TestShardedRelationForMatchesPerSourceReach: RelationFor under every
+// swept shard count must materialize exactly the per-source Reach relation,
+// on graphs large enough that the kernel really shards.
+func TestShardedRelationForMatchesPerSourceReach(t *testing.T) {
+	restore := engine.SetShards(1)
+	defer engine.SetShards(restore)
+	sigma := []rune("abc")
+	labels := []xregex.Node{
+		xregex.MustParse("a(b|c)*"),
+		xregex.MustParse("(a|b)+c?"),
+		xregex.MustParse("c*a"),
+	}
+	for seed := int64(1); seed <= 2; seed++ {
+		nodes := 150 + int(seed)*70 // above the kernel's single-shard gate
+		db := randomDB(seed, nodes, 5*nodes, "abc")
+		for _, l := range labels {
+			want := perSourceRows(t, db, l, sigma)
+			for _, k := range shardSweep() {
+				engine.SetShards(k)
+				rel, err := RelationFor(db, l, sigma)
+				if err != nil {
+					t.Fatalf("seed %d shards %d: RelationFor(%s): %v", seed, k, xregex.String(l), err)
+				}
+				for u := 0; u < nodes; u++ {
+					if !rowEqual(rel.Forward(u), want[u]) {
+						t.Fatalf("seed %d shards %d label %s: row %d: got %v want %v",
+							seed, k, xregex.String(l), u, rel.Forward(u), want[u])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestShardedRelCacheDeltaMatchesPerSource drives insert-only deltas
+// through a relation cache under every swept shard count: the maintained
+// relations — grown through the batched frontier-extension path — must
+// keep matching per-source Reach on the mutated database.
+func TestShardedRelCacheDeltaMatchesPerSource(t *testing.T) {
+	restore := engine.SetShards(1)
+	defer engine.SetShards(restore)
+	sigma := []rune("abc")
+	labels := []xregex.Node{
+		xregex.MustParse("a(b|c)*"),
+		xregex.MustParse("(a|b)?"), // ε-accepting: new nodes gain identity rows
+		xregex.AnyWord(),           // universal: always extended
+	}
+	for _, k := range shardSweep() {
+		engine.SetShards(k)
+		db := randomDB(int64(100+k), 160, 640, "abc")
+		c := NewRelCache(0)
+		for _, l := range labels {
+			if _, err := c.For(db, l, sigma); err != nil {
+				t.Fatalf("shards %d: For: %v", k, err)
+			}
+		}
+		r := &testRNG{s: uint64(k)*0x9e3779b9 + 5}
+		for step := 0; step < 3; step++ {
+			var delta graph.Delta
+			for i := 0; i <= r.intn(4); i++ {
+				to := db.Name(r.intn(db.NumNodes()))
+				if r.intn(4) == 0 {
+					to = "fresh" + string(rune('a'+r.intn(26)))
+				}
+				delta.Add = append(delta.Add, graph.DeltaEdge{
+					From:  db.Name(r.intn(db.NumNodes())),
+					Label: []rune("abc")[r.intn(3)],
+					To:    to,
+				})
+			}
+			info, err := db.ApplyDelta(delta)
+			if err != nil {
+				t.Fatalf("shards %d step %d: ApplyDelta: %v", k, step, err)
+			}
+			if _, _, err := c.ApplyDelta(db, info); err != nil {
+				t.Fatalf("shards %d step %d: RelCache.ApplyDelta: %v", k, step, err)
+			}
+			for _, l := range labels {
+				rel, err := c.For(db, l, sigma)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := perSourceRows(t, db, l, sigma)
+				for u := 0; u < db.NumNodes(); u++ {
+					if !rowEqual(rel.Forward(u), want[u]) {
+						t.Fatalf("shards %d step %d label %s: row %d diverged from per-source Reach",
+							k, step, xregex.String(l), u)
+					}
+				}
+			}
+		}
+		if st := c.Stats(); st.Extended == 0 {
+			t.Fatalf("shards %d: no relation was frontier-extended: %+v", k, st)
+		}
+	}
+}

@@ -10,8 +10,8 @@
 package engine
 
 import (
+	"math/bits"
 	"runtime"
-	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -27,8 +27,29 @@ const unknown int32 = -2
 // whose label is accepted by the automaton behind c: paths follow out-edges
 // when forward is true and in-edges otherwise (the caller supplies the
 // reversed automaton for backward searches). It is the integer-interned
-// replacement for the string-keyed (node, state-set) BFS.
+// replacement for the string-keyed (node, state-set) BFS. The result is
+// materialized by scanning the hit bitset, so it comes out sorted for free
+// (O(n/64 + h) instead of the old O(h log h) sort); callers that only need
+// membership should take ReachBits directly.
 func Reach(ix *graph.Index, c *automata.SubsetCache, src int, forward bool) []int {
+	hitBits := ReachBits(ix, c, src, forward)
+	if hitBits == nil {
+		return nil
+	}
+	var hits []int
+	for wi, bs := range hitBits {
+		for bs != 0 {
+			hits = append(hits, wi*64+bits.TrailingZeros64(bs))
+			bs &= bs - 1
+		}
+	}
+	return hits
+}
+
+// ReachBits is Reach returning the raw hit bitset (word i, bit b ⇔ node
+// 64i+b reachable): membership-only callers skip the list materialization
+// entirely. It returns nil when src is out of range.
+func ReachBits(ix *graph.Index, c *automata.SubsetCache, src int, forward bool) []uint64 {
 	n := ix.NumNodes()
 	if src < 0 || src >= n {
 		return nil
@@ -74,12 +95,10 @@ func Reach(ix *graph.Index, c *automata.SubsetCache, src int, forward bool) []in
 	ensure(startID)[src/64] |= 1 << (src % 64)
 
 	hitBits := make([]uint64, words)
-	var hits []int
 	for qi := 0; qi < len(queue); qi++ {
 		cur := queue[qi]
-		if c.Final(cur.id) && hitBits[cur.node/64]&(1<<(cur.node%64)) == 0 {
+		if c.Final(cur.id) {
 			hitBits[cur.node/64] |= 1 << (cur.node % 64)
-			hits = append(hits, int(cur.node))
 		}
 		row := localFor(cur.id)
 		for s := int32(0); s < int32(nSyms); s++ {
@@ -109,8 +128,7 @@ func Reach(ix *graph.Index, c *automata.SubsetCache, src int, forward bool) []in
 			}
 		}
 	}
-	sort.Ints(hits)
-	return hits
+	return hitBits
 }
 
 // ReachAll runs Reach from every source in srcs, fanning the independent
@@ -150,7 +168,11 @@ func Workers(n int) int {
 
 // Fan runs f(0..n-1) across the bounded worker pool and waits for all calls
 // to finish. f must be safe for concurrent invocation on distinct indices;
-// with a single worker (or n == 1) the calls run inline in order.
+// with a single worker (or n == 1) the calls run inline in order. Workers
+// claim chunked runs of ~n/(8w) indices per fetch-and-add rather than one
+// index each, so tiny per-task bodies stop serializing on the shared
+// counter while the 8× oversubscription keeps load balance for skewed task
+// costs.
 func Fan(n int, f func(i int)) {
 	if n <= 0 {
 		return
@@ -162,6 +184,10 @@ func Fan(n int, f func(i int)) {
 		}
 		return
 	}
+	chunk := n / (8 * w)
+	if chunk < 1 {
+		chunk = 1
+	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	wg.Add(w)
@@ -169,11 +195,17 @@ func Fan(n int, f func(i int)) {
 		go func() {
 			defer wg.Done()
 			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
+				end := int(next.Add(int64(chunk)))
+				start := end - chunk
+				if start >= n {
 					return
 				}
-				f(i)
+				if end > n {
+					end = n
+				}
+				for i := start; i < end; i++ {
+					f(i)
+				}
 			}
 		}()
 	}

@@ -46,6 +46,10 @@ type DB struct {
 	alpha        []rune
 	alphaOK      bool
 	alphaVersion uint64
+
+	partMu      sync.Mutex
+	part        *Partition
+	partVersion uint64
 }
 
 // New returns an empty graph database.

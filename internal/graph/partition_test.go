@@ -1,0 +1,145 @@
+package graph
+
+import (
+	"fmt"
+	"testing"
+)
+
+// buildSkewed returns a graph with a strong degree skew: node 0 is a hub
+// with an edge to every other node, the rest form a sparse chain.
+func buildSkewed(n int) *DB {
+	d := New()
+	for i := 0; i < n; i++ {
+		d.AddNode()
+	}
+	for v := 1; v < n; v++ {
+		d.AddEdge(0, 'a', v)
+	}
+	for v := 0; v+1 < n; v++ {
+		d.AddEdge(v, 'b', v+1)
+	}
+	return d
+}
+
+func TestPartitionCoversContiguously(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3, 7, 64, 100} {
+		d := buildSkewed(n)
+		if n == 0 {
+			d = New()
+		}
+		for _, k := range []int{1, 2, 3, 4, 8, 1000} {
+			p := d.Partition(k)
+			if p.NumNodes() != n {
+				t.Fatalf("n=%d k=%d: NumNodes=%d", n, k, p.NumNodes())
+			}
+			s := p.NumShards()
+			if s&(s-1) != 0 || s < 1 {
+				t.Fatalf("n=%d k=%d: shard count %d not a power of two", n, k, s)
+			}
+			if n > 0 && s > n {
+				t.Fatalf("n=%d k=%d: %d shards exceed node count", n, k, s)
+			}
+			lo0, _ := p.Range(0)
+			if lo0 != 0 {
+				t.Fatalf("n=%d k=%d: first range starts at %d", n, k, lo0)
+			}
+			prevHi := int32(0)
+			for sh := 0; sh < s; sh++ {
+				lo, hi := p.Range(sh)
+				if lo != prevHi {
+					t.Fatalf("n=%d k=%d: shard %d range [%d,%d) not contiguous after %d", n, k, sh, lo, hi, prevHi)
+				}
+				if hi < lo {
+					t.Fatalf("n=%d k=%d: shard %d inverted range", n, k, sh)
+				}
+				if n >= s && hi == lo {
+					t.Fatalf("n=%d k=%d: shard %d empty", n, k, sh)
+				}
+				for v := lo; v < hi; v++ {
+					if p.ShardOf(v) != sh {
+						t.Fatalf("n=%d k=%d: ShardOf(%d)=%d, want %d", n, k, v, p.ShardOf(v), sh)
+					}
+				}
+				prevHi = hi
+			}
+			if int(prevHi) != n {
+				t.Fatalf("n=%d k=%d: ranges cover %d of %d nodes", n, k, prevHi, n)
+			}
+		}
+	}
+}
+
+func TestPartitionDegreeBalance(t *testing.T) {
+	// The hub node carries about half the total adjacency weight; a degree-
+	// balanced 4-way cut must therefore give the hub's shard far fewer nodes
+	// than a uniform cut would, and no shard should exceed ~2x the mean
+	// weight (the hub alone is an unavoidable outlier bounded by one node).
+	d := buildSkewed(256)
+	p := d.Partition(4)
+	if p.NumShards() != 4 {
+		t.Fatalf("NumShards=%d, want 4", p.NumShards())
+	}
+	var total int64
+	for s := 0; s < 4; s++ {
+		total += p.Weight(s)
+	}
+	_, hubHi := p.Range(0)
+	if hubHi > 128 {
+		t.Fatalf("hub shard owns %d of 256 nodes; cut is not degree-balanced", hubHi)
+	}
+	mean := total / 4
+	for s := 1; s < 4; s++ { // shard 0 holds the single-node hub outlier
+		if w := p.Weight(s); w > 2*mean+256 {
+			t.Fatalf("shard %d weight %d exceeds 2x mean %d", s, w, mean)
+		}
+	}
+}
+
+func TestPartitionRevisionCached(t *testing.T) {
+	d := buildSkewed(64)
+	p1 := d.Partition(4)
+	if p2 := d.Partition(4); p2 != p1 {
+		t.Fatal("same revision, same shard count: partition not reused")
+	}
+	before := d.MaintStats().PartitionRebuilds
+	if p3 := d.Partition(8); p3 == p1 || p3.NumShards() != 8 {
+		t.Fatal("shard-count change must rebuild the partition")
+	}
+	if got := d.MaintStats().PartitionRebuilds; got != before+1 {
+		t.Fatalf("PartitionRebuilds=%d, want %d", got, before+1)
+	}
+	p4 := d.Partition(8)
+	d.AddEdge(0, 'c', 5)
+	if p5 := d.Partition(8); p5 == p4 {
+		t.Fatal("mutation must invalidate the cached partition")
+	}
+}
+
+func TestPartitionShardOfMatchesRanges(t *testing.T) {
+	for seed := 0; seed < 4; seed++ {
+		d := New()
+		n := 50 + seed*37
+		for i := 0; i < n; i++ {
+			d.AddNode()
+		}
+		for i := 0; i < 3*n; i++ {
+			d.AddEdge((i*7+seed)%n, 'a', (i*13+1)%n)
+		}
+		p := d.Partition(8)
+		for v := 0; v < n; v++ {
+			sh := p.ShardOf(int32(v))
+			lo, hi := p.Range(sh)
+			if int32(v) < lo || int32(v) >= hi {
+				t.Fatalf("seed %d: node %d routed to shard %d with range [%d,%d)", seed, v, sh, lo, hi)
+			}
+		}
+	}
+}
+
+func ExampleDB_Partition() {
+	d := buildSkewed(16)
+	p := d.Partition(2)
+	lo, hi := p.Range(0)
+	fmt.Println(p.NumShards(), lo, hi < 8)
+	// Output: 2 0 true
+}

@@ -192,6 +192,53 @@ func MutationStream(seed int64, base, steps, perStep int) (*graph.DB, []graph.De
 	return d, deltas
 }
 
+// GMark returns a gMark-style scaled workload graph over labels a/b/c, the
+// shape the sharded-kernel experiments (E22, BenchmarkReachBatch) target:
+// 'a' edges follow a heavy-tailed out-degree distribution (geometric
+// doubling, capped) with half of all targets drawn from a small popular
+// prefix (in-degree skew — the hubs a degree-balanced partition must split
+// around), 'b' edges are sparse uniform noise, and 'c' edges form a
+// locality chain with occasional long shortcuts (diameter for the
+// level-synchronous frontier). Deterministic in (seed, nodes).
+func GMark(seed int64, nodes int) *graph.DB {
+	r := NewRNG(seed)
+	d := graph.New()
+	for i := 0; i < nodes; i++ {
+		d.AddNode()
+	}
+	hub := nodes / 16
+	if hub < 1 {
+		hub = 1
+	}
+	degCap := nodes / 8
+	if degCap < 4 {
+		degCap = 4
+	}
+	for u := 0; u < nodes; u++ {
+		deg := 1
+		for deg < degCap && r.Intn(4) == 0 {
+			deg *= 4
+		}
+		for j := 0; j < deg; j++ {
+			v := r.Intn(nodes)
+			if r.Intn(2) == 0 {
+				v = r.Intn(hub)
+			}
+			d.AddEdge(u, 'a', v)
+		}
+	}
+	for i := 0; i < nodes; i++ {
+		d.AddEdge(r.Intn(nodes), 'b', r.Intn(nodes))
+	}
+	for u := 0; u+1 < nodes; u++ {
+		d.AddEdge(u, 'c', u+1)
+		if r.Intn(8) == 0 {
+			d.AddEdge(u, 'c', r.Intn(nodes))
+		}
+	}
+	return d
+}
+
 // SkewedJoin returns the join-order stress graph of the planner
 // benchmarks and differential tests: a dense h-labelled bipartite hub
 // (hub × hub pairs ai -h-> bj) plus a short selective s-chain off a single
