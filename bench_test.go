@@ -314,6 +314,58 @@ func BenchmarkReachBatch(b *testing.B) {
 
 func BenchmarkE22ShardedReach(b *testing.B) { benchTable(b, exp.E22ShardedReach) }
 
+// BenchmarkStreamFirstRow measures the streaming any-k layer (PR 7) on the
+// E23 high-output gMark-style workload: "first" pulls a single row through
+// Session.Stream on a session-cold cache (the time-to-first-row fast path —
+// lazy chunked source sweeps compute only what one row needs), "drain"
+// pulls the entire relation page by page, and "eval" materializes it with
+// Session.Eval. The acceptance floor for PR 7 is first ≥ 10x faster than
+// eval with drain within 1.2x of eval (see E23's metrics in
+// BENCH_engine.json for recorded ratios).
+func BenchmarkStreamFirstRow(b *testing.B) {
+	db := workload.GMark(7, 1200)
+	db.Index() // shared state: warm outside the timings
+	plan := cxrpq.MustPrepare(cxrpq.MustParse("ans(x, y)\nx y : a(a|b)*"))
+	b.Run("first", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cur, err := plan.Bind(db).Stream(cxrpq.StreamOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if rows := cur.Fetch(1); len(rows) != 1 {
+				b.Fatal("no first row")
+			}
+			cur.Close()
+		}
+	})
+	b.Run("drain", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cur, err := plan.Bind(db).Stream(cxrpq.StreamOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for {
+				if page := cur.Fetch(4096); len(page) < 4096 {
+					break
+				}
+			}
+			if err := cur.Err(); err != nil {
+				b.Fatal(err)
+			}
+			cur.Close()
+		}
+	})
+	b.Run("eval", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := plan.Bind(db).Eval(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkE23TimeToFirstRow(b *testing.B) { benchTable(b, exp.E23TimeToFirstRow) }
+
 // BenchmarkPreparedReuse measures the prepared-query subsystem on the
 // E2/E6/E9 workloads: "oneshot" re-prepares and re-derives everything per
 // iteration, "prepared" binds a Session once and re-evaluates through its

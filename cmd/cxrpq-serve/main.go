@@ -3,11 +3,14 @@
 // HTTP/JSON front-end with a per-database session pool, incremental cache
 // maintenance on database updates (insert-only /update deltas retain or
 // frontier-extend the pooled sessions' caches instead of flushing them;
-// see the server.go comment block), and a bounded in-flight limiter.
+// see the server.go comment block), pull-based streaming evaluation with
+// pagination, deadlines and ranked (shortest-witness-first) order, and a
+// two-tier in-flight limiter that degrades to partial answers before it
+// rejects with 429.
 //
 // Usage:
 //
-//	cxrpq-serve [-addr :8080] [-db name=path]... [-inflight 64] [-sessions 128] [-shards 0] [-pprof]
+//	cxrpq-serve [-addr :8080] [-db name=path]... [-inflight 64] [-shed-ms 100] [-sessions 128] [-shards 0] [-pprof]
 //
 // Databases are the textual graph format (one "from label to" triple per
 // line); requests may alternatively carry an inline graph. Quickstart:
@@ -19,7 +22,14 @@
 //	  "mode": "bool"
 //	}'
 //
-// See internal/README.md for the endpoint reference.
+// Paginated, deadline-bounded streaming against a named database:
+//
+//	curl -s localhost:8080/query -d '{"db":"g1","query":"ans(x, y)\nx y : a+","limit":100,"deadline_ms":50}'
+//	# -> {"answers":[...100 rows...],"cursor":"<token>", ...}  (or "truncated":true when the 50ms ran out)
+//	curl -s localhost:8080/query -d '{"cursor":"<token>","limit":100}'
+//
+// See internal/README.md for the endpoint reference and the server.go
+// comment block for cursor, deadline and shedding semantics.
 package main
 
 import (
@@ -28,6 +38,7 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"time"
 
 	"cxrpq/internal/engine"
 	"cxrpq/internal/graph"
@@ -40,7 +51,8 @@ func (d *dbFlags) Set(v string) error { *d = append(*d, v); return nil }
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
-	inflight := flag.Int("inflight", 64, "max concurrent query/update requests (excess is shed with 429)")
+	inflight := flag.Int("inflight", 64, "soft in-flight cap: beyond it queries run degraded under the shed budget; beyond 2x requests get 429")
+	shedMS := flag.Int("shed-ms", 100, "eval budget (ms) for requests admitted beyond the soft in-flight cap")
 	sessions := flag.Int("sessions", 128, "pooled prepared sessions per database")
 	shards := flag.Int("shards", 0, "reachability-kernel shard count (0 = GOMAXPROCS; normalized to a power of two)")
 	pprof := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ for profile-driven shard tuning")
@@ -51,7 +63,10 @@ func main() {
 	if *shards != 0 {
 		engine.SetShards(*shards)
 	}
-	srv := newServer(serverOptions{maxInflight: *inflight, sessionCap: *sessions, pprof: *pprof})
+	srv := newServer(serverOptions{
+		maxInflight: *inflight, sessionCap: *sessions, pprof: *pprof,
+		shedBudget: time.Duration(*shedMS) * time.Millisecond,
+	})
 	for _, v := range dbs {
 		name, path, err := parseDBFlag(v)
 		if err != nil {

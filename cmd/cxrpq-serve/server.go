@@ -4,14 +4,35 @@ package main
 // databases are loaded at startup (or mutated through /update), and every
 // (database, query text) pair is served by a pooled cxrpq.Session, so
 // repeated queries reuse the compiled plan and the per-database relation
-// caches. A bounded in-flight limiter sheds load with 429 instead of
-// queueing unboundedly.
+// caches. A two-tier in-flight limiter degrades before it rejects: beyond
+// the soft cap, query evaluation runs under a shed budget and returns the
+// rows found so far with "truncated" and "shed" set; only beyond twice the
+// cap are requests refused with 429.
 //
 //	POST /query   {"db":"g1","query":"ans(x,y)\nx y : a","mode":"eval"}
 //	POST /plan    {"db":"g1","query":"ans(x,y)\nx y : a"}
 //	POST /update  {"db":"g1","edges":"u a v\nv b w","remove":"u a w"}
 //	GET  /healthz
 //	GET  /stats
+//
+// /query streaming, pagination and deadlines: evaluation is pull-based
+// (cxrpq.Session.Stream). "limit" caps the rows of this response page; when
+// more rows remain the response carries an opaque "cursor" token, and the
+// next page is fetched by POSTing {"cursor":"...","limit":n} (no db/query —
+// the token identifies the parked stream). Cursors are invalidated by any
+// /update of their database (410 Gone), expire after an idle TTL, and the
+// registry is capacity-bounded (oldest evicted first); a finished cursor is
+// reclaimed with its final page. "deadline_ms" bounds the evaluation: on
+// expiry (or client disconnect — the request context is honored inside the
+// evaluation loops) the rows found so far are returned with
+// "truncated": true. The deadline is set when the stream opens and covers
+// the cursor's whole lifetime across pages. "ranked": true streams
+// shortest-witness-first (mode=eval only); each answer's witness cost — the
+// number of query-path edges of its shortest accepted witness — is returned
+// in "costs", and ranked streams pay their ordering guarantee with a full
+// drain before the first row. "rows_streamed" counts rows delivered by the
+// cursor so far; /stats aggregates per-database time-to-first-row and
+// rows-streamed counters.
 //
 // /update delta semantics: the request is one batched graph.Delta — "edges"
 // are added (interning unknown node names), "remove" deletes one occurrence
@@ -32,7 +53,11 @@ package main
 // aggregated session caches).
 
 import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"net/http/pprof"
@@ -49,13 +74,20 @@ import (
 )
 
 type serverOptions struct {
-	maxInflight int  // concurrent /query+/update requests admitted
-	sessionCap  int  // pooled sessions per database
-	pprof       bool // mount net/http/pprof under /debug/pprof/
+	maxInflight int           // soft admission cap; hard rejection at 2x
+	sessionCap  int           // pooled sessions per database
+	shedBudget  time.Duration // eval budget imposed on requests admitted beyond the soft cap
+	cursorCap   int           // open cursors held across requests
+	cursorTTL   time.Duration // idle cursor lifetime
+	pprof       bool          // mount net/http/pprof under /debug/pprof/
 }
 
 func defaultOptions() serverOptions {
-	return serverOptions{maxInflight: 64, sessionCap: 128}
+	return serverOptions{
+		maxInflight: 64, sessionCap: 128,
+		shedBudget: 100 * time.Millisecond,
+		cursorCap:  64, cursorTTL: time.Minute,
+	}
 }
 
 // dbEntry is one named database with its session pool. Queries hold the
@@ -69,6 +101,46 @@ type dbEntry struct {
 
 	sessMu   sync.Mutex
 	sessions map[string]*cxrpq.Session // query text -> bound session
+
+	qmu sync.Mutex
+	qs  queryCounters
+}
+
+// queryCounters aggregates the streaming telemetry of one database's
+// /query traffic: how fast first rows arrive and how much is delivered,
+// shed or cut short.
+type queryCounters struct {
+	Queries      int64 // /query evaluations (cursor fetches excluded)
+	RowsStreamed int64 // rows delivered, across first pages and cursor fetches
+	TTFRTotalNS  int64 // summed time to first row (or to completion when empty)
+	Shed         int64 // evaluations degraded by the soft-saturation limiter
+	Truncated    int64 // evaluations cut by a deadline, context or shed budget
+}
+
+func (e *dbEntry) recordQuery(ttfr time.Duration, rows int, shed, truncated bool) {
+	if e == nil {
+		return // inline one-off graph: no entry to account to
+	}
+	e.qmu.Lock()
+	e.qs.Queries++
+	e.qs.RowsStreamed += int64(rows)
+	e.qs.TTFRTotalNS += int64(ttfr)
+	if shed {
+		e.qs.Shed++
+	}
+	if truncated {
+		e.qs.Truncated++
+	}
+	e.qmu.Unlock()
+}
+
+func (e *dbEntry) recordRows(rows int) {
+	if e == nil {
+		return
+	}
+	e.qmu.Lock()
+	e.qs.RowsStreamed += int64(rows)
+	e.qmu.Unlock()
 }
 
 // session returns the pooled session for a query text, preparing and
@@ -102,24 +174,36 @@ func (e *dbEntry) session(src string, cap int) (*cxrpq.Session, error) {
 
 type server struct {
 	opts     serverOptions
-	inflight chan struct{}
+	inflight chan struct{} // capacity 2*maxInflight: soft cap degrades, hard cap rejects
 	start    time.Time
+	cursors  *cursorRegistry
 
 	mu  sync.Mutex
 	dbs map[string]*dbEntry
 }
 
 func newServer(opts serverOptions) *server {
+	def := defaultOptions()
 	if opts.maxInflight <= 0 {
-		opts.maxInflight = defaultOptions().maxInflight
+		opts.maxInflight = def.maxInflight
 	}
 	if opts.sessionCap <= 0 {
-		opts.sessionCap = defaultOptions().sessionCap
+		opts.sessionCap = def.sessionCap
+	}
+	if opts.shedBudget <= 0 {
+		opts.shedBudget = def.shedBudget
+	}
+	if opts.cursorCap <= 0 {
+		opts.cursorCap = def.cursorCap
+	}
+	if opts.cursorTTL <= 0 {
+		opts.cursorTTL = def.cursorTTL
 	}
 	return &server{
 		opts:     opts,
-		inflight: make(chan struct{}, opts.maxInflight),
+		inflight: make(chan struct{}, 2*opts.maxInflight),
 		start:    time.Now(),
+		cursors:  newCursorRegistry(opts.cursorCap, opts.cursorTTL),
 		dbs:      map[string]*dbEntry{},
 	}
 }
@@ -158,29 +242,161 @@ func (s *server) handler() http.Handler {
 	return mux
 }
 
-// limited wraps a handler with the bounded in-flight admission gate: when
-// maxInflight requests are already running, the request is shed with 429
-// rather than queued.
+// shedKey marks a request admitted beyond the soft in-flight cap; /query
+// evaluates it under the shed budget and reports partial rows instead of
+// refusing outright.
+type shedKey struct{}
+
+// limited wraps a handler with the two-tier in-flight admission gate. Up to
+// maxInflight requests run normally; between maxInflight and 2*maxInflight
+// they are admitted degraded (marked via shedKey — query work is bounded by
+// the shed budget and returns the rows found so far with "truncated" and
+// "shed" set, which beats returning nothing); past the hard cap the
+// request is refused with 429 rather than queued unboundedly.
 func (s *server) limited(h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		select {
 		case s.inflight <- struct{}{}:
 			defer func() { <-s.inflight }()
+			if len(s.inflight) > s.opts.maxInflight {
+				r = r.WithContext(context.WithValue(r.Context(), shedKey{}, true))
+			}
 			h(w, r)
 		default:
-			writeErr(w, http.StatusTooManyRequests, fmt.Errorf("server busy: %d requests in flight", s.opts.maxInflight))
+			writeErr(w, http.StatusTooManyRequests, fmt.Errorf("server busy: %d requests in flight", 2*s.opts.maxInflight))
 		}
 	}
 }
 
+// cursorRec is one parked stream held across /query pages: the pull
+// cursor, the database it reads (its producer is quiescent between
+// fetches, so /update stays safe), and the revision it opened at — a
+// mutation invalidates the cursor rather than serving rows that mix
+// epochs.
+type cursorRec struct {
+	id string
+
+	mu       sync.Mutex // serializes fetches; cursors are not concurrent-safe
+	cur      *cxrpq.Cursor
+	entry    *dbEntry // nil for inline one-off graphs
+	db       *graph.DB
+	rev      uint64
+	fragment string
+	ranked   bool
+	limit    int // default page size for fetches that give none
+	closed   bool
+}
+
+func (rec *cursorRec) close() {
+	if !rec.closed {
+		rec.closed = true
+		rec.cur.Close()
+	}
+}
+
+// cursorRegistry maps opaque tokens to parked cursors, bounded by capacity
+// (least-recently-used evicted first) and idle TTL.
+type cursorRegistry struct {
+	mu   sync.Mutex
+	recs map[string]*cursorRec
+	last map[string]time.Time
+	cap  int
+	ttl  time.Duration
+}
+
+func newCursorRegistry(cap int, ttl time.Duration) *cursorRegistry {
+	return &cursorRegistry{recs: map[string]*cursorRec{}, last: map[string]time.Time{}, cap: cap, ttl: ttl}
+}
+
+// put registers a cursor under a fresh token and returns the token plus any
+// records evicted by TTL or capacity — the caller closes those outside the
+// registry lock.
+func (cr *cursorRegistry) put(rec *cursorRec) (string, []*cursorRec) {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(err) // crypto/rand failure is not a recoverable request error
+	}
+	tok := hex.EncodeToString(b[:])
+	now := time.Now()
+	cr.mu.Lock()
+	defer cr.mu.Unlock()
+	evicted := cr.sweepLocked(now)
+	for len(cr.recs) >= cr.cap {
+		oldest, at := "", now
+		for id, t := range cr.last {
+			if !t.After(at) {
+				oldest, at = id, t
+			}
+		}
+		evicted = append(evicted, cr.recs[oldest])
+		delete(cr.recs, oldest)
+		delete(cr.last, oldest)
+	}
+	rec.id = tok
+	cr.recs[tok] = rec
+	cr.last[tok] = now
+	return tok, evicted
+}
+
+// get looks a token up, refreshing its idle clock. Expired records are
+// swept and returned for the caller to close.
+func (cr *cursorRegistry) get(id string) (*cursorRec, []*cursorRec) {
+	now := time.Now()
+	cr.mu.Lock()
+	defer cr.mu.Unlock()
+	evicted := cr.sweepLocked(now)
+	rec := cr.recs[id]
+	if rec != nil {
+		cr.last[id] = now
+	}
+	return rec, evicted
+}
+
+func (cr *cursorRegistry) drop(id string) {
+	cr.mu.Lock()
+	delete(cr.recs, id)
+	delete(cr.last, id)
+	cr.mu.Unlock()
+}
+
+func (cr *cursorRegistry) open() int {
+	cr.mu.Lock()
+	defer cr.mu.Unlock()
+	return len(cr.recs)
+}
+
+func (cr *cursorRegistry) sweepLocked(now time.Time) []*cursorRec {
+	var evicted []*cursorRec
+	for id, t := range cr.last {
+		if now.Sub(t) > cr.ttl {
+			evicted = append(evicted, cr.recs[id])
+			delete(cr.recs, id)
+			delete(cr.last, id)
+		}
+	}
+	return evicted
+}
+
+func closeAll(recs []*cursorRec) {
+	for _, rec := range recs {
+		rec.mu.Lock()
+		rec.close()
+		rec.mu.Unlock()
+	}
+}
+
 type queryRequest struct {
-	DB        string   `json:"db,omitempty"`        // named database, or
-	Graph     string   `json:"graph,omitempty"`     // inline graph (one "from label to" per line)
-	Query     string   `json:"query"`               // textual CXRPQ
-	Mode      string   `json:"mode,omitempty"`      // eval (default) | bool | check | explain
-	Semantics string   `json:"semantics,omitempty"` // auto (default) | bounded | log
-	K         *int     `json:"k,omitempty"`         // image bound, required for semantics=bounded (k ≥ 0)
-	Tuple     []string `json:"tuple,omitempty"`     // node names (check/explain)
+	DB         string   `json:"db,omitempty"`          // named database, or
+	Graph      string   `json:"graph,omitempty"`       // inline graph (one "from label to" per line)
+	Query      string   `json:"query"`                 // textual CXRPQ
+	Mode       string   `json:"mode,omitempty"`        // eval (default) | bool | check | explain
+	Semantics  string   `json:"semantics,omitempty"`   // auto (default) | bounded | log
+	K          *int     `json:"k,omitempty"`           // image bound, required for semantics=bounded (k ≥ 0)
+	Tuple      []string `json:"tuple,omitempty"`       // node names (check/explain)
+	Limit      int      `json:"limit,omitempty"`       // rows per page (eval); 0 = one large page
+	DeadlineMS int      `json:"deadline_ms,omitempty"` // evaluation budget; expiry returns partial rows with truncated
+	Ranked     bool     `json:"ranked,omitempty"`      // shortest-witness-first order with costs (eval)
+	Cursor     string   `json:"cursor,omitempty"`      // continue a paginated stream; excludes db/graph/query
 }
 
 type explanationJSON struct {
@@ -190,12 +406,17 @@ type explanationJSON struct {
 }
 
 type queryResponse struct {
-	Fragment    string           `json:"fragment"`
-	Count       int              `json:"count"`
-	Answers     [][]string       `json:"answers,omitempty"`
-	Bool        *bool            `json:"bool,omitempty"`
-	Explanation *explanationJSON `json:"explanation,omitempty"`
-	ElapsedMS   float64          `json:"elapsed_ms"`
+	Fragment     string           `json:"fragment"`
+	Count        int              `json:"count"`
+	Answers      [][]string       `json:"answers,omitempty"`
+	Costs        []int            `json:"costs,omitempty"` // per answer, ranked streams: shortest-witness edge count
+	Bool         *bool            `json:"bool,omitempty"`
+	Explanation  *explanationJSON `json:"explanation,omitempty"`
+	Cursor       string           `json:"cursor,omitempty"`        // more rows remain; fetch with {"cursor":...}
+	Truncated    bool             `json:"truncated,omitempty"`     // cut by deadline, disconnect or shed budget
+	Shed         bool             `json:"shed,omitempty"`          // degraded by the soft-saturation limiter
+	RowsStreamed int64            `json:"rows_streamed,omitempty"` // rows delivered by this stream so far
+	ElapsedMS    float64          `json:"elapsed_ms"`
 }
 
 type errResponse struct {
@@ -224,21 +445,31 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad request body: %v", err))
 		return
 	}
+	if req.Cursor != "" {
+		s.handleCursorFetch(w, &req)
+		return
+	}
 	if req.Query == "" {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("missing query"))
+		return
+	}
+	if req.Limit < 0 || req.DeadlineMS < 0 {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("limit and deadline_ms must be nonnegative"))
 		return
 	}
 
 	// Resolve the database: a pooled named one, or an inline one-off graph.
 	var sess *cxrpq.Session
 	var db *graph.DB
+	var e *dbEntry
 	var unlock func()
 	switch {
 	case req.DB != "" && req.Graph != "":
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("give either db or graph, not both"))
 		return
 	case req.DB != "":
-		e, ok := s.entry(req.DB)
+		var ok bool
+		e, ok = s.entry(req.DB)
 		if !ok {
 			writeErr(w, http.StatusNotFound, fmt.Errorf("unknown db %q", req.DB))
 			return
@@ -288,6 +519,10 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("unknown mode %q", op))
 		return
 	}
+	if (req.Limit > 0 || req.Ranked) && op != "eval" {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("limit and ranked apply to mode=eval"))
+		return
+	}
 	var tuple pattern.Tuple
 	if op == "check" || (op == "explain" && len(req.Tuple) > 0) {
 		tuple = make(pattern.Tuple, len(req.Tuple))
@@ -302,25 +537,55 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 
 	start := time.Now()
-	resp := sess.Do(cxrpq.Request{Op: op, Semantics: sem, K: k, Tuple: tuple})
-	if resp.Err != nil {
-		writeErr(w, http.StatusBadRequest, resp.Err)
+	var deadline time.Time
+	if req.DeadlineMS > 0 {
+		deadline = start.Add(time.Duration(req.DeadlineMS) * time.Millisecond)
+	}
+	shed := r.Context().Value(shedKey{}) != nil
+	if shed {
+		// Admitted beyond the soft cap: bound the work and return what fits.
+		if sd := start.Add(s.opts.shedBudget); deadline.IsZero() || sd.Before(deadline) {
+			deadline = sd
+		}
+	}
+
+	if op == "eval" && (req.Limit > 0 || req.Ranked) {
+		s.streamQuery(w, r, sess, db, e, sem, k, &req, deadline, shed, start)
 		return
+	}
+
+	// Materialized path, still budgeted: the request context is honored
+	// inside the evaluation loops, so a disconnected client stops burning
+	// its in-flight slot. A truncated eval yields the sound partial set.
+	bud := engine.NewBudget(r.Context(), deadline, 0)
+	resp := sess.Do(cxrpq.Request{Op: op, Semantics: sem, K: k, Tuple: tuple, Budget: bud})
+	truncated := false
+	if resp.Err != nil {
+		if !errors.Is(resp.Err, engine.ErrCanceled) {
+			writeErr(w, http.StatusBadRequest, resp.Err)
+			return
+		}
+		truncated = true
 	}
 	out := queryResponse{
 		Fragment:  sess.Fragment(),
+		Truncated: truncated,
+		Shed:      shed,
 		ElapsedMS: float64(time.Since(start).Microseconds()) / 1000,
 	}
 	switch op {
 	case "eval":
-		out.Count = resp.Tuples.Len()
-		for _, t := range resp.Tuples.Sorted() {
-			row := make([]string, len(t))
-			for i, v := range t {
-				row[i] = db.Name(v)
+		if resp.Tuples != nil {
+			out.Count = resp.Tuples.Len()
+			for _, t := range resp.Tuples.Sorted() {
+				row := make([]string, len(t))
+				for i, v := range t {
+					row[i] = db.Name(v)
+				}
+				out.Answers = append(out.Answers, row)
 			}
-			out.Answers = append(out.Answers, row)
 		}
+		out.RowsStreamed = int64(out.Count)
 	case "bool", "check":
 		b := resp.OK
 		out.Bool = &b
@@ -339,7 +604,141 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			out.Count = 1
 		}
 	}
+	e.recordQuery(time.Since(start), out.Count, shed, truncated)
 	writeJSON(w, http.StatusOK, out)
+}
+
+// streamQuery serves mode=eval through the pull-based cursor: the first
+// row is fetched alone (that latency is the per-database time-to-first-row
+// statistic), the rest of the page follows, and an unfinished stream is
+// parked in the cursor registry under an opaque token — unless the request
+// was admitted degraded, in which case the remainder is shed.
+func (s *server) streamQuery(w http.ResponseWriter, r *http.Request, sess *cxrpq.Session, db *graph.DB,
+	e *dbEntry, sem string, k int, req *queryRequest, deadline time.Time, shed bool, start time.Time) {
+	// A parked cursor outlives its opening request, and the request context
+	// is canceled the moment this response is written — so only a shed
+	// stream (which never parks) is bound to it. Parked cursors are bounded
+	// by their deadline and the registry's idle TTL instead.
+	var ctx context.Context
+	if shed {
+		ctx = r.Context()
+	}
+	cur, err := sess.Stream(cxrpq.StreamOptions{
+		Semantics: sem, K: k, Ranked: req.Ranked,
+		Deadline: deadline, Ctx: ctx,
+	})
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	lim := req.Limit
+	if lim <= 0 {
+		lim = 4096
+	}
+	rows := cur.Fetch(1)
+	ttfr := time.Since(start)
+	if len(rows) == 1 && lim > 1 {
+		rows = append(rows, cur.Fetch(lim-1)...)
+	}
+	out := queryResponse{Fragment: sess.Fragment(), Shed: shed, RowsStreamed: cur.RowsStreamed()}
+	serializeRows(&out, rows, db, req.Ranked)
+	switch {
+	case len(rows) < lim: // exhausted (or cut): the stream is done
+		if err := cur.Err(); err != nil {
+			cur.Close()
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		out.Truncated = cur.Truncated()
+		cur.Close()
+	case shed:
+		// Degraded admission never parks a cursor: the remainder is shed.
+		cur.Close()
+		out.Truncated = true
+	default:
+		rec := &cursorRec{cur: cur, entry: e, db: db, rev: db.Revision(),
+			fragment: sess.Fragment(), ranked: req.Ranked, limit: lim}
+		tok, evicted := s.cursors.put(rec)
+		out.Cursor = tok
+		defer closeAll(evicted)
+	}
+	out.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
+	e.recordQuery(ttfr, len(rows), shed, out.Truncated)
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleCursorFetch continues a parked stream: {"cursor":"...","limit":n}.
+// The fetch runs under the database read lock (the parked producer is
+// quiescent outside it), and a cursor whose database has moved on since it
+// opened is invalidated rather than resumed across epochs.
+func (s *server) handleCursorFetch(w http.ResponseWriter, req *queryRequest) {
+	if req.Query != "" || req.DB != "" || req.Graph != "" || req.Mode != "" || req.Semantics != "" {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("a cursor request carries only cursor and limit"))
+		return
+	}
+	if req.Limit < 0 {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("limit must be nonnegative"))
+		return
+	}
+	rec, evicted := s.cursors.get(req.Cursor)
+	defer closeAll(evicted)
+	if rec == nil {
+		writeErr(w, http.StatusGone, fmt.Errorf("unknown or expired cursor"))
+		return
+	}
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	if rec.closed {
+		writeErr(w, http.StatusGone, fmt.Errorf("unknown or expired cursor"))
+		return
+	}
+	if rec.entry != nil {
+		rec.entry.mu.RLock()
+		defer rec.entry.mu.RUnlock()
+		if rec.entry.db.Revision() != rec.rev {
+			s.cursors.drop(rec.id)
+			rec.close()
+			writeErr(w, http.StatusGone, fmt.Errorf("cursor invalidated by database update"))
+			return
+		}
+	}
+	lim := req.Limit
+	if lim <= 0 {
+		lim = rec.limit
+	}
+	start := time.Now()
+	rows := rec.cur.Fetch(lim)
+	out := queryResponse{Fragment: rec.fragment, RowsStreamed: rec.cur.RowsStreamed()}
+	serializeRows(&out, rows, rec.db, rec.ranked)
+	if len(rows) < lim { // exhausted: reclaim with the final page
+		s.cursors.drop(rec.id)
+		if err := rec.cur.Err(); err != nil {
+			rec.close()
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		out.Truncated = rec.cur.Truncated()
+		rec.close()
+	} else {
+		out.Cursor = rec.id
+	}
+	out.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
+	rec.entry.recordRows(len(rows))
+	writeJSON(w, http.StatusOK, out)
+}
+
+func serializeRows(out *queryResponse, rows []cxrpq.Row, db *graph.DB, ranked bool) {
+	out.Count = len(rows)
+	for _, rr := range rows {
+		row := make([]string, len(rr.Tuple))
+		for i, v := range rr.Tuple {
+			row[i] = db.Name(v)
+		}
+		out.Answers = append(out.Answers, row)
+		if ranked {
+			out.Costs = append(out.Costs, rr.Cost)
+		}
+	}
 }
 
 // resolveSemantics validates the request's semantics/k pair and maps it
@@ -563,6 +962,15 @@ type dbStats struct {
 	// database's derived state and the pooled sessions' caches.
 	Maint     graph.MaintStats `json:"maint"`
 	SessMaint sessMaintStats   `json:"sessions_maint"`
+
+	// Streaming telemetry: /query volume, rows delivered (first pages plus
+	// cursor fetches), mean time-to-first-row, and how many evaluations
+	// were shed by the soft-saturation limiter or cut by a budget.
+	Queries      int64   `json:"queries"`
+	RowsStreamed int64   `json:"rows_streamed"`
+	TTFRAvgMS    float64 `json:"ttfr_avg_ms"`
+	Shed         int64   `json:"shed"`
+	Truncated    int64   `json:"truncated"`
 }
 
 // sessMaintStats aggregates cache-maintenance counters over a database's
@@ -606,6 +1014,15 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 			st.SessMaint.RelExtended += ss.Rel.Extended
 		}
 		e.sessMu.Unlock()
+		e.qmu.Lock()
+		st.Queries = e.qs.Queries
+		st.RowsStreamed = e.qs.RowsStreamed
+		if e.qs.Queries > 0 {
+			st.TTFRAvgMS = float64(e.qs.TTFRTotalNS) / float64(e.qs.Queries) / 1e6
+		}
+		st.Shed = e.qs.Shed
+		st.Truncated = e.qs.Truncated
+		e.qmu.Unlock()
 		dbs = append(dbs, st)
 	}
 	mc := xregex.MatchCacheInfo()
@@ -613,6 +1030,7 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"dbs":         dbs,
 		"match_cache": map[string]any{"hits": mc.Hits, "misses": mc.Misses, "size": mc.Size},
 		"inflight":    len(s.inflight),
+		"cursors":     s.cursors.open(),
 		// Sharded reachability-kernel counters: batch/level/source totals,
 		// edge volume, cross-shard exchange volume and the per-shard
 		// breakdown (for shard-count tuning alongside -pprof).

@@ -36,7 +36,13 @@
 //	                     degree-balanced shard, MS-BFS source batching (64
 //	                     sources per machine word) and per-shard exchange
 //	                     counters; relation construction in ecrpq runs
-//	                     through it instead of the per-source fan
+//	                     through it instead of the per-source fan; the
+//	                     kernels expose BFS level indices (shortest-witness
+//	                     distances, ReachLevels / BatchResult.Levs) and
+//	                     poll a per-query Budget (deadline, row cap,
+//	                     context cancellation, Fork for
+//	                     first-witness-cancels-siblings fans) at level
+//	                     granularity
 //	internal/pattern     graph patterns / conjunctive path queries (§2.3)
 //	internal/planner     the cost-based query-planning layer: per-atom
 //	                     cardinality estimation (first/last-symbol NFA
@@ -70,9 +76,19 @@
 //	                     Refresh; removals and new labels flush), hardened
 //	                     by the metamorphic mutation-sequence harness in
 //	                     mutation_diff_test.go; every one-shot entry point
-//	                     is a thin wrapper over them, and
+//	                     is a thin wrapper over them,
 //	                     Session.PlanReport exposes the chosen join order
-//	                     with estimated cardinalities
+//	                     with estimated cardinalities, and Session.Stream
+//	                     (stream.go) is the pull-based any-k surface: a
+//	                     Cursor serving Fetch/Next pages from a lazy
+//	                     backtracking join (atom relations computed in
+//	                     growing source chunks, so the first row costs one
+//	                     shallow probe), with per-stream budgets
+//	                     (deadline/limit/context cancellation), ranked
+//	                     shortest-witness-first order built on the
+//	                     kernels' BFS levels, and a producer provably
+//	                     parked between fetches so ApplyDelta interleaves
+//	                     with open cursors
 //	internal/oracle      brute-force reference implementations backing the
 //	                     conformance tests
 //	internal/reductions  executable hardness reductions (Thms 1/3/7)
@@ -82,15 +98,20 @@
 //	                     generator (RandomQuery) behind the differential
 //	                     fuzz harness, and the MutationStream delta
 //	                     workload behind the incremental-update experiment
-//	internal/exp         the E1-E22 experiment harness (see DESIGN.md)
+//	internal/exp         the E1-E23 experiment harness (see DESIGN.md)
 //
 // cmd/cxrpq-serve is the concurrent HTTP/JSON evaluation server over the
-// prepared-query subsystem: a per-database pool of prepared sessions, a
-// bounded in-flight limiter, batched /update deltas (additions and
-// removals) that maintain the pooled sessions' caches incrementally
-// instead of flushing them, a /plan debug endpoint reporting the
-// planner-chosen join order with estimated cardinalities, and /stats
-// counters for retained-vs-rebuilt cache entries and the sharded kernel's
+// prepared-query subsystem: a per-database pool of prepared sessions,
+// pull-based streaming /query with limit/cursor pagination, deadline_ms
+// budgets (expiry or client disconnect returns the rows found so far with
+// "truncated") and ranked shortest-witness-first order, a two-tier
+// in-flight limiter that degrades to shed partial answers before
+// rejecting with 429, batched /update deltas (additions and removals)
+// that maintain the pooled sessions' caches incrementally instead of
+// flushing them (and invalidate parked cursors), a /plan debug endpoint
+// reporting the planner-chosen join order with estimated cardinalities,
+// and /stats counters for retained-vs-rebuilt cache entries,
+// time-to-first-row and rows-streamed telemetry, and the sharded kernel's
 // per-shard edge/exchange volumes; -shards pins the kernel shard count and
 // -pprof mounts net/http/pprof (see the quickstart in internal/README.md).
 //

@@ -1,6 +1,7 @@
 package cxrpq
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -165,6 +166,24 @@ type boundedEngine struct {
 
 	caches *sessionCaches // per-DB memos, shared across runs of one Session
 
+	// bud is the caller's evaluation budget (nil = unlimited); fanBud is its
+	// per-run fork, threaded into relation builds and leaf joins so that both
+	// budget exhaustion AND the Boolean first-witness stop unwind in-flight
+	// BFS sweeps at level granularity. fanBud is stopped (not bud) on first
+	// witness, so sibling cancellation never spends the caller's budget.
+	bud    *engine.Budget
+	fanBud *engine.Budget
+
+	// ranked requests BFS first-hit levels on every atom relation
+	// (ecrpq.EdgeRel.Dist), so leaf joins can report witness costs.
+	ranked bool
+
+	// yield, when set, streams each leaf join's rows (with witness cost)
+	// instead of merging into out; a false return stops the run. Streaming
+	// runs force seq — yield is called from one goroutine only. Tuples are
+	// NOT deduplicated across mappings here; the consumer owns dedup.
+	yield func(t pattern.Tuple, cost int) bool
+
 	// leaf consumes a complete mapping; the default joins the cached atom
 	// relations, ExplainBounded swaps in a witness search.
 	leaf func(st *boundedState) error
@@ -210,11 +229,19 @@ func newBoundedEngine(p *boundedPlan, db *graph.DB, k int, boolOnly bool, pre ma
 		caches: caches,
 		out:    pattern.NewTupleSet(),
 	}
+	e.fanBud = e.bud.Fork() // nil-safe: a standalone fork when unbudgeted
 	e.leaf = e.joinLeaf
 	if !planner.Enabled() {
 		e.structSpec = &planner.PlanSpec{Order: ecrpq.JoinOrder(p.q.Pattern, pre)}
 	}
 	return e, nil
+}
+
+// setBudget attaches the caller's budget to the run (before run() starts):
+// fanBud is re-forked so every relation build and leaf join observes it.
+func (e *boundedEngine) setBudget(bud *engine.Budget) {
+	e.bud = bud
+	e.fanBud = bud.Fork()
 }
 
 func (e *boundedEngine) newState() *boundedState {
@@ -394,9 +421,12 @@ func (st *boundedState) processStep(i int) (bool, error) {
 
 // relationFor resolves the relation of an instantiated label through the
 // session relation cache, keyed by the canonical print — the sharing point
-// for all mappings (and all Session calls) that agree on the label.
+// for all mappings (and all Session calls) that agree on the label. The
+// build honors the run's fan budget (a truncated build surfaces as
+// engine.ErrCanceled and is never cached) and requests BFS levels when the
+// run is ranked.
 func (e *boundedEngine) relationFor(inst xregex.Node) (*ecrpq.EdgeRel, error) {
-	return e.caches.rels.For(e.db, inst, e.sigma)
+	return e.caches.rels.ForOpts(e.db, inst, e.sigma, e.fanBud, e.ranked)
 }
 
 // feasible is the sound candidate filter of the Theorem 6 enumeration: a
@@ -439,7 +469,7 @@ func (e *boundedEngine) feasible(x, w string, assign map[string]string) bool {
 // rec enumerates images for vars[i:] depth-first with prefix pruning.
 func (st *boundedState) rec(i int) error {
 	e := st.e
-	if e.stop.Load() {
+	if e.stop.Load() || e.fanBud.Canceled() {
 		return nil
 	}
 	if i == len(e.p.vars) {
@@ -447,7 +477,7 @@ func (st *boundedState) rec(i int) error {
 	}
 	x := e.p.vars[i]
 	for _, w := range e.labels {
-		if e.stop.Load() {
+		if e.stop.Load() || e.fanBud.Canceled() {
 			break
 		}
 		if !e.feasible(x, w, st.assign) {
@@ -481,7 +511,26 @@ func (e *boundedEngine) joinLeaf(st *boundedState) error {
 	if spec == nil {
 		spec = ecrpq.PlanJoin(e.p.q.Pattern, st.rels, e.pre)
 	}
-	res := ecrpq.JoinRelations(e.p.q.Pattern, st.rels, spec, e.pre, e.boolOnly)
+	if e.yield != nil {
+		// Streaming leaf (Session.Stream): rows flow to the consumer as the
+		// backtracking completes them. Runs are sequential (e.seq), so the
+		// yield needs no locking.
+		ecrpq.JoinRelationsStream(e.p.q.Pattern, st.rels, spec, e.pre, e.fanBud,
+			func(t pattern.Tuple, cost int) bool {
+				if !e.yield(t, cost) {
+					e.stop.Store(true)
+					return false
+				}
+				return true
+			})
+		return nil
+	}
+	res := pattern.NewTupleSet()
+	ecrpq.JoinRelationsStream(e.p.q.Pattern, st.rels, spec, e.pre, e.fanBud,
+		func(t pattern.Tuple, _ int) bool {
+			res.Add(t)
+			return !e.boolOnly
+		})
 	if res.Len() == 0 {
 		return nil
 	}
@@ -492,7 +541,11 @@ func (e *boundedEngine) joinLeaf(st *boundedState) error {
 	}
 	e.outMu.Unlock()
 	if e.boolOnly {
+		// First witness: raise the stop flag for enumeration subtrees and
+		// stop the fan budget so sibling workers' in-flight BFS sweeps and
+		// joins unwind at level granularity instead of running to completion.
 		e.stop.Store(true)
+		e.fanBud.Stop()
 	}
 	return nil
 }
@@ -505,15 +558,15 @@ func (e *boundedEngine) run() (*pattern.TupleSet, error) {
 	st := e.newState()
 	ok, err := st.processStep(0)
 	if err != nil || !ok {
-		return e.out, err
+		return e.out, e.ignoreCanceled(err)
 	}
 	if len(e.p.vars) == 0 {
-		return e.out, e.leaf(st)
+		return e.out, e.ignoreCanceled(e.leaf(st))
 	}
 
 	pool := engine.Workers(1 << 16)
 	if pool == 1 || e.seq {
-		return e.out, st.rec(0)
+		return e.out, e.ignoreCanceled(st.rec(0))
 	}
 
 	// Expand prefixes breadth-first (feasibility-filtered only; the workers
@@ -561,17 +614,30 @@ func (e *boundedEngine) run() (*pattern.TupleSet, error) {
 		if err == nil && ok {
 			err = st.rec(depth)
 		}
-		if err != nil {
+		if err = e.ignoreCanceled(err); err != nil {
 			errMu.Lock()
 			if errAt < 0 || ji < errAt {
 				errAt, firstErr = ji, err
 			}
 			errMu.Unlock()
 			e.stop.Store(true)
+			e.fanBud.Stop()
 		}
 	})
 	if firstErr != nil {
 		return nil, firstErr
 	}
 	return e.out, nil
+}
+
+// ignoreCanceled filters engine.ErrCanceled out of a run's error flow:
+// budget truncation (and the Boolean first-witness sibling stop, which rides
+// the same fork) is not a failure — the accumulated output is a sound
+// partial answer, and the caller consults its own Budget.Err() to learn
+// whether the run was cut short.
+func (e *boundedEngine) ignoreCanceled(err error) error {
+	if errors.Is(err, engine.ErrCanceled) {
+		return nil
+	}
+	return err
 }

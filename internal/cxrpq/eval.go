@@ -1,6 +1,7 @@
 package cxrpq
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -64,6 +65,7 @@ func EvalVsfBool(q *Query, db *graph.DB) (bool, error) {
 type vsfSink struct {
 	boolOnly bool
 	stop     *atomic.Bool
+	fan      *engine.Budget // optional fan budget: stopped alongside the flag
 
 	mu       sync.Mutex
 	out      *pattern.TupleSet
@@ -72,24 +74,37 @@ type vsfSink struct {
 	firstErr error
 }
 
-func newVsfSink(boolOnly bool, stop *atomic.Bool) *vsfSink {
-	return &vsfSink{boolOnly: boolOnly, stop: stop, out: pattern.NewTupleSet(), errAt: -1}
+func newVsfSink(boolOnly bool, stop *atomic.Bool, fan *engine.Budget) *vsfSink {
+	return &vsfSink{boolOnly: boolOnly, stop: stop, fan: fan, out: pattern.NewTupleSet(), errAt: -1}
 }
 
-// record merges the outcome of combination idx.
+// raise stops the fan: the flag keeps unstarted combinations from launching,
+// the budget unwinds the in-flight siblings' BFS sweeps at level granularity.
+func (s *vsfSink) raise() {
+	s.stop.Store(true)
+	s.fan.Stop()
+}
+
+// record merges the outcome of combination idx. A partial result alongside a
+// truncation error is merged too (budget-cut evaluations return the sound
+// subset they found), so the caller can surface partial rows with the error.
 func (s *vsfSink) record(idx int, res *pattern.TupleSet, err error) {
 	if err != nil {
 		s.mu.Lock()
-		if s.errAt < 0 || idx < s.errAt {
+		// Rank: a real failure outranks a budget truncation (a sibling that
+		// gets cut by the fan stop must not mask the error that raised it);
+		// within a class, the lowest combination index wins.
+		oldC, newC := errors.Is(s.firstErr, engine.ErrCanceled), errors.Is(err, engine.ErrCanceled)
+		switch {
+		case s.errAt < 0, oldC && !newC, oldC == newC && idx < s.errAt:
 			s.errAt, s.firstErr = idx, err
 		}
 		s.mu.Unlock()
 		// In Boolean mode an error must not cancel the search: a later
 		// combination may still match, and a match wins.
 		if !s.boolOnly {
-			s.stop.Store(true)
+			s.raise()
 		}
-		return
 	}
 	if res == nil || res.Len() == 0 {
 		return
@@ -99,22 +114,24 @@ func (s *vsfSink) record(idx int, res *pattern.TupleSet, err error) {
 	for _, t := range tuples {
 		s.out.Add(t)
 	}
-	if s.boolOnly {
+	if s.boolOnly && err == nil {
 		s.matched = true
 	}
 	s.mu.Unlock()
-	if s.boolOnly {
-		s.stop.Store(true)
+	if s.boolOnly && err == nil {
+		s.raise()
 	}
 }
 
 // finish resolves the accumulated outcomes; call after every worker is done.
+// On error the partial tuple set is returned alongside it (callers that
+// cannot use partial results check err first, as before).
 func (s *vsfSink) finish() (*pattern.TupleSet, error) {
 	if s.boolOnly && s.matched {
 		return s.out, nil
 	}
 	if s.firstErr != nil {
-		return nil, s.firstErr
+		return s.out, s.firstErr
 	}
 	return s.out, nil
 }
@@ -127,11 +144,12 @@ func (s *vsfSink) finish() (*pattern.TupleSet, error) {
 // are streamed through a bounded channel (their count is exponential in the
 // worst case), and for Boolean queries both the workers and the enumeration
 // stop at the first matching combination.
-func evalVsfStream(q *Query, db *graph.DB, boolOnly bool) (*pattern.TupleSet, error) {
+func evalVsfStream(q *Query, db *graph.DB, boolOnly bool, bud *engine.Budget) (*pattern.TupleSet, error) {
 	c := q.CXRE()
 	if !c.IsVStarFree() {
 		return nil, fmt.Errorf("cxrpq: EvalVsf requires a vstar-free query (got %s)", q.Fragment())
 	}
+	fan := bud.Fork() // first Boolean witness stops in-flight siblings
 	origDefined := c.DefinedVars()
 	evalCombo := func(combo CXRE) (*pattern.TupleSet, error) {
 		eq, err := comboToSimpleECRPQ(q, combo, origDefined)
@@ -139,7 +157,7 @@ func evalVsfStream(q *Query, db *graph.DB, boolOnly bool) (*pattern.TupleSet, er
 			return nil, err
 		}
 		if boolOnly {
-			ok, err := ecrpq.EvalBool(eq, db)
+			ok, err := ecrpq.EvalBoolBudget(eq, db, fan)
 			if err != nil || !ok {
 				return nil, err
 			}
@@ -147,11 +165,11 @@ func evalVsfStream(q *Query, db *graph.DB, boolOnly bool) (*pattern.TupleSet, er
 			res.Add(pattern.Tuple{})
 			return res, nil
 		}
-		return ecrpq.Eval(eq, db)
+		return ecrpq.EvalBudget(eq, db, fan)
 	}
 
 	var stop atomic.Bool
-	sink := newVsfSink(boolOnly, &stop)
+	sink := newVsfSink(boolOnly, &stop, fan)
 	workers := engine.Workers(1 << 16)
 	if workers == 1 {
 		// sequential path: stream combos, stop as soon as the sink raises
@@ -161,7 +179,7 @@ func evalVsfStream(q *Query, db *graph.DB, boolOnly bool) (*pattern.TupleSet, er
 			res, err := evalCombo(combo)
 			sink.record(i, res, err)
 			i++
-			if stop.Load() {
+			if stop.Load() || fan.Canceled() {
 				return errStop
 			}
 			return nil
@@ -183,7 +201,7 @@ func evalVsfStream(q *Query, db *graph.DB, boolOnly bool) (*pattern.TupleSet, er
 	go func() {
 		i := 0
 		err := branchCombos(c, func(combo CXRE) error {
-			if stop.Load() {
+			if stop.Load() || fan.Canceled() {
 				return errStop
 			}
 			jobs <- job{i, combo}

@@ -369,19 +369,30 @@ func (s *Session) Stats() SessionStats {
 
 // Eval evaluates the query with the strongest complete algorithm for its
 // fragment (the Session counterpart of the package-level Eval).
-func (s *Session) Eval() (*pattern.TupleSet, error) {
+func (s *Session) Eval() (*pattern.TupleSet, error) { return s.evalBudget(nil) }
+
+// evalBudget is Eval under an optional budget. On truncation the sound
+// partial set is returned together with engine.ErrCanceled and is NOT
+// installed in the result cache.
+func (s *Session) evalBudget(bud *engine.Budget) (*pattern.TupleSet, error) {
 	switch s.plan.kind {
 	case kindClassical, kindSimple:
-		return s.evalSimple()
+		return s.evalSimple(bud)
 	case kindVsf:
-		return s.EvalVsf()
+		return s.evalVsfSession(false, bud)
 	default:
 		return nil, fmt.Errorf("cxrpq: %s is not vstar-free; use EvalBounded (CXRPQ^≤k), EvalLog (CXRPQ^log) or EvalAny", s.plan.fragment)
 	}
 }
 
 // EvalBool decides D |= q, short-circuiting where the fragment allows.
-func (s *Session) EvalBool() (bool, error) {
+func (s *Session) EvalBool() (bool, error) { return s.evalBoolBudget(nil) }
+
+// evalBoolBudget is EvalBool under an optional budget. The simple path runs
+// the lazy (chunked-sweep) streaming search, so the first witness returns
+// without materializing full relations — the first-result fast path. A
+// canceled budget with no witness yields (false, engine.ErrCanceled).
+func (s *Session) evalBoolBudget(bud *engine.Budget) (bool, error) {
 	switch s.plan.kind {
 	case kindClassical, kindSimple:
 		_, rc, _ := s.current()
@@ -392,20 +403,26 @@ func (s *Session) EvalBool() (bool, error) {
 		if err != nil {
 			return false, err
 		}
-		ok, err := ecrpq.EvalBool(eq, s.db)
+		ok, err := ecrpq.EvalBoolBudget(eq, s.db, bud)
 		if err != nil {
 			return false, err
 		}
-		rc.put("bool", ok)
+		if bud.Err() == nil {
+			rc.put("bool", ok)
+		}
 		return ok, nil
 	case kindVsf:
-		return s.EvalVsfBool()
+		res, err := s.evalVsfSession(true, bud)
+		if err != nil {
+			return false, err
+		}
+		return res.Len() > 0, nil
 	default:
 		return false, fmt.Errorf("cxrpq: %s is not vstar-free; use EvalBoundedBool or EvalLogBool", s.plan.fragment)
 	}
 }
 
-func (s *Session) evalSimple() (*pattern.TupleSet, error) {
+func (s *Session) evalSimple(bud *engine.Budget) (*pattern.TupleSet, error) {
 	_, rc, _ := s.current()
 	if v, ok := rc.get("eval"); ok {
 		return v.(*pattern.TupleSet), nil
@@ -414,9 +431,9 @@ func (s *Session) evalSimple() (*pattern.TupleSet, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := ecrpq.Eval(eq, s.db)
+	res, err := ecrpq.EvalBudget(eq, s.db, bud)
 	if err != nil {
-		return nil, err
+		return res, err // truncated: sound partial set, never cached
 	}
 	rc.put("eval", res)
 	return res, nil
@@ -425,19 +442,19 @@ func (s *Session) evalSimple() (*pattern.TupleSet, error) {
 // EvalVsf evaluates a vstar-free query by the Theorem 2 algorithm over the
 // plan's materialized branch combinations (falling back to streaming them
 // when the combination count exceeds the plan cap).
-func (s *Session) EvalVsf() (*pattern.TupleSet, error) { return s.evalVsfSession(false) }
+func (s *Session) EvalVsf() (*pattern.TupleSet, error) { return s.evalVsfSession(false, nil) }
 
 // EvalVsfBool decides D |= q for vstar-free q, short-circuiting on the
 // first matching branch combination.
 func (s *Session) EvalVsfBool() (bool, error) {
-	res, err := s.evalVsfSession(true)
+	res, err := s.evalVsfSession(true, nil)
 	if err != nil {
 		return false, err
 	}
 	return res.Len() > 0, nil
 }
 
-func (s *Session) evalVsfSession(boolOnly bool) (*pattern.TupleSet, error) {
+func (s *Session) evalVsfSession(boolOnly bool, bud *engine.Budget) (*pattern.TupleSet, error) {
 	_, rc, _ := s.current()
 	key := "vsf"
 	if boolOnly {
@@ -452,31 +469,36 @@ func (s *Session) evalVsfSession(boolOnly bool) (*pattern.TupleSet, error) {
 	}
 	var res *pattern.TupleSet
 	if overflow {
-		res, err = evalVsfStream(s.plan.q, s.db, boolOnly)
+		res, err = evalVsfStream(s.plan.q, s.db, boolOnly, bud)
 	} else {
-		res, err = evalVsfCombos(combos, s.db, boolOnly)
+		res, err = evalVsfCombos(combos, s.db, boolOnly, bud)
 	}
 	if err != nil {
-		return nil, err
+		return res, err // truncated partial (or failure); never cached
 	}
-	rc.put(key, res)
+	if bud.Err() == nil {
+		rc.put(key, res)
+	}
 	return res, nil
 }
 
 // evalVsfCombos evaluates materialized branch combinations concurrently
 // across the engine worker pool, aggregating through the same vsfSink as
 // the streaming path (evalVsfStream), so the two share one Boolean
-// contract.
-func evalVsfCombos(combos []vsfCombo, db *graph.DB, boolOnly bool) (*pattern.TupleSet, error) {
+// contract. The combinations share a fork of the caller's budget: the first
+// Boolean witness stops it, so in-flight sibling evaluations unwind at BFS
+// level granularity instead of running to completion.
+func evalVsfCombos(combos []vsfCombo, db *graph.DB, boolOnly bool, bud *engine.Budget) (*pattern.TupleSet, error) {
 	if len(combos) == 0 {
 		return pattern.NewTupleSet(), nil
 	}
 	db.Index() // prebuild once before fanning out
 
+	fan := bud.Fork()
 	var stop atomic.Bool
-	sink := newVsfSink(boolOnly, &stop)
+	sink := newVsfSink(boolOnly, &stop, fan)
 	engine.Fan(len(combos), func(i int) {
-		if stop.Load() {
+		if stop.Load() || fan.Canceled() {
 			return
 		}
 		cb := combos[i]
@@ -484,7 +506,7 @@ func evalVsfCombos(combos []vsfCombo, db *graph.DB, boolOnly bool) (*pattern.Tup
 		err := cb.err
 		if err == nil {
 			if boolOnly {
-				ok, berr := ecrpq.EvalBool(cb.eq, db)
+				ok, berr := ecrpq.EvalBoolBudget(cb.eq, db, fan)
 				if berr != nil {
 					err = berr
 				} else if ok {
@@ -492,7 +514,7 @@ func evalVsfCombos(combos []vsfCombo, db *graph.DB, boolOnly bool) (*pattern.Tup
 					res.Add(pattern.Tuple{})
 				}
 			} else {
-				res, err = ecrpq.Eval(cb.eq, db)
+				res, err = ecrpq.EvalBudget(cb.eq, db, fan)
 			}
 		}
 		sink.record(i, res, err)
@@ -526,6 +548,15 @@ func (s *Session) EvalLogBool() (bool, error) {
 }
 
 func (s *Session) evalBoundedSession(k int, boolOnly bool) (*pattern.TupleSet, error) {
+	return s.evalBoundedBudget(k, boolOnly, nil)
+}
+
+// evalBoundedBudget is the bounded evaluation under an optional budget. A
+// truncated run returns the sound partial set with engine.ErrCanceled —
+// except in Boolean mode with a witness already found, where the answer is
+// definitive regardless of what the budget cut. Truncated results are never
+// cached.
+func (s *Session) evalBoundedBudget(k int, boolOnly bool, bud *engine.Budget) (*pattern.TupleSet, error) {
 	sc, rc, sigma := s.current()
 	key := fmt.Sprintf("bnd\x1f%d\x1f%v", k, boolOnly)
 	if v, ok := rc.get(key); ok {
@@ -539,9 +570,16 @@ func (s *Session) evalBoundedSession(k int, boolOnly bool) (*pattern.TupleSet, e
 	if err != nil {
 		return nil, err
 	}
+	e.setBudget(bud)
 	res, err := e.run()
 	if err != nil {
 		return nil, err
+	}
+	if berr := bud.Err(); berr != nil {
+		if boolOnly && res.Len() > 0 {
+			return res, nil
+		}
+		return res, berr
 	}
 	rc.put(key, res)
 	return res, nil
@@ -549,7 +587,12 @@ func (s *Session) evalBoundedSession(k int, boolOnly bool) (*pattern.TupleSet, e
 
 // Check decides t̄ ∈ q(D) with the fragment dispatch of the package-level
 // Check.
-func (s *Session) Check(t pattern.Tuple) (bool, error) {
+func (s *Session) Check(t pattern.Tuple) (bool, error) { return s.checkBudget(t, nil) }
+
+// checkBudget is Check under an optional budget; the pre-bound search runs
+// lazily so the first witness short-circuits (ecrpq.CheckBudget). A canceled
+// budget with no witness yields (false, engine.ErrCanceled).
+func (s *Session) checkBudget(t pattern.Tuple, bud *engine.Budget) (bool, error) {
 	switch s.plan.kind {
 	case kindClassical, kindSimple:
 		_, rc, _ := s.current()
@@ -561,20 +604,22 @@ func (s *Session) Check(t pattern.Tuple) (bool, error) {
 		if err != nil {
 			return false, err
 		}
-		ok, err := ecrpq.Check(eq, s.db, t)
+		ok, err := ecrpq.CheckBudget(eq, s.db, t, bud)
 		if err != nil {
 			return false, err
 		}
-		rc.put(key, ok)
+		if bud.Err() == nil {
+			rc.put(key, ok)
+		}
 		return ok, nil
 	case kindVsf:
-		return s.checkVsf(t)
+		return s.checkVsf(t, bud)
 	default:
 		return false, fmt.Errorf("cxrpq: %s is not vstar-free; use CheckBounded", s.plan.fragment)
 	}
 }
 
-func (s *Session) checkVsf(t pattern.Tuple) (bool, error) {
+func (s *Session) checkVsf(t pattern.Tuple, bud *engine.Budget) (bool, error) {
 	_, rc, _ := s.current()
 	key := "chkv\x1f" + t.Key()
 	if v, ok := rc.get(key); ok {
@@ -592,7 +637,7 @@ func (s *Session) checkVsf(t pattern.Tuple) (bool, error) {
 		if cb.err != nil {
 			return false, cb.err
 		}
-		ok, err := ecrpq.Check(cb.eq, s.db, t)
+		ok, err := ecrpq.CheckBudget(cb.eq, s.db, t, bud)
 		if err != nil {
 			return false, err
 		}
@@ -601,7 +646,9 @@ func (s *Session) checkVsf(t pattern.Tuple) (bool, error) {
 			break
 		}
 	}
-	rc.put(key, found)
+	if bud.Err() == nil {
+		rc.put(key, found)
+	}
 	return found, nil
 }
 
@@ -609,6 +656,14 @@ func (s *Session) checkVsf(t pattern.Tuple) (bool, error) {
 // session caches: the output variables are pre-bound, so each leaf join
 // only searches for one extension of the tuple.
 func (s *Session) CheckBounded(k int, t pattern.Tuple) (bool, error) {
+	return s.checkBoundedBudget(k, t, nil)
+}
+
+// checkBoundedBudget is CheckBounded under an optional budget: a found
+// witness is definitive (the sibling-cancel stop may fire afterwards, that
+// is expected); a canceled budget with no witness is unknown and yields
+// (false, engine.ErrCanceled) without caching.
+func (s *Session) checkBoundedBudget(k int, t pattern.Tuple, bud *engine.Budget) (bool, error) {
 	if len(t) != len(s.plan.q.Pattern.Out) {
 		return false, fmt.Errorf("cxrpq: tuple arity %d, query arity %d", len(t), len(s.plan.q.Pattern.Out))
 	}
@@ -636,12 +691,20 @@ func (s *Session) CheckBounded(k int, t pattern.Tuple) (bool, error) {
 	if err != nil {
 		return false, err
 	}
+	e.setBudget(bud)
 	res, err := e.run()
 	if err != nil {
 		return false, err
 	}
 	ok := res.Len() > 0
-	rc.put(key, ok)
+	if !ok {
+		if berr := bud.Err(); berr != nil {
+			return false, berr
+		}
+	}
+	if bud.Err() == nil {
+		rc.put(key, ok)
+	}
 	return ok, nil
 }
 
@@ -734,6 +797,14 @@ type Request struct {
 	Semantics string        // "" or "auto": fragment dispatch; "bounded": ≤K semantics; "log": log semantics
 	K         int           // image bound for Semantics == "bounded" (k = 0 is legal: ε-only images)
 	Tuple     pattern.Tuple // check/explain argument (nil explains any match)
+
+	// Budget optionally bounds the evaluation (deadline, row cap, context
+	// cancellation — see engine.Budget); nil is unlimited. A truncated eval
+	// returns the sound partial tuples found so far with
+	// Err == engine.ErrCanceled (check errors.Is); a truncated bool/check
+	// with no witness reports the same error (the answer is unknown).
+	// Explain ignores the budget.
+	Budget *engine.Budget
 }
 
 // Response is the result of one batch Request. Exactly the fields relevant
@@ -763,27 +834,28 @@ func (s *Session) Do(req Request) Response {
 		var res *pattern.TupleSet
 		var err error
 		if bounded {
-			res, err = s.EvalBounded(k)
+			res, err = s.evalBoundedBudget(k, false, req.Budget)
 		} else {
-			res, err = s.Eval()
+			res, err = s.evalBudget(req.Budget)
 		}
 		return Response{Tuples: res, OK: res != nil && res.Len() > 0, Err: err}
 	case "bool":
 		var ok bool
 		var err error
 		if bounded {
-			ok, err = s.EvalBoundedBool(k)
+			res, berr := s.evalBoundedBudget(k, true, req.Budget)
+			ok, err = res != nil && res.Len() > 0, berr
 		} else {
-			ok, err = s.EvalBool()
+			ok, err = s.evalBoolBudget(req.Budget)
 		}
 		return Response{OK: ok, Err: err}
 	case "check":
 		var ok bool
 		var err error
 		if bounded {
-			ok, err = s.CheckBounded(k, req.Tuple)
+			ok, err = s.checkBoundedBudget(k, req.Tuple, req.Budget)
 		} else {
-			ok, err = s.Check(req.Tuple)
+			ok, err = s.checkBudget(req.Tuple, req.Budget)
 		}
 		return Response{OK: ok, Err: err}
 	case "explain":

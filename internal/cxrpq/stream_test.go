@@ -1,0 +1,356 @@
+package cxrpq_test
+
+// Tests for the pull-based streaming layer (Session.Stream): a drained
+// cursor must agree exactly with the materialized evaluation of the same
+// semantics (differential property over the random query/graph generators,
+// for every fragment dispatch and for the ≤k engine), ranked streams must
+// yield nondecreasing witness costs with top-k a prefix of the full ranked
+// order, limits and page sizes must not change the answer set, canceled
+// budgets must neither hang nor yield unsound rows, and abandoned cursors
+// interleaved with ApplyDelta writers must be race-free (the page protocol's
+// parked-producer guarantee; run with -race).
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"cxrpq/internal/cxrpq"
+	"cxrpq/internal/engine"
+	"cxrpq/internal/graph"
+	"cxrpq/internal/pattern"
+	"cxrpq/internal/workload"
+)
+
+// drainCursor pulls the whole stream with the given page size (short page =
+// exhausted), failing on evaluation errors.
+func drainCursor(t *testing.T, cur *cxrpq.Cursor, page int) []cxrpq.Row {
+	t.Helper()
+	var rows []cxrpq.Row
+	for {
+		p := cur.Fetch(page)
+		rows = append(rows, p...)
+		if len(p) < page {
+			break
+		}
+	}
+	if err := cur.Err(); err != nil {
+		t.Fatalf("cursor error: %v", err)
+	}
+	return rows
+}
+
+func rowSet(rows []cxrpq.Row) *pattern.TupleSet {
+	s := pattern.NewTupleSet()
+	for _, r := range rows {
+		s.Add(r.Tuple)
+	}
+	return s
+}
+
+// Property: a drained unranked stream equals the materialized evaluation of
+// the same semantics — across fragments (auto dispatch where Eval is
+// defined, bounded everywhere), page sizes, and cache states (stream before
+// and after the materialized call).
+func TestStreamMatchesEval(t *testing.T) {
+	pages := []int{1, 3, 7, 1024}
+	for seed := int64(0); seed < 60; seed++ {
+		r := workload.NewRNG(seed)
+		q := workload.RandomQuery(r, r.Intn(4) != 0)
+		nodes := 3 + r.Intn(3)
+		db := workload.Random(seed^0x51e4, nodes, nodes+r.Intn(nodes+3), "ab")
+		sess := cxrpq.MustPrepare(q).Bind(db)
+		page := pages[int(seed)%len(pages)]
+		streamFirst := seed%2 == 0
+
+		checkAgainst := func(opts cxrpq.StreamOptions, want *pattern.TupleSet, name string) {
+			cur, err := sess.Stream(opts)
+			if err != nil {
+				t.Fatalf("seed %d: Stream(%s): %v\nquery:\n%s", seed, name, err, q.Pattern)
+			}
+			rows := drainCursor(t, cur, page)
+			if cur.Truncated() {
+				t.Fatalf("seed %d: %s stream truncated without a budget", seed, name)
+			}
+			if got := rowSet(rows); !got.Equal(want) {
+				t.Fatalf("seed %d: %s stream %d tuples, eval %d tuples\nquery:\n%s",
+					seed, name, got.Len(), want.Len(), q.Pattern)
+			}
+			if int64(len(rows)) != cur.RowsStreamed() {
+				t.Fatalf("seed %d: RowsStreamed=%d, drained %d", seed, cur.RowsStreamed(), len(rows))
+			}
+		}
+
+		// Bounded semantics: defined for every query.
+		boundedOpts := cxrpq.StreamOptions{Semantics: "bounded", K: 1}
+		if streamFirst {
+			want := mustEvalBounded(t, sess, 1, seed)
+			checkAgainst(boundedOpts, want, "bounded")
+		} else {
+			want := mustEvalBounded(t, sess, 1, seed)
+			checkAgainst(boundedOpts, want, "bounded(cached)")
+		}
+
+		// Auto dispatch: only where Eval is defined for the fragment.
+		if want, err := sess.Eval(); err == nil {
+			checkAgainst(cxrpq.StreamOptions{}, want, "auto")
+		}
+	}
+}
+
+func mustEvalBounded(t *testing.T, sess *cxrpq.Session, k int, seed int64) *pattern.TupleSet {
+	t.Helper()
+	res, err := sess.EvalBounded(k)
+	if err != nil {
+		t.Fatalf("seed %d: EvalBounded: %v", seed, err)
+	}
+	return res
+}
+
+// Property: ranked streams yield the same tuple set as the unranked
+// evaluation, with nondecreasing witness costs; Limit selects a prefix of
+// the full ranked order (top-k); and using Next instead of Fetch sees the
+// same sequence.
+func TestStreamRanked(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		r := workload.NewRNG(seed ^ 0x9a9a)
+		q := workload.RandomQuery(r, true)
+		db := workload.Random(seed^0x3c3c, 4, 8, "ab")
+		sess := cxrpq.MustPrepare(q).Bind(db)
+
+		want := mustEvalBounded(t, sess, 1, seed)
+		cur, err := sess.Stream(cxrpq.StreamOptions{Semantics: "bounded", K: 1, Ranked: true})
+		if err != nil {
+			t.Fatalf("seed %d: Stream ranked: %v", seed, err)
+		}
+		rows := drainCursor(t, cur, 5)
+		if got := rowSet(rows); !got.Equal(want) {
+			t.Fatalf("seed %d: ranked stream %d tuples, eval %d\nquery:\n%s",
+				seed, got.Len(), want.Len(), q.Pattern)
+		}
+		for i := 1; i < len(rows); i++ {
+			if rows[i].Cost < rows[i-1].Cost {
+				t.Fatalf("seed %d: ranked costs decrease at %d: %d after %d",
+					seed, i, rows[i].Cost, rows[i-1].Cost)
+			}
+		}
+		if len(rows) > 1 {
+			k := 1 + int(seed)%len(rows)
+			topk, err := sess.Stream(cxrpq.StreamOptions{Semantics: "bounded", K: 1, Ranked: true, Limit: k})
+			if err != nil {
+				t.Fatalf("seed %d: Stream top-k: %v", seed, err)
+			}
+			var got []cxrpq.Row
+			for {
+				row, ok := topk.Next()
+				if !ok {
+					break
+				}
+				got = append(got, row)
+			}
+			if len(got) != k {
+				t.Fatalf("seed %d: top-%d yielded %d rows", seed, k, len(got))
+			}
+			for i, row := range got {
+				if row.Cost != rows[i].Cost || row.Tuple.Key() != rows[i].Tuple.Key() {
+					t.Fatalf("seed %d: top-%d row %d = (%v,%d), full order has (%v,%d)",
+						seed, k, i, row.Tuple, row.Cost, rows[i].Tuple, rows[i].Cost)
+				}
+			}
+		}
+	}
+}
+
+// Unranked Limit caps the row count without changing soundness, and the
+// rows are a subset of the full result.
+func TestStreamLimit(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		r := workload.NewRNG(seed ^ 0x77)
+		q := workload.RandomQuery(r, true)
+		db := workload.Random(seed^0x88, 4, 9, "ab")
+		sess := cxrpq.MustPrepare(q).Bind(db)
+		full := mustEvalBounded(t, sess, 1, seed)
+		if full.Len() < 2 {
+			continue
+		}
+		limit := 1 + int(seed)%full.Len()
+		cur, err := sess.Stream(cxrpq.StreamOptions{Semantics: "bounded", K: 1, Limit: limit})
+		if err != nil {
+			t.Fatalf("seed %d: Stream: %v", seed, err)
+		}
+		rows := drainCursor(t, cur, 2)
+		if len(rows) != limit {
+			t.Fatalf("seed %d: limit %d yielded %d rows", seed, limit, len(rows))
+		}
+		if cur.Truncated() {
+			t.Fatalf("seed %d: limit stop must not report truncation", seed)
+		}
+		for _, row := range rows {
+			if !full.Contains(row.Tuple) {
+				t.Fatalf("seed %d: limited stream emitted %v outside the result", seed, row.Tuple)
+			}
+		}
+	}
+}
+
+// A canceled context (and an expired deadline) truncates the stream
+// promptly: no hang, Truncated reported, every emitted row sound.
+func TestStreamCancellation(t *testing.T) {
+	q := workload.RandomQuery(workload.NewRNG(3), true)
+	db := workload.Random(0xbeef, 5, 12, "ab")
+	sess := cxrpq.MustPrepare(q).Bind(db)
+	full := mustEvalBounded(t, sess, 1, 3)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // canceled before the first fetch
+	cur, err := sess.Stream(cxrpq.StreamOptions{Semantics: "bounded", K: 1, Ctx: ctx})
+	if err != nil {
+		t.Fatalf("Stream: %v", err)
+	}
+	done := make(chan []cxrpq.Row, 1)
+	go func() { done <- drainCursor(t, cur, 8) }()
+	var rows []cxrpq.Row
+	select {
+	case rows = <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("canceled stream did not finish")
+	}
+	if !cur.Truncated() {
+		t.Fatal("canceled stream must report Truncated")
+	}
+	for _, row := range rows {
+		if !full.Contains(row.Tuple) {
+			t.Fatalf("canceled stream emitted unsound row %v", row.Tuple)
+		}
+	}
+
+	past, err := sess.Stream(cxrpq.StreamOptions{Semantics: "bounded", K: 1,
+		Deadline: time.Now().Add(-time.Second)})
+	if err != nil {
+		t.Fatalf("Stream: %v", err)
+	}
+	_ = drainCursor(t, past, 8)
+	if !past.Truncated() {
+		t.Fatal("expired deadline must report Truncated")
+	}
+
+	// Closing a part-read cursor joins the producer and is idempotent.
+	cur2, err := sess.Stream(cxrpq.StreamOptions{Semantics: "bounded", K: 1})
+	if err != nil {
+		t.Fatalf("Stream: %v", err)
+	}
+	cur2.Fetch(1)
+	cur2.Close()
+	cur2.Close()
+	if got := cur2.Fetch(5); got != nil {
+		t.Fatalf("Fetch after Close returned %v", got)
+	}
+}
+
+// Race stress (run under -race): cursors opened, part-read and abandoned by
+// several goroutines, interleaved with ApplyDelta writers. The session's
+// quiescent-mutation contract is per call here: the mutex serializes every
+// session call and fetch against the writer, and the page protocol
+// guarantees the producers are parked in between — so the only concurrency
+// left is the cursor handshake itself, which must be clean.
+func TestStreamAbandonWithWriters(t *testing.T) {
+	q := workload.RandomQuery(workload.NewRNG(7), true)
+	db := workload.Random(0x5157, 5, 10, "ab")
+	sess := cxrpq.MustPrepare(q).Bind(db)
+
+	var mu sync.Mutex // serializes session calls/fetches against mutations
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 6; i++ {
+				mu.Lock()
+				cur, err := sess.Stream(cxrpq.StreamOptions{Semantics: "bounded", K: 1, Ranked: i%2 == 1})
+				mu.Unlock()
+				if err != nil {
+					t.Errorf("worker %d: Stream: %v", w, err)
+					return
+				}
+				for j := 0; j <= (w+i)%3; j++ {
+					mu.Lock()
+					cur.Fetch(1 + j)
+					mu.Unlock()
+				}
+				mu.Lock()
+				cur.Close() // abandon mid-stream; joins the producer
+				mu.Unlock()
+				if err := cur.Err(); err != nil {
+					t.Errorf("worker %d: abandoned cursor error: %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 8; i++ {
+			mu.Lock()
+			_, err := sess.ApplyDelta(graph.Delta{Add: []graph.DeltaEdge{
+				{From: fmt.Sprintf("w%d", i), Label: 'a', To: fmt.Sprintf("w%d", i+1)},
+				{From: fmt.Sprintf("w%d", i+1), Label: 'b', To: "w0"},
+			}})
+			mu.Unlock()
+			if err != nil {
+				t.Errorf("writer: ApplyDelta: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+
+	// After the dust settles the stream and the materialized evaluation
+	// still agree on the final database.
+	want := mustEvalBounded(t, sess, 1, 7)
+	cur, err := sess.Stream(cxrpq.StreamOptions{Semantics: "bounded", K: 1})
+	if err != nil {
+		t.Fatalf("final Stream: %v", err)
+	}
+	if got := rowSet(drainCursor(t, cur, 64)); !got.Equal(want) {
+		t.Fatalf("post-mutation stream %d tuples, eval %d", got.Len(), want.Len())
+	}
+}
+
+// Request.Budget threads through Session.Do: a generous budget changes
+// nothing; an exhausted one yields ErrCanceled (or a sound partial set)
+// without poisoning the result cache for later unbudgeted calls.
+func TestDoWithBudget(t *testing.T) {
+	q := workload.RandomQuery(workload.NewRNG(11), true)
+	db := workload.Random(0x1122, 4, 8, "ab")
+	sess := cxrpq.MustPrepare(q).Bind(db)
+	want := mustEvalBounded(t, sess, 1, 11)
+	sess.Invalidate()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	resp := sess.Do(cxrpq.Request{Op: "eval", Semantics: "bounded", K: 1,
+		Budget: engine.NewBudget(ctx, time.Time{}, 0)})
+	if resp.Err == nil && resp.Tuples != nil && !resp.Tuples.Equal(want) {
+		t.Fatalf("truncated eval returned a full-looking but wrong set")
+	}
+	if resp.Tuples != nil {
+		for _, tup := range resp.Tuples.Sorted() {
+			if !want.Contains(tup) {
+				t.Fatalf("truncated eval emitted unsound tuple %v", tup)
+			}
+		}
+	}
+
+	// The truncated call must not have cached a partial set.
+	resp = sess.Do(cxrpq.Request{Op: "eval", Semantics: "bounded", K: 1})
+	if resp.Err != nil {
+		t.Fatalf("unbudgeted eval after truncation: %v", resp.Err)
+	}
+	if !resp.Tuples.Equal(want) {
+		t.Fatalf("result cache poisoned by truncated call: %d tuples, want %d",
+			resp.Tuples.Len(), want.Len())
+	}
+}

@@ -21,6 +21,7 @@ import (
 // readers.
 type EdgeRel struct {
 	fwd  [][]int
+	lev  [][]int32 // parallel to fwd: BFS first-hit level per target (nil unless built with levels)
 	size int
 
 	revOnce sync.Once
@@ -37,8 +38,20 @@ type EdgeRel struct {
 // The ∅ expression short-circuits to the empty relation without touching
 // the automata layer.
 func RelationFor(db *graph.DB, label xregex.Node, sigma []rune) (*EdgeRel, error) {
+	return RelationForEx(db, label, sigma, nil, false)
+}
+
+// RelationForEx is RelationFor with streaming extensions: an optional
+// budget polled at BFS-level granularity, and first-hit level capture for
+// ranked enumeration (EdgeRel.Dist). A budget-truncated sweep returns
+// (nil, engine.ErrCanceled) rather than a partial relation — relations are
+// cross-query building blocks and an incomplete one must never be shared.
+func RelationForEx(db *graph.DB, label xregex.Node, sigma []rune, bud *engine.Budget, levels bool) (*EdgeRel, error) {
 	n := db.NumNodes()
 	r := &EdgeRel{fwd: make([][]int, n)}
+	if levels {
+		r.lev = make([][]int32, n)
+	}
 	if _, empty := label.(*xregex.Empty); empty {
 		return r, nil
 	}
@@ -51,12 +64,38 @@ func RelationFor(db *graph.DB, label xregex.Node, sigma []rune) (*EdgeRel, error
 	for i := range srcs {
 		srcs[i] = i
 	}
-	res := engine.ReachBatch(ix, db.Partition(engine.Shards()), ent.cache, srcs, true)
-	for u, vs := range res {
+	res := engine.ReachBatchEx(ix, db.Partition(engine.Shards()), ent.cache, srcs, true,
+		engine.BatchOpts{Budget: bud, Levels: levels})
+	if res.Truncated {
+		return nil, engine.ErrCanceled
+	}
+	for u, vs := range res.Hits {
 		r.fwd[u] = vs
 		r.size += len(vs)
 	}
+	if levels {
+		copy(r.lev, res.Levs)
+	}
 	return r, nil
+}
+
+// HasLevels reports whether the relation carries BFS first-hit levels
+// (built by RelationForEx with levels, required for ranked joins).
+func (r *EdgeRel) HasLevels() bool { return r.lev != nil }
+
+// Dist returns the BFS level of (u, v) — the number of graph edges on a
+// shortest path u→v matching the relation's label — or 0 when the relation
+// was built without levels or the pair is absent.
+func (r *EdgeRel) Dist(u, v int) int32 {
+	if r.lev == nil || u < 0 || u >= len(r.fwd) {
+		return 0
+	}
+	ws := r.fwd[u]
+	i := sort.SearchInts(ws, v)
+	if i < len(ws) && ws[i] == v {
+		return r.lev[u][i]
+	}
+	return 0
 }
 
 // Empty reports whether the relation holds for no pair at all.
@@ -193,13 +232,29 @@ const semijoinCostFloor = 256
 // rest. pre pre-binds node variables (Check-style); with boolOnly the join
 // stops at the first complete assignment.
 func JoinRelations(g *pattern.Graph, rels []*EdgeRel, spec *planner.PlanSpec, pre map[string]int, boolOnly bool) *pattern.TupleSet {
+	out := pattern.NewTupleSet()
+	JoinRelationsStream(g, rels, spec, pre, nil, func(t pattern.Tuple, _ int) bool {
+		out.Add(t)
+		return !boolOnly
+	})
+	return out
+}
+
+// JoinRelationsStream is the streaming form of JoinRelations: each
+// satisfying assignment's output projection is yielded as the backtracking
+// completes it (with the summed EdgeRel.Dist witness cost when the
+// relations carry levels, 0 otherwise), and a false return from yield — or
+// a canceled budget, polled per recursion step — unwinds the join. Tuples
+// are NOT deduplicated here: a projection can complete under several
+// assignments, and the caller (the bounded engine merges many leaf joins
+// anyway) owns dedup and min-cost selection.
+func JoinRelationsStream(g *pattern.Graph, rels []*EdgeRel, spec *planner.PlanSpec, pre map[string]int, bud *engine.Budget, yield func(t pattern.Tuple, cost int) bool) {
 	var order []int
 	if spec != nil {
 		order = spec.Order
 	} else {
 		order = JoinOrder(g, pre)
 	}
-	out := pattern.NewTupleSet()
 	var dom *planner.Domains
 	if spec != nil && spec.CostBased && spec.Cost >= semijoinCostFloor && len(rels) > 0 && rels[0] != nil {
 		refs := make([]planner.EdgeRef, len(g.Edges))
@@ -212,7 +267,7 @@ func JoinRelations(g *pattern.Graph, rels []*EdgeRel, spec *planner.PlanSpec, pr
 		}
 		d, ok := planner.Reduce(refs, prels, rels[0].NumNodes(), pre)
 		if !ok {
-			return out // a variable lost every candidate: the join is empty
+			return // a variable lost every candidate: the join is empty
 		}
 		dom = d
 	}
@@ -221,8 +276,8 @@ func JoinRelations(g *pattern.Graph, rels []*EdgeRel, spec *planner.PlanSpec, pr
 		assign[z] = v
 	}
 	stop := false
-	var rec func(ci int)
-	rec = func(ci int) {
+	var rec func(ci, cost int)
+	rec = func(ci, cost int) {
 		if stop {
 			return
 		}
@@ -235,10 +290,13 @@ func JoinRelations(g *pattern.Graph, rels []*EdgeRel, spec *planner.PlanSpec, pr
 				}
 				t[i] = v
 			}
-			out.Add(t)
-			if boolOnly {
+			if !yield(t, cost) {
 				stop = true
 			}
+			return
+		}
+		if bud.Canceled() {
+			stop = true
 			return
 		}
 		ei := order[ci]
@@ -249,7 +307,7 @@ func JoinRelations(g *pattern.Graph, rels []*EdgeRel, spec *planner.PlanSpec, pr
 		switch {
 		case uok && vok:
 			if r.Has(u, v) {
-				rec(ci + 1)
+				rec(ci+1, cost+int(r.Dist(u, v)))
 			}
 		case uok:
 			for _, w := range r.Forward(u) {
@@ -257,7 +315,7 @@ func JoinRelations(g *pattern.Graph, rels []*EdgeRel, spec *planner.PlanSpec, pr
 					continue
 				}
 				assign[e.To] = w
-				rec(ci + 1)
+				rec(ci+1, cost+int(r.Dist(u, w)))
 				if stop {
 					break
 				}
@@ -269,7 +327,7 @@ func JoinRelations(g *pattern.Graph, rels []*EdgeRel, spec *planner.PlanSpec, pr
 					continue
 				}
 				assign[e.From] = w
-				rec(ci + 1)
+				rec(ci+1, cost+int(r.Dist(w, v)))
 				if stop {
 					break
 				}
@@ -286,7 +344,7 @@ func JoinRelations(g *pattern.Graph, rels []*EdgeRel, spec *planner.PlanSpec, pr
 				if e.From == e.To {
 					if r.Has(u, u) {
 						assign[e.From] = u
-						rec(ci + 1)
+						rec(ci+1, cost+int(r.Dist(u, u)))
 					}
 					continue
 				}
@@ -300,7 +358,7 @@ func JoinRelations(g *pattern.Graph, rels []*EdgeRel, spec *planner.PlanSpec, pr
 						continue
 					}
 					assign[e.To] = w
-					rec(ci + 1)
+					rec(ci+1, cost+int(r.Dist(u, w)))
 					if stop {
 						break
 					}
@@ -310,6 +368,5 @@ func JoinRelations(g *pattern.Graph, rels []*EdgeRel, spec *planner.PlanSpec, pr
 			delete(assign, e.From)
 		}
 	}
-	rec(0)
-	return out
+	rec(0, 0)
 }

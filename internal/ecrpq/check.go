@@ -3,6 +3,7 @@ package ecrpq
 import (
 	"fmt"
 
+	"cxrpq/internal/engine"
 	"cxrpq/internal/graph"
 	"cxrpq/internal/pattern"
 )
@@ -12,10 +13,21 @@ import (
 // nodes and the join searches for one extension — mirroring how the paper's
 // nondeterministic Bool-Eval algorithms extend to Check (§8).
 func Check(q *Query, db *graph.DB, t pattern.Tuple) (bool, error) {
+	return CheckBudget(q, db, t, nil)
+}
+
+// CheckBudget is Check under an optional evaluation budget: the join and its
+// BFS searches unwind at level granularity once the budget fires, and the
+// pre-bound search runs lazily (chunked multi-source sweeps) so the first
+// witness short-circuits before full relations are materialized. A canceled
+// budget yields (false, engine.ErrCanceled) unless a witness was already
+// found.
+func CheckBudget(q *Query, db *graph.DB, t pattern.Tuple, bud *engine.Budget) (bool, error) {
 	ev, err := newEvaluator(q, db)
 	if err != nil {
 		return false, err
 	}
+	ev.bud, ev.lazy = bud, true
 	if len(t) != len(q.Pattern.Out) {
 		return false, fmt.Errorf("ecrpq: tuple arity %d, query arity %d", len(t), len(q.Pattern.Out))
 	}
@@ -34,32 +46,15 @@ func Check(q *Query, db *graph.DB, t pattern.Tuple) (bool, error) {
 }
 
 // runCheck runs the join with a pre-bound assignment, short-circuiting on
-// the first full match. The constraint order comes from the shared planner
-// path (constraintOrder), with the tuple's variables pre-bound.
+// the first full match (the first row the streaming loop yields).
 func (ev *evaluator) runCheck(pre map[string]int) (bool, error) {
-	order := ev.constraintOrder(pre)
-
-	assign := map[string]int{}
-	for z, v := range pre {
-		assign[z] = v
-	}
 	found := false
-	var rec func(ci int)
-	rec = func(ci int) {
-		if found {
-			return
-		}
-		if ci == len(order) {
-			found = true
-			return
-		}
-		c := order[ci]
-		if c.kind == cEdge {
-			ev.satisfyEdge(c.idx, assign, func() { rec(ci + 1) })
-		} else {
-			ev.satisfyGroup(c.idx, assign, func() { rec(ci + 1) })
-		}
+	err := ev.runStream(pre, func(pattern.Tuple, int) bool {
+		found = true
+		return false
+	})
+	if err == nil && !found {
+		err = ev.bud.Err()
 	}
-	rec(0)
-	return found, nil
+	return found, err
 }

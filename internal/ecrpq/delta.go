@@ -187,7 +187,9 @@ func (c *RelCache) ApplyDelta(db *graph.DB, info *graph.DeltaInfo) (retained, ex
 
 // growRelation widens a relation untouched by the delta to the new node
 // count: old rows are shared, rows of newly interned nodes are empty — or
-// the identity singleton when ε is in the atom's language.
+// the identity singleton when ε is in the atom's language. Levels are
+// carried over unchanged (an untouched atom's paths — and so its shortest
+// paths — cannot change) with level 0 for the identity rows.
 func growRelation(old *EdgeRel, newN int, hasEps bool) *EdgeRel {
 	oldN := old.NumNodes()
 	if newN == oldN {
@@ -195,9 +197,16 @@ func growRelation(old *EdgeRel, newN int, hasEps bool) *EdgeRel {
 	}
 	r := &EdgeRel{fwd: make([][]int, newN), size: old.size}
 	copy(r.fwd, old.fwd)
+	if old.lev != nil {
+		r.lev = make([][]int32, newN)
+		copy(r.lev, old.lev)
+	}
 	if hasEps {
 		for u := oldN; u < newN; u++ {
 			r.fwd[u] = []int{u}
+			if r.lev != nil {
+				r.lev[u] = []int32{0}
+			}
 			r.size++
 		}
 	}
@@ -206,18 +215,30 @@ func growRelation(old *EdgeRel, newN int, hasEps bool) *EdgeRel {
 
 // extendRelation recomputes exactly the frontier sources' rows of a touched
 // relation over the updated graph (one sharded ReachBatch sweep over the
-// frontier instead of a per-source fan) and carries every other row over.
+// frontier instead of a per-source fan) and carries every other row over —
+// including its levels when the entry has them: a non-frontier source
+// cannot reach any added edge, so neither its pair set nor its shortest
+// path lengths changed.
 func extendRelation(db *graph.DB, e *relEntry, frontier *deltaFrontier, newN int) (*EdgeRel, error) {
 	ent, err := compiledFor(e.label, e.sigma)
 	if err != nil {
 		return nil, err
 	}
 	ix := db.Index()
-	res := engine.ReachBatch(ix, db.Partition(engine.Shards()), ent.cache, frontier.list, true)
+	withLev := e.rel.lev != nil
+	res := engine.ReachBatchEx(ix, db.Partition(engine.Shards()), ent.cache, frontier.list, true,
+		engine.BatchOpts{Levels: withLev})
 	r := &EdgeRel{fwd: make([][]int, newN)}
 	copy(r.fwd, e.rel.fwd)
+	if withLev {
+		r.lev = make([][]int32, newN)
+		copy(r.lev, e.rel.lev)
+	}
 	for i, u := range frontier.list {
-		r.fwd[u] = res[i]
+		r.fwd[u] = res.Hits[i]
+		if withLev {
+			r.lev[u] = res.Levs[i]
+		}
 	}
 	for _, vs := range r.fwd {
 		r.size += len(vs)

@@ -92,9 +92,30 @@ type evaluator struct {
 	fwd   []map[int][]int  // per edge: memoized u -> targets
 	rev   []map[int][]int  // per edge: memoized v -> sources
 	fwdOK []bool           // per edge: fwd memo covers every node
-	gmemo []map[string][][]int
+	gmemo []map[string]groupExp
 
 	inGroup []bool
+
+	// Streaming/any-k state (see stream.go). bud is polled at level
+	// granularity inside the BFS expansions and per node in the join
+	// recursion; nil means unlimited. ranked turns on BFS-level capture so
+	// every emitted tuple carries a witness length. lazy switches the
+	// both-ends-unbound edge case from one full multi-source sweep to
+	// escalating source chunks, trading a little drain throughput for a
+	// first row that arrives after one chunk instead of after the sweep.
+	bud    *engine.Budget
+	ranked bool
+	lazy   bool
+	fwdLev []map[int][]int32 // per edge: memoized u -> BFS level per target
+	revLev []map[int][]int32 // per edge: memoized v -> BFS level per source
+}
+
+// groupExp is one memoized group expansion: the reachable end tuples and —
+// when the evaluator is ranked — the product-BFS depth (synchronized word
+// length) at which each was first produced.
+type groupExp struct {
+	ends [][]int
+	deps []int32
 }
 
 func newEvaluator(q *Query, db *graph.DB) (*evaluator, error) {
@@ -113,8 +134,10 @@ func newEvaluator(q *Query, db *graph.DB) (*evaluator, error) {
 		fwd:     make([]map[int][]int, len(q.Pattern.Edges)),
 		rev:     make([]map[int][]int, len(q.Pattern.Edges)),
 		fwdOK:   make([]bool, len(q.Pattern.Edges)),
-		gmemo:   make([]map[string][][]int, len(q.Groups)),
+		gmemo:   make([]map[string]groupExp, len(q.Groups)),
 		inGroup: make([]bool, len(q.Pattern.Edges)),
+		fwdLev:  make([]map[int][]int32, len(q.Pattern.Edges)),
+		revLev:  make([]map[int][]int32, len(q.Pattern.Edges)),
 	}
 	for i, e := range q.Pattern.Edges {
 		ent, err := compiledFor(e.Label, sigma)
@@ -125,9 +148,11 @@ func newEvaluator(q *Query, db *graph.DB) (*evaluator, error) {
 		ev.nfas[i] = ent.nfa
 		ev.fwd[i] = map[int][]int{}
 		ev.rev[i] = map[int][]int{}
+		ev.fwdLev[i] = map[int][]int32{}
+		ev.revLev[i] = map[int][]int32{}
 	}
 	for gi, g := range q.Groups {
-		ev.gmemo[gi] = map[string][][]int{}
+		ev.gmemo[gi] = map[string]groupExp{}
 		for _, ei := range g.Edges {
 			ev.inGroup[ei] = true
 		}
@@ -158,11 +183,62 @@ func (ev *evaluator) forwardAll(ei int) {
 			missing = append(missing, u)
 		}
 	}
-	res := engine.ReachBatch(ev.ix, ev.db.Partition(engine.Shards()), ev.ents[ei].cache, missing, true)
+	res := engine.ReachBatchEx(ev.ix, ev.db.Partition(engine.Shards()), ev.ents[ei].cache, missing, true,
+		engine.BatchOpts{Budget: ev.bud})
+	if res.Truncated {
+		return // partial sweep: don't memoize, the join is unwinding anyway
+	}
 	for i, u := range missing {
-		ev.fwd[ei][u] = res[i]
+		ev.fwd[ei][u] = res.Hits[i]
 	}
 	ev.fwdOK[ei] = true
+}
+
+// ensureForward fills the forward memo (and, when ranked, the level memo)
+// for exactly the given sources in one batched sweep. Results computed under
+// a canceled budget are discarded rather than memoized — a truncated hit
+// list is sound for the current unwinding but would poison later lookups.
+func (ev *evaluator) ensureForward(ei int, srcs []int) {
+	var missing []int
+	for _, u := range srcs {
+		if _, ok := ev.fwd[ei][u]; !ok {
+			missing = append(missing, u)
+		} else if ev.ranked {
+			if _, ok := ev.fwdLev[ei][u]; !ok {
+				missing = append(missing, u)
+			}
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	res := engine.ReachBatchEx(ev.ix, ev.db.Partition(engine.Shards()), ev.ents[ei].cache, missing, true,
+		engine.BatchOpts{Budget: ev.bud, Levels: ev.ranked})
+	if res.Truncated {
+		return
+	}
+	for i, u := range missing {
+		ev.fwd[ei][u] = res.Hits[i]
+		if ev.ranked {
+			ev.fwdLev[ei][u] = res.Levs[i]
+		}
+	}
+}
+
+// forwardLev is forward plus the BFS level (shortest matching-path edge
+// count) per target, for ranked enumeration.
+func (ev *evaluator) forwardLev(ei, u int) ([]int, []int32) {
+	if vs, ok := ev.fwd[ei][u]; ok {
+		if ls, ok2 := ev.fwdLev[ei][u]; ok2 {
+			return vs, ls
+		}
+	}
+	vs, ls := engine.ReachLevels(ev.ix, ev.ents[ei].cache, u, true, ev.bud)
+	if !ev.bud.Canceled() {
+		ev.fwd[ei][u] = vs
+		ev.fwdLev[ei][u] = ls
+	}
+	return vs, ls
 }
 
 // backward returns the nodes u with a path u→v matching edge ei's regex.
@@ -171,9 +247,27 @@ func (ev *evaluator) backward(ei, v int) []int {
 		return us
 	}
 	_, rc := ev.ents[ei].reverse()
-	us := engine.Reach(ev.ix, rc, v, false)
-	ev.rev[ei][v] = us
+	us := engine.ReachBitsToList(engine.ReachBitsBudget(ev.ix, rc, v, false, ev.bud))
+	if !ev.bud.Canceled() {
+		ev.rev[ei][v] = us
+	}
 	return us
+}
+
+// backwardLev is backward plus the BFS level per source.
+func (ev *evaluator) backwardLev(ei, v int) ([]int, []int32) {
+	if us, ok := ev.rev[ei][v]; ok {
+		if ls, ok2 := ev.revLev[ei][v]; ok2 {
+			return us, ls
+		}
+	}
+	_, rc := ev.ents[ei].reverse()
+	us, ls := engine.ReachLevels(ev.ix, rc, v, false, ev.bud)
+	if !ev.bud.Canceled() {
+		ev.rev[ei][v] = us
+		ev.revLev[ei][v] = ls
+	}
+	return us, ls
 }
 
 func (ev *evaluator) hasEdgePath(ei, u, v int) bool {
@@ -192,14 +286,16 @@ func intsKey[T interface{ ~int | ~int32 }](xs []T) string {
 }
 
 // expandGroup returns all end tuples reachable from the given source tuple
-// under the group's synchronized semantics, memoized.
-func (ev *evaluator) expandGroup(gi int, src []int) [][]int {
+// under the group's synchronized semantics (plus, when ranked, the product
+// depth each first appeared at), memoized. Expansions cut short by the
+// budget are returned for the current unwinding but not memoized.
+func (ev *evaluator) expandGroup(gi int, src []int) groupExp {
 	k := intsKey(src)
 	if res, ok := ev.gmemo[gi][k]; ok {
 		return res
 	}
 	g := ev.q.Groups[gi]
-	var res [][]int
+	var res groupExp
 	switch rel := g.Rel.(type) {
 	case *Equality:
 		res = ev.expandEquality(g, src)
@@ -208,7 +304,9 @@ func (ev *evaluator) expandGroup(gi int, src []int) [][]int {
 	default:
 		panic("ecrpq: unknown relation kind")
 	}
-	ev.gmemo[gi][k] = res
+	if !ev.bud.Canceled() {
+		ev.gmemo[gi][k] = res
+	}
 	return res
 }
 
@@ -266,7 +364,7 @@ func toInts(nodes []int32) []int {
 // same symbol in every step; acceptance requires every component NFA to
 // accept simultaneously (equal words have equal length). The product runs
 // over interned DFA set ids and label-indexed adjacency spans.
-func (ev *evaluator) expandEquality(g Group, src []int) [][]int {
+func (ev *evaluator) expandEquality(g Group, src []int) groupExp {
 	s := len(g.Edges)
 	caches := make([]*automata.SubsetCache, s)
 	for i, ei := range g.Edges {
@@ -289,11 +387,19 @@ func (ev *evaluator) expandEquality(g Group, src []int) [][]int {
 	kbuf, k = nodesIDsKey(kbuf, init.nodes, init.ids)
 	seen := map[string]bool{k: true}
 	queue := []state{init}
-	var out [][]int
+	var out groupExp
 	outSeen := map[string]bool{}
 	nextIDs := make([]int32, s)
 	opts := make([][]int32, s)
+	depth, levelEnd := int32(0), 1
 	for qi := 0; qi < len(queue); qi++ {
+		if qi == levelEnd {
+			depth++
+			levelEnd = len(queue)
+			if ev.bud.Canceled() {
+				break
+			}
+		}
 		cur := queue[qi]
 		allFinal := true
 		for i := range caches {
@@ -306,7 +412,10 @@ func (ev *evaluator) expandEquality(g Group, src []int) [][]int {
 			k := intsKey(cur.nodes)
 			if !outSeen[k] {
 				outSeen[k] = true
-				out = append(out, toInts(cur.nodes))
+				out.ends = append(out.ends, toInts(cur.nodes))
+				if ev.ranked {
+					out.deps = append(out.deps, depth)
+				}
 			}
 		}
 		for sy := int32(0); sy < int32(nSyms); sy++ {
@@ -349,7 +458,7 @@ func (ev *evaluator) expandEquality(g Group, src []int) [][]int {
 // edge NFA must accept at freeze time); acceptance requires the relation
 // NFA to accept and every unfrozen component NFA to accept. Component and
 // relation automata run through their interned subset caches.
-func (ev *evaluator) expandNFARel(g Group, rel *NFARelation, src []int) [][]int {
+func (ev *evaluator) expandNFARel(g Group, rel *NFARelation, src []int) groupExp {
 	s := len(g.Edges)
 	caches := make([]*automata.SubsetCache, s)
 	for i, ei := range g.Edges {
@@ -375,12 +484,20 @@ func (ev *evaluator) expandNFARel(g Group, rel *NFARelation, src []int) [][]int 
 	kbuf, k = relStateKey(kbuf, init.nodes, init.ids, init.rid, 0)
 	seen := map[string]bool{k: true}
 	queue := []state{init}
-	var out [][]int
+	var out groupExp
 	outSeen := map[string]bool{}
 	nextIDs := make([]int32, s)
 	opts := make([][]int32, s)
 	selfOpts := make([]int32, s) // per-component single-node option backing
+	depth, levelEnd := int32(0), 1
 	for qi := 0; qi < len(queue); qi++ {
+		if qi == levelEnd {
+			depth++
+			levelEnd = len(queue)
+			if ev.bud.Canceled() {
+				break
+			}
+		}
 		cur := queue[qi]
 		accept := rc.Final(cur.rid)
 		if accept {
@@ -398,7 +515,10 @@ func (ev *evaluator) expandNFARel(g Group, rel *NFARelation, src []int) [][]int 
 			k := intsKey(cur.nodes)
 			if !outSeen[k] {
 				outSeen[k] = true
-				out = append(out, toInts(cur.nodes))
+				out.ends = append(out.ends, toInts(cur.nodes))
+				if ev.ranked {
+					out.deps = append(out.deps, depth)
+				}
 			}
 		}
 		for _, code := range labels {
@@ -526,44 +646,17 @@ func (ev *evaluator) constraintOrder(pre map[string]int) []constraintRef {
 	return order
 }
 
-// run executes the backtracking join. If boolOnly, it stops at the first
-// matching assignment.
+// run executes the backtracking join, materializing the result set. If
+// boolOnly, it stops at the first matching assignment. It is the
+// accumulate-everything shim over runStream (stream.go), which is the real
+// enumeration loop.
 func (ev *evaluator) run(boolOnly bool) (*pattern.TupleSet, error) {
-	q := ev.q
-	order := ev.constraintOrder(nil)
-
 	out := pattern.NewTupleSet()
-	assign := map[string]int{}
-	stop := false
-	var rec func(ci int)
-	rec = func(ci int) {
-		if stop {
-			return
-		}
-		if ci == len(order) {
-			t := make(pattern.Tuple, len(q.Pattern.Out))
-			for i, z := range q.Pattern.Out {
-				v, ok := assign[z]
-				if !ok {
-					return // output var not constrained; Validate prevents this
-				}
-				t[i] = v
-			}
-			out.Add(t)
-			if boolOnly {
-				stop = true
-			}
-			return
-		}
-		c := order[ci]
-		if c.kind == cEdge {
-			ev.satisfyEdge(c.idx, assign, func() { rec(ci + 1) })
-		} else {
-			ev.satisfyGroup(c.idx, assign, func() { rec(ci + 1) })
-		}
-	}
-	rec(0)
-	return out, nil
+	err := ev.runStream(nil, func(t pattern.Tuple, _ int) bool {
+		out.Add(t)
+		return !boolOnly
+	})
+	return out, err
 }
 
 type cKind int
@@ -578,53 +671,136 @@ type constraintRef struct {
 	idx  int
 }
 
+// satisfyEdge is the cost-blind form kept for the witness-reconstruction
+// search; the join paths go through satisfyEdgeCost.
 func (ev *evaluator) satisfyEdge(ei int, assign map[string]int, cont func()) {
+	ev.satisfyEdgeCost(ei, assign, func(int) { cont() })
+}
+
+// satisfyEdgeCost enumerates the edge's satisfying bindings, passing each
+// continuation the edge's witness contribution — the BFS level (shortest
+// matching-path length in graph edges) of the chosen target — when the
+// evaluator is ranked, and 0 otherwise.
+func (ev *evaluator) satisfyEdgeCost(ei int, assign map[string]int, cont func(cost int)) {
 	e := ev.q.Pattern.Edges[ei]
 	u, uok := assign[e.From]
 	v, vok := assign[e.To]
 	switch {
 	case uok && vok:
+		if ev.ranked {
+			ws, ls := ev.forwardLev(ei, u)
+			if i := sort.SearchInts(ws, v); i < len(ws) && ws[i] == v {
+				cont(int(ls[i]))
+			}
+			return
+		}
 		if ev.hasEdgePath(ei, u, v) {
-			cont()
+			cont(0)
 		}
 	case uok:
-		for _, w := range ev.forward(ei, u) {
-			assign[e.To] = w
-			cont()
+		if ev.ranked {
+			ws, ls := ev.forwardLev(ei, u)
+			for i, w := range ws {
+				assign[e.To] = w
+				cont(int(ls[i]))
+			}
+		} else {
+			for _, w := range ev.forward(ei, u) {
+				assign[e.To] = w
+				cont(0)
+			}
 		}
 		delete(assign, e.To)
 	case vok:
-		for _, w := range ev.backward(ei, v) {
-			assign[e.From] = w
-			cont()
+		if ev.ranked {
+			us, ls := ev.backwardLev(ei, v)
+			for i, w := range us {
+				assign[e.From] = w
+				cont(int(ls[i]))
+			}
+		} else {
+			for _, w := range ev.backward(ei, v) {
+				assign[e.From] = w
+				cont(0)
+			}
 		}
 		delete(assign, e.From)
 	default:
-		// both ends unbound: fan the per-source searches out in parallel
-		// before the sequential join consumes them.
-		ev.forwardAll(ei)
-		for u := 0; u < ev.db.NumNodes(); u++ {
-			assign[e.From] = u
-			targets := ev.forward(ei, u)
-			if e.From == e.To {
-				for _, w := range targets {
-					if w == u {
-						cont()
+		// Both ends unbound. The materialized path prefetches every source
+		// in one sharded multi-source sweep; the streaming path walks the
+		// sources in escalating chunks (1, 4, 16, 64, then 256-wide) so the
+		// first row costs one small batch, while the geometric growth keeps
+		// the full drain within a constant factor of the single sweep.
+		n := ev.db.NumNodes()
+		if !ev.lazy {
+			ev.forwardAll(ei)
+		}
+		chunk := 1
+		for lo := 0; lo < n; {
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			if ev.lazy {
+				if ev.bud.Canceled() {
+					break
+				}
+				srcs := make([]int, 0, hi-lo)
+				for u := lo; u < hi; u++ {
+					srcs = append(srcs, u)
+				}
+				ev.ensureForward(ei, srcs)
+			}
+			for u := lo; u < hi; u++ {
+				assign[e.From] = u
+				var targets []int
+				var levs []int32
+				if ev.ranked {
+					targets, levs = ev.forwardLev(ei, u)
+				} else {
+					targets = ev.forward(ei, u)
+				}
+				if e.From == e.To {
+					for i, w := range targets {
+						if w == u {
+							if ev.ranked {
+								cont(int(levs[i]))
+							} else {
+								cont(0)
+							}
+						}
+					}
+					continue
+				}
+				for i, w := range targets {
+					assign[e.To] = w
+					if ev.ranked {
+						cont(int(levs[i]))
+					} else {
+						cont(0)
 					}
 				}
-				continue
+				delete(assign, e.To)
 			}
-			for _, w := range targets {
-				assign[e.To] = w
-				cont()
+			lo = hi
+			if chunk < 256 {
+				chunk *= 4
 			}
-			delete(assign, e.To)
 		}
 		delete(assign, e.From)
 	}
 }
 
+// satisfyGroup is the cost-blind form kept for the witness-reconstruction
+// search; the join paths go through satisfyGroupCost.
 func (ev *evaluator) satisfyGroup(gi int, assign map[string]int, cont func()) {
+	ev.satisfyGroupCost(gi, assign, func(int) { cont() })
+}
+
+// satisfyGroupCost enumerates the group's satisfying bindings, passing each
+// continuation the group's witness contribution — the synchronized product
+// depth (shared word length) of the chosen end tuple — when ranked.
+func (ev *evaluator) satisfyGroupCost(gi int, assign map[string]int, cont func(cost int)) {
 	g := ev.q.Groups[gi]
 	srcVars := make([]string, len(g.Edges))
 	tgtVars := make([]string, len(g.Edges))
@@ -655,8 +831,8 @@ func (ev *evaluator) satisfyGroup(gi int, assign map[string]int, cont func()) {
 		for j, x := range srcVars {
 			src[j] = assign[x]
 		}
-		ends := ev.expandGroup(gi, src)
-		for _, end := range ends {
+		exp := ev.expandGroup(gi, src)
+		for ti, end := range exp.ends {
 			// bind/check target variables consistently
 			var newly []string
 			ok := true
@@ -672,7 +848,11 @@ func (ev *evaluator) satisfyGroup(gi int, assign map[string]int, cont func()) {
 				newly = append(newly, y)
 			}
 			if ok {
-				cont()
+				cost := 0
+				if exp.deps != nil {
+					cost = int(exp.deps[ti])
+				}
+				cont(cost)
 			}
 			for _, y := range newly {
 				delete(assign, y)

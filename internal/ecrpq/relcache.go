@@ -3,6 +3,7 @@ package ecrpq
 import (
 	"sync"
 
+	"cxrpq/internal/engine"
 	"cxrpq/internal/graph"
 	"cxrpq/internal/xregex"
 )
@@ -58,24 +59,35 @@ func NewRelCache(n int) *RelCache {
 // For resolves the relation of label over db through the cache, computing
 // and inserting it on a miss (see RelationFor).
 func (c *RelCache) For(db *graph.DB, label xregex.Node, sigma []rune) (*EdgeRel, error) {
+	return c.ForOpts(db, label, sigma, nil, false)
+}
+
+// ForOpts is For with streaming extensions: the relation build honors bud
+// at BFS-level granularity, and with levels set the returned relation
+// carries BFS first-hit levels (EdgeRel.Dist for ranked joins) — a cached
+// level-less relation is upgraded in place on first ranked demand. A
+// budget-truncated build returns engine.ErrCanceled and installs NOTHING:
+// a partial relation in the shared cache would silently drop answers from
+// every later query on the session.
+func (c *RelCache) ForOpts(db *graph.DB, label xregex.Node, sigma []rune, bud *engine.Budget, levels bool) (*EdgeRel, error) {
 	key := xregex.String(label) + "\x00" + string(sigma)
 	c.mu.Lock()
-	if e, ok := c.m[key]; ok {
+	if e, ok := c.m[key]; ok && (!levels || e.rel.HasLevels()) {
 		c.hits++
 		c.mu.Unlock()
 		return e.rel, nil
 	}
 	c.misses++
 	c.mu.Unlock()
-	r, err := RelationFor(db, label, sigma)
+	r, err := RelationForEx(db, label, sigma, bud, levels)
 	if err != nil {
 		return nil, err
 	}
 	e := newRelEntry(r, label, sigma)
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if old, ok := c.m[key]; ok { // raced with another worker
-		return old.rel, nil
+	if old, ok := c.m[key]; ok && (!levels || old.rel.HasLevels()) {
+		return old.rel, nil // raced with another worker
 	}
 	if len(c.m) >= c.cap {
 		c.m = map[string]*relEntry{}

@@ -1,0 +1,139 @@
+package ecrpq
+
+// Streaming (any-k) enumeration for the ECRPQ^er evaluator. The
+// backtracking join was historically accumulate-then-return; runStream
+// inverts it into a push-with-cancel loop — every satisfying assignment is
+// projected and yielded the moment the recursion completes it, and the
+// consumer's return value unwinds the whole search. Eval/EvalBool/Check are
+// thin shims over it, so there is exactly one enumeration loop.
+//
+// Ranked mode threads a witness length alongside every tuple: the sum over
+// join constraints of the BFS level at which the chosen binding was first
+// reached (ungrouped edges: shortest matching-path edge count, straight off
+// the bitset BFS level indices the engine kernels already compute; groups:
+// the synchronized product depth, i.e. the shared word length). Ranked
+// emission is NOT deduplicated — the same tuple may arrive once per
+// distinct assignment, each with that assignment's cost — because only a
+// full drain can know the minimal witness; the cxrpq layer keeps the min
+// per tuple while ordering. Unranked emission is deduplicated.
+
+import (
+	"cxrpq/internal/engine"
+	"cxrpq/internal/graph"
+	"cxrpq/internal/pattern"
+)
+
+// StreamFunc consumes one enumerated tuple with its witness cost (0 unless
+// ranked). Returning false stops the enumeration.
+type StreamFunc func(t pattern.Tuple, cost int) bool
+
+// EvalStream enumerates q(D) through yield instead of materializing it,
+// under an optional budget (nil = unlimited) polled at BFS-level and
+// join-node granularity. With ranked set, each tuple carries its witness
+// length and duplicates may be emitted (see the package comment above);
+// without it, tuples are distinct and cost is always 0. A canceled budget
+// ends the enumeration early: everything already yielded is a sound subset
+// of q(D). The error reports construction/validation failures only — the
+// caller owns the budget and checks it for truncation.
+func EvalStream(q *Query, db *graph.DB, bud *engine.Budget, ranked bool, yield StreamFunc) error {
+	ev, err := newEvaluator(q, db)
+	if err != nil {
+		return err
+	}
+	ev.bud, ev.ranked, ev.lazy = bud, ranked, true
+	return ev.runStream(nil, yield)
+}
+
+// EvalBoolBudget is EvalBool under an optional budget, running the lazy
+// (chunked-sweep) search so the first witness is found without
+// materializing full relations. A canceled budget yields
+// (false, engine.ErrCanceled) unless a witness was already found.
+func EvalBoolBudget(q *Query, db *graph.DB, bud *engine.Budget) (bool, error) {
+	ev, err := newEvaluator(q, db)
+	if err != nil {
+		return false, err
+	}
+	ev.bud, ev.lazy = bud, true
+	res, err := ev.run(true)
+	if err != nil {
+		return false, err
+	}
+	if res.Len() == 0 {
+		if berr := bud.Err(); berr != nil {
+			return false, berr
+		}
+	}
+	return res.Len() > 0, nil
+}
+
+// EvalBudget is Eval under an optional budget. On cancellation it returns
+// the sound partial set found so far together with engine.ErrCanceled.
+func EvalBudget(q *Query, db *graph.DB, bud *engine.Budget) (*pattern.TupleSet, error) {
+	ev, err := newEvaluator(q, db)
+	if err != nil {
+		return nil, err
+	}
+	ev.bud = bud
+	res, err := ev.run(false)
+	if err != nil {
+		return res, err
+	}
+	return res, bud.Err()
+}
+
+// runStream is the single enumeration loop behind every evaluator entry
+// point: a backtracking join over the planner's constraint order with the
+// variables of pre pre-bound, yielding each completed assignment's output
+// projection. The budget is polled on every recursion step, so deadline,
+// row-cap, context and sibling-stop cancellation all cut the search at node
+// granularity (the BFS expansions below additionally poll per level).
+func (ev *evaluator) runStream(pre map[string]int, yield StreamFunc) error {
+	q := ev.q
+	order := ev.constraintOrder(pre)
+
+	assign := map[string]int{}
+	for z, v := range pre {
+		assign[z] = v
+	}
+	seen := map[string]bool{}
+	stop := false
+	var rec func(ci, cost int)
+	rec = func(ci, cost int) {
+		if stop {
+			return
+		}
+		if ci == len(order) {
+			t := make(pattern.Tuple, len(q.Pattern.Out))
+			for i, z := range q.Pattern.Out {
+				v, ok := assign[z]
+				if !ok {
+					return // output var not constrained; Validate prevents this
+				}
+				t[i] = v
+			}
+			if !ev.ranked {
+				k := intsKey(t)
+				if seen[k] {
+					return
+				}
+				seen[k] = true
+			}
+			if !yield(t, cost) {
+				stop = true
+			}
+			return
+		}
+		if ev.bud.Canceled() {
+			stop = true
+			return
+		}
+		c := order[ci]
+		if c.kind == cEdge {
+			ev.satisfyEdgeCost(c.idx, assign, func(d int) { rec(ci+1, cost+d) })
+		} else {
+			ev.satisfyGroupCost(c.idx, assign, func(d int) { rec(ci+1, cost+d) })
+		}
+	}
+	rec(0, 0)
+	return nil
+}

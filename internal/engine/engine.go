@@ -32,7 +32,11 @@ const unknown int32 = -2
 // (O(n/64 + h) instead of the old O(h log h) sort); callers that only need
 // membership should take ReachBits directly.
 func Reach(ix *graph.Index, c *automata.SubsetCache, src int, forward bool) []int {
-	hitBits := ReachBits(ix, c, src, forward)
+	return ReachBitsToList(ReachBits(ix, c, src, forward))
+}
+
+// ReachBitsToList materializes a hit bitset into the sorted node list.
+func ReachBitsToList(hitBits []uint64) []int {
 	if hitBits == nil {
 		return nil
 	}
@@ -46,14 +50,53 @@ func Reach(ix *graph.Index, c *automata.SubsetCache, src int, forward bool) []in
 	return hits
 }
 
+// ReachLevels is Reach that additionally reports, for every hit, the BFS
+// level (number of graph edges on a shortest accepted path) at which the
+// node was first reported, and honors an optional budget at level
+// granularity. levs is parallel to hits. The levels come straight out of the
+// FIFO order the kernel already runs in — no second search. When bud is
+// canceled mid-search the prefix found so far is returned (every entry is a
+// genuine hit with its true shortest level; deeper hits may be missing).
+func ReachLevels(ix *graph.Index, c *automata.SubsetCache, src int, forward bool, bud *Budget) (hits []int, levs []int32) {
+	n := ix.NumNodes()
+	if src < 0 || src >= n {
+		return nil, nil
+	}
+	hitLev := make([]int32, n)
+	hitBits := reachCore(ix, c, src, forward, bud, hitLev)
+	for wi, bs := range hitBits {
+		for bs != 0 {
+			v := wi*64 + bits.TrailingZeros64(bs)
+			bs &= bs - 1
+			hits = append(hits, v)
+			levs = append(levs, hitLev[v])
+		}
+	}
+	return hits, levs
+}
+
 // ReachBits is Reach returning the raw hit bitset (word i, bit b ⇔ node
 // 64i+b reachable): membership-only callers skip the list materialization
 // entirely. It returns nil when src is out of range.
 func ReachBits(ix *graph.Index, c *automata.SubsetCache, src int, forward bool) []uint64 {
+	return ReachBitsBudget(ix, c, src, forward, nil)
+}
+
+// ReachBitsBudget is ReachBits under an optional budget, polled once per BFS
+// level; a canceled budget yields the (sound, incomplete) prefix bitset.
+func ReachBitsBudget(ix *graph.Index, c *automata.SubsetCache, src int, forward bool, bud *Budget) []uint64 {
 	n := ix.NumNodes()
 	if src < 0 || src >= n {
 		return nil
 	}
+	return reachCore(ix, c, src, forward, bud, nil)
+}
+
+// reachCore is the scalar product BFS shared by Reach/ReachBits/ReachLevels.
+// When hitLev is non-nil it receives the first-hit level per node (indexed
+// by node id; positions whose hit bit is never set are untouched).
+func reachCore(ix *graph.Index, c *automata.SubsetCache, src int, forward bool, bud *Budget, hitLev []int32) []uint64 {
+	n := ix.NumNodes()
 	nSyms := ix.NumSyms()
 	words := (n + 63) / 64
 
@@ -95,10 +138,25 @@ func ReachBits(ix *graph.Index, c *automata.SubsetCache, src int, forward bool) 
 	ensure(startID)[src/64] |= 1 << (src % 64)
 
 	hitBits := make([]uint64, words)
+	depth := int32(0)
+	levelEnd := 1 // queue prefix holding the current BFS level
 	for qi := 0; qi < len(queue); qi++ {
+		if qi == levelEnd {
+			depth++
+			levelEnd = len(queue)
+			if bud.Canceled() {
+				break
+			}
+		}
 		cur := queue[qi]
 		if c.Final(cur.id) {
-			hitBits[cur.node/64] |= 1 << (cur.node % 64)
+			w, b := cur.node/64, uint64(1)<<(cur.node%64)
+			if hitBits[w]&b == 0 {
+				hitBits[w] |= b
+				if hitLev != nil {
+					hitLev[cur.node] = depth
+				}
+			}
 		}
 		row := localFor(cur.id)
 		for s := int32(0); s < int32(nSyms); s++ {

@@ -139,10 +139,13 @@ type shardWorker struct {
 	part    *graph.Partition // nil when running single-shard
 	forward bool
 	nSyms   int32
+	bud     *Budget // optional; polled once per level
+	depth   int32   // current BFS level (0 while seeding)
 
 	visited [][]uint64 // [id][node-lo] -> mask of sources that reached it
 	pend    [][]uint64 // [id][node-lo] -> mask not yet expanded
 	hits    []uint64   // [node-lo] -> mask of sources hitting node finally
+	hitLev  []int32    // [(node-lo)*64+srcbit] -> first-hit level (nil unless requested)
 	final   []int8     // [id] -> -1 unknown / 0 no / 1 yes
 	local   [][]int32  // [id] -> per-symbol transition row (lock-free copy)
 
@@ -215,7 +218,15 @@ func (w *shardWorker) insert(v, id int32, mask uint64) {
 	}
 	pb[li] |= delta
 	if w.isFinal(id) {
+		fresh := delta &^ w.hits[li]
 		w.hits[li] |= delta
+		if w.hitLev != nil {
+			// Level-synchronous BFS: a source bit's first hit on a node is at
+			// its minimal level, so recording once at first sight is exact.
+			for m := fresh; m != 0; m &= m - 1 {
+				w.hitLev[int(li)*64+bits.TrailingZeros64(m)] = w.depth
+			}
+		}
 	}
 }
 
@@ -322,13 +333,18 @@ type kernel struct {
 	workers []*shardWorker
 	bar     *barrier
 	sizes   []int // per-shard next-frontier sizes, valid between the barriers
+	bud     *Budget
+	stopped bool // set by shard 0 between the barriers; read by all after
 }
 
 // run is the per-shard goroutine body: expand → barrier → drain inbound
 // exchange queues → publish next-frontier size → barrier → clear own
 // outboxes, swap frontiers, terminate when the global frontier is empty.
 // The second barrier both publishes the sizes and fences the outbox reads
-// before their owner reuses the buffers.
+// before their owner reuses the buffers. The budget is polled by shard 0
+// only and the verdict published through the same barrier, so every shard
+// leaves the loop at the same level (a per-shard poll could disagree and
+// deadlock the barrier).
 func (w *shardWorker) run(k *kernel) {
 	for {
 		w.expand()
@@ -339,6 +355,9 @@ func (w *shardWorker) run(k *kernel) {
 			}
 		}
 		k.sizes[w.idx] = len(w.next)
+		if w.idx == 0 && k.bud.Canceled() {
+			k.stopped = true
+		}
 		k.bar.wait()
 		total := 0
 		for _, s := range k.sizes {
@@ -348,9 +367,10 @@ func (w *shardWorker) run(k *kernel) {
 			w.outbox[i] = w.outbox[i][:0]
 		}
 		w.frontier, w.next = w.next, w.frontier
-		if total == 0 {
+		if total == 0 || k.stopped {
 			return
 		}
+		w.depth++
 		if w.idx == 0 {
 			w.levels++
 		}
@@ -362,10 +382,11 @@ func (w *shardWorker) run(k *kernel) {
 func (w *shardWorker) runSingle() {
 	for {
 		w.expand()
-		if len(w.next) == 0 {
+		if len(w.next) == 0 || w.bud.Canceled() {
 			return
 		}
 		w.frontier, w.next = w.next, w.frontier
+		w.depth++
 		w.levels++
 	}
 }
@@ -378,10 +399,39 @@ func (w *shardWorker) runSingle() {
 // single inline shard. The SubsetCache may be shared with concurrent
 // ReachBatch/Reach calls; the graph must be quiescent (the usual contract).
 func ReachBatch(ix *graph.Index, part *graph.Partition, c *automata.SubsetCache, srcs []int, forward bool) [][]int {
-	out := make([][]int, len(srcs))
+	return ReachBatchEx(ix, part, c, srcs, forward, BatchOpts{}).Hits
+}
+
+// BatchOpts extends ReachBatch: an optional per-query budget polled at level
+// granularity, and first-hit level capture for ranked (shortest-witness
+// -first) enumeration.
+type BatchOpts struct {
+	Budget *Budget
+	Levels bool // record BFS first-hit levels per (source, node)
+}
+
+// BatchResult is the extended kernel output. Levs is parallel to Hits
+// (Levs[i][j] is the shortest accepted-path edge count from srcs[i] to
+// Hits[i][j]) and nil unless Levels was requested. Truncated reports that
+// the budget fired: the hits are sound but possibly incomplete, and callers
+// must not install them in cross-query caches.
+type BatchResult struct {
+	Hits      [][]int
+	Levs      [][]int32
+	Truncated bool
+}
+
+// ReachBatchEx is ReachBatch with options; see BatchOpts/BatchResult.
+func ReachBatchEx(ix *graph.Index, part *graph.Partition, c *automata.SubsetCache, srcs []int, forward bool, opts BatchOpts) BatchResult {
+	res := BatchResult{Hits: make([][]int, len(srcs))}
+	if opts.Levels {
+		res.Levs = make([][]int32, len(srcs))
+	}
+	out := res.Hits
+	bud := opts.Budget
 	n := ix.NumNodes()
 	if n == 0 || len(srcs) == 0 {
-		return out
+		return res
 	}
 	if part != nil && (part.NumNodes() != n || part.NumShards() == 1 || n < minShardedNodes) {
 		part = nil
@@ -399,11 +449,19 @@ func ReachBatch(ix *graph.Index, part *graph.Partition, c *automata.SubsetCache,
 	}
 	for _, w := range workers {
 		w.ix, w.c, w.forward, w.nSyms = ix, c, forward, int32(ix.NumSyms())
+		w.bud = bud
 		w.hits = make([]uint64, int(w.hi-w.lo))
+		if opts.Levels {
+			w.hitLev = make([]int32, int(w.hi-w.lo)*64)
+		}
 	}
 	startID := c.Start()
 	var batches, seeded uint64
 	for base := 0; base < len(srcs); base += BatchWidth {
+		if bud.Canceled() {
+			res.Truncated = true
+			break
+		}
 		batch := srcs[base:min(base+BatchWidth, len(srcs))]
 		if base > 0 {
 			for _, w := range workers {
@@ -419,12 +477,14 @@ func ReachBatch(ix *graph.Index, part *graph.Partition, c *automata.SubsetCache,
 			if part != nil {
 				w = workers[part.ShardOf(int32(src))]
 			}
+			w.depth = 0
 			w.insert(int32(src), startID, 1<<uint(si))
 			any = true
 			seeded++
 		}
 		for _, w := range workers {
 			w.frontier, w.next = w.next, w.frontier
+			w.depth = 1
 		}
 		if any {
 			batches++
@@ -432,7 +492,7 @@ func ReachBatch(ix *graph.Index, part *graph.Partition, c *automata.SubsetCache,
 				workers[0].runSingle()
 			} else {
 				k := &kernel{workers: workers, bar: newBarrier(len(workers)),
-					sizes: make([]int, len(workers))}
+					sizes: make([]int, len(workers)), bud: bud}
 				var wg sync.WaitGroup
 				wg.Add(len(workers))
 				for _, w := range workers {
@@ -452,9 +512,15 @@ func ReachBatch(ix *graph.Index, part *graph.Partition, c *automata.SubsetCache,
 					si := bits.TrailingZeros64(m)
 					m &= m - 1
 					out[base+si] = append(out[base+si], int(w.lo)+li)
+					if res.Levs != nil {
+						res.Levs[base+si] = append(res.Levs[base+si], w.hitLev[li*64+si])
+					}
 				}
 			}
 		}
+	}
+	if bud.Canceled() {
+		res.Truncated = true
 	}
 
 	kstatMu.Lock()
@@ -471,5 +537,5 @@ func ReachBatch(ix *graph.Index, part *graph.Partition, c *automata.SubsetCache,
 		kstat.PerShard[w.idx].Exchanged += w.exchanged
 	}
 	kstatMu.Unlock()
-	return out
+	return res
 }
