@@ -366,6 +366,17 @@ func BenchmarkStreamFirstRow(b *testing.B) {
 
 func BenchmarkE23TimeToFirstRow(b *testing.B) { benchTable(b, exp.E23TimeToFirstRow) }
 
+// BenchmarkSnapshotReadsUnderWrites runs the E24 write-storm comparison
+// (PR 8): read-latency p50/p99 for a global-lock server discipline versus
+// MVCC snapshot publishes over the identical mutation stream, plus the
+// stalled-read probe (a read issued while the writer sits inside its
+// critical section) and WAL recovery time per megabyte. The acceptance
+// floor for PR 8 is p50_speedup ≥ 2x with the MVCC stalled read not
+// waiting out the writer's stall (see E24's metrics in BENCH_engine.json).
+func BenchmarkSnapshotReadsUnderWrites(b *testing.B) {
+	benchTable(b, exp.E24SnapshotReadsUnderWrites)
+}
+
 // BenchmarkPreparedReuse measures the prepared-query subsystem on the
 // E2/E6/E9 workloads: "oneshot" re-prepares and re-derives everything per
 // iteration, "prepared" binds a Session once and re-evaluates through its

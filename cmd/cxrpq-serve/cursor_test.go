@@ -1,0 +1,77 @@
+package main
+
+// Regression tests for the cursor-registry hardening: a crypto/rand failure
+// must fail the one request (500) instead of panicking the handler
+// goroutine, and a non-positive capacity must mean "unbounded" instead of
+// spinning the eviction loop forever on an empty registry.
+
+import (
+	"errors"
+	"net/http"
+	"testing"
+	"time"
+)
+
+func TestCursorTokenEntropyFailure(t *testing.T) {
+	old := randRead
+	randRead = func([]byte) (int, error) { return 0, errors.New("entropy source unavailable") }
+	defer func() { randRead = old }()
+
+	srv, ts := testServer(t)
+	// limit=1 on a 3-row answer set wants to park a cursor; minting its
+	// token fails, which must surface as a 500 — not a panic.
+	code, out := postJSON(t, ts.URL+"/query", `{"db":"g1","query":"ans(x, y)\nx y : a|b","limit":1}`)
+	if code != http.StatusInternalServerError {
+		t.Fatalf("status %d (%v), want 500", code, out)
+	}
+	if srv.cursors.open() != 0 {
+		t.Fatalf("failed put leaked %d cursors", srv.cursors.open())
+	}
+
+	// The server keeps serving: restore entropy, same query succeeds.
+	randRead = old
+	code, out = postJSON(t, ts.URL+"/query", `{"db":"g1","query":"ans(x, y)\nx y : a|b","limit":1}`)
+	if code != http.StatusOK || out["cursor"] == nil {
+		t.Fatalf("after entropy recovery: %d %v", code, out)
+	}
+}
+
+func TestCursorRegistryUnboundedCap(t *testing.T) {
+	cr := newCursorRegistry(0, time.Minute)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 3; i++ {
+			if _, _, err := cr.put(&cursorRec{}); err != nil {
+				t.Errorf("put: %v", err)
+				return
+			}
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("put spun in the eviction loop with cap <= 0")
+	}
+	if cr.open() != 3 {
+		t.Fatalf("registry holds %d records, want 3 (cap<=0 means unbounded)", cr.open())
+	}
+}
+
+func TestCursorRegistryEvictsOldest(t *testing.T) {
+	cr := newCursorRegistry(1, time.Minute)
+	first := &cursorRec{closed: true} // closed: evicting it must not touch a nil cursor
+	if _, _, err := cr.put(first); err != nil {
+		t.Fatal(err)
+	}
+	_, evicted, err := cr.put(&cursorRec{closed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evicted) != 1 || evicted[0] != first {
+		t.Fatalf("capacity eviction returned %v, want the first record", evicted)
+	}
+	if cr.open() != 1 {
+		t.Fatalf("registry holds %d records, want 1", cr.open())
+	}
+}

@@ -1,0 +1,168 @@
+package main
+
+// Server-level durability: every /update acknowledged over HTTP must
+// survive an abrupt process death (simulated by re-opening the store
+// directory without any graceful shutdown), a torn WAL tail must not take
+// acknowledged batches with it, a WAL append failure must wedge writes
+// without disturbing the published read state, and a follower server must
+// converge on the leader's acknowledged batches.
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"cxrpq/internal/graph"
+)
+
+// durableServer opens (or re-opens) a store directory and serves it as db
+// "g1", exactly like `cxrpq-serve -data-dir` does.
+func durableServer(t *testing.T, dir string) (*server, *httptest.Server, *graph.Store) {
+	t.Helper()
+	st, err := graph.OpenStore(dir, graph.StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := newServer(serverOptions{maxInflight: 8, sessionCap: 16})
+	e := srv.addDB("g1", st.DB())
+	e.store = st
+	ts := httptest.NewServer(srv.handler())
+	t.Cleanup(ts.Close)
+	return srv, ts, st
+}
+
+func countA(t *testing.T, url string) float64 {
+	t.Helper()
+	code, out := postJSON(t, url+"/query", `{"db":"g1","query":"ans(x, y)\nx y : a"}`)
+	if code != http.StatusOK {
+		t.Fatalf("query: %d %v", code, out)
+	}
+	return out["count"].(float64)
+}
+
+func TestServerCrashRecovery(t *testing.T) {
+	dir := t.TempDir()
+	_, ts, _ := durableServer(t, dir)
+
+	// Acknowledged batches: each /update returned 200, so each is durable.
+	var rev float64
+	for _, edges := range []string{"u a v", "u a w", `v a w\nw b u`, "w a x"} {
+		code, out := postJSON(t, ts.URL+"/update", `{"db":"g1","edges":"`+edges+`"}`)
+		if code != http.StatusOK {
+			t.Fatalf("update %q: %d %v", edges, code, out)
+		}
+		rev = out["revision"].(float64)
+	}
+	want := countA(t, ts.URL)
+	ts.Close()
+	// No store.Close(), no checkpoint: the "process" died holding its WAL.
+
+	_, ts2, st2 := durableServer(t, dir)
+	if got := countA(t, ts2.URL); got != want {
+		t.Fatalf("recovered server answers %v rows, acked state had %v", got, want)
+	}
+	if got := st2.DB().Revision(); float64(got) != rev {
+		t.Fatalf("recovered at revision %d, last ack was %v", got, rev)
+	}
+	if st2.Stats().ReplayedRecords == 0 {
+		t.Fatal("recovery replayed nothing; the updates were not in the WAL")
+	}
+
+	// A torn tail — half an append from a crash mid-write — is dropped on
+	// the next recovery without touching the acknowledged prefix.
+	ts2.Close()
+	wal := filepath.Join(dir, "wal.log")
+	f, err := os.OpenFile(wal, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0x10, 0x00, 0x00, 0x00, 0xde, 0xad}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	_, ts3, _ := durableServer(t, dir)
+	if got := countA(t, ts3.URL); got != want {
+		t.Fatalf("after torn tail: %v rows, want %v", got, want)
+	}
+	// And the store accepts new acknowledged writes from there.
+	if code, out := postJSON(t, ts3.URL+"/update", `{"db":"g1","edges":"x a y"}`); code != http.StatusOK {
+		t.Fatalf("post-recovery update: %d %v", code, out)
+	}
+	if got := countA(t, ts3.URL); got != want+1 {
+		t.Fatalf("post-recovery update not visible: %v rows, want %v", got, want+1)
+	}
+}
+
+func TestServerWALFailureWedgesWrites(t *testing.T) {
+	dir := t.TempDir()
+	_, ts, st := durableServer(t, dir)
+	if code, out := postJSON(t, ts.URL+"/update", `{"db":"g1","edges":"u a v"}`); code != http.StatusOK {
+		t.Fatalf("update: %d %v", code, out)
+	}
+	want := countA(t, ts.URL)
+
+	// Break the WAL out from under the server: the next append fails, the
+	// batch must not be acknowledged or published.
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	code, out := postJSON(t, ts.URL+"/update", `{"db":"g1","edges":"u a z"}`)
+	if code != http.StatusInternalServerError {
+		t.Fatalf("update on broken WAL: %d %v, want 500", code, out)
+	}
+	if got := countA(t, ts.URL); got != want {
+		t.Fatalf("unacknowledged batch visible to readers: %v rows, want %v", got, want)
+	}
+	// The entry is wedged: further writes are refused outright...
+	code, out = postJSON(t, ts.URL+"/update", `{"db":"g1","edges":"u a q"}`)
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("update on wedged entry: %d %v, want 503", code, out)
+	}
+	// ...while reads keep serving the last durable published state.
+	if got := countA(t, ts.URL); got != want {
+		t.Fatalf("wedged entry disturbed reads: %v rows, want %v", got, want)
+	}
+}
+
+func TestServerFollowerTailsLeader(t *testing.T) {
+	dir := t.TempDir()
+	_, lts, _ := durableServer(t, dir)
+	if code, out := postJSON(t, lts.URL+"/update", `{"db":"g1","edges":"u a v"}`); code != http.StatusOK {
+		t.Fatalf("leader update: %d %v", code, out)
+	}
+
+	fo, err := graph.OpenFollower(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fsrv := newServer(serverOptions{maxInflight: 8, sessionCap: 16})
+	fe := fsrv.addDB("g1", fo.DB())
+	fe.follower = fo
+	stop := make(chan struct{})
+	defer close(stop)
+	go fe.tail(2*time.Millisecond, stop)
+	fts := httptest.NewServer(fsrv.handler())
+	defer fts.Close()
+
+	if got := countA(t, fts.URL); got != 1 {
+		t.Fatalf("follower recovered %v rows, want 1", got)
+	}
+	// The follower is read-only.
+	if code, out := postJSON(t, fts.URL+"/update", `{"db":"g1","edges":"x a y"}`); code != http.StatusForbidden {
+		t.Fatalf("follower accepted a write: %d %v", code, out)
+	}
+	// A leader batch surfaces within the poll cadence.
+	if code, out := postJSON(t, lts.URL+"/update", `{"db":"g1","edges":"v a w\nw a u"}`); code != http.StatusOK {
+		t.Fatalf("leader update: %d %v", code, out)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for countA(t, fts.URL) != 3 {
+		if time.Now().After(deadline) {
+			t.Fatalf("follower never converged: %v rows, want 3", countA(t, fts.URL))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -1,19 +1,32 @@
 // Command cxrpq-serve is a concurrent CXRPQ evaluation server over the
 // prepared-query subsystem (cxrpq.Prepare / Plan.Bind / Session): an
-// HTTP/JSON front-end with a per-database session pool, incremental cache
-// maintenance on database updates (insert-only /update deltas retain or
-// frontier-extend the pooled sessions' caches instead of flushing them;
-// see the server.go comment block), pull-based streaming evaluation with
-// pagination, deadlines and ranked (shortest-witness-first) order, and a
-// two-tier in-flight limiter that degrades to partial answers before it
-// rejects with 429.
+// HTTP/JSON front-end with MVCC snapshot reads (queries and parked cursors
+// run against an immutable published graph.Snapshot view with its forked
+// session pool, so reads never block on /update), durable writes behind
+// -data-dir (write-ahead log + checkpoints, fsync before ack, crash
+// recovery on startup), incremental cache maintenance at publish time
+// (insert-only /update deltas retain or frontier-extend the pooled
+// sessions' caches instead of flushing them; see the server.go comment
+// block), pull-based streaming evaluation with pagination, deadlines and
+// ranked (shortest-witness-first) order, and a two-tier in-flight limiter
+// that degrades to partial answers before it rejects with 429.
 //
 // Usage:
 //
-//	cxrpq-serve [-addr :8080] [-db name=path]... [-inflight 64] [-shed-ms 100] [-sessions 128] [-shards 0] [-pprof]
+//	cxrpq-serve [-addr :8080] [-db name=path]... [-data-dir dir] [-follower]
+//	            [-wal-sync-every 1] [-checkpoint-bytes 4194304] [-follower-poll-ms 100]
+//	            [-inflight 64] [-shed-ms 100] [-sessions 128] [-shards 0] [-pprof]
 //
 // Databases are the textual graph format (one "from label to" triple per
-// line); requests may alternatively carry an inline graph. Quickstart:
+// line); requests may alternatively carry an inline graph. With -data-dir,
+// each named database persists under <dir>/<name> (checkpoint.graph +
+// wal.log): a fresh directory is seeded from the -db file and checkpointed,
+// an existing one is recovered by checkpoint load + WAL replay and the -db
+// path is ignored. /update acknowledges only after the WAL record is
+// fsynced, so a kill -9 loses no acknowledged batch. -follower serves the
+// store directories read-only instead: every store under -data-dir is
+// recovered and then tailed (leader appends surface within the poll
+// interval), and /update is refused with 403. Quickstart:
 //
 //	cxrpq-serve -addr :8080 &
 //	curl -s localhost:8080/query -d '{
@@ -29,7 +42,7 @@
 //	curl -s localhost:8080/query -d '{"cursor":"<token>","limit":100}'
 //
 // See internal/README.md for the endpoint reference and the server.go
-// comment block for cursor, deadline and shedding semantics.
+// comment block for cursor, deadline, shedding and durability semantics.
 package main
 
 import (
@@ -38,6 +51,7 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"path/filepath"
 	"time"
 
 	"cxrpq/internal/engine"
@@ -56,8 +70,13 @@ func main() {
 	sessions := flag.Int("sessions", 128, "pooled prepared sessions per database")
 	shards := flag.Int("shards", 0, "reachability-kernel shard count (0 = GOMAXPROCS; normalized to a power of two)")
 	pprof := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ for profile-driven shard tuning")
+	dataDir := flag.String("data-dir", "", "durability root: each named db persists under <dir>/<name> as WAL + checkpoints, recovered on startup")
+	follower := flag.Bool("follower", false, "serve the stores under -data-dir read-only, tailing each WAL; /update is refused")
+	walSync := flag.Int("wal-sync-every", 1, "fsync cadence in WAL appends: 1 syncs before every ack (crash-safe), n>1 group-commits (bounded loss), negative never syncs")
+	ckptBytes := flag.Int64("checkpoint-bytes", 4<<20, "write a checkpoint and reset the WAL when it outgrows this size; negative disables")
+	pollMS := flag.Int("follower-poll-ms", 100, "WAL poll interval (ms) in follower mode")
 	var dbs dbFlags
-	flag.Var(&dbs, "db", "named database as name=path (repeatable)")
+	flag.Var(&dbs, "db", "named database as name=path (repeatable); with -data-dir the path only seeds a fresh store")
 	flag.Parse()
 
 	if *shards != 0 {
@@ -67,10 +86,57 @@ func main() {
 		maxInflight: *inflight, sessionCap: *sessions, pprof: *pprof,
 		shedBudget: time.Duration(*shedMS) * time.Millisecond,
 	})
+
+	if *follower {
+		if *dataDir == "" {
+			log.Fatal("-follower requires -data-dir")
+		}
+		names, err := storeNames(*dataDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		stop := make(chan struct{}) // closed never: followers tail for the process lifetime
+		for _, name := range names {
+			fo, err := graph.OpenFollower(filepath.Join(*dataDir, name))
+			if err != nil {
+				log.Fatalf("recover follower %s: %v", name, err)
+			}
+			e := srv.addDB(name, fo.DB())
+			e.follower = fo
+			go e.tail(time.Duration(*pollMS)*time.Millisecond, stop)
+			log.Printf("tailing db %q: %d nodes, %d edges at revision %d (replayed %d records)",
+				name, fo.DB().NumNodes(), fo.DB().NumEdges(), fo.DB().Revision(), fo.Replayed())
+		}
+		log.Printf("cxrpq-serve follower listening on %s (%d dbs)", *addr, len(names))
+		log.Fatal(http.ListenAndServe(*addr, srv.handler()))
+	}
+
 	for _, v := range dbs {
 		name, path, err := parseDBFlag(v)
 		if err != nil {
 			log.Fatal(err)
+		}
+		if *dataDir != "" {
+			st, err := graph.OpenStore(filepath.Join(*dataDir, name),
+				graph.StoreOptions{SyncEvery: *walSync, CheckpointBytes: *ckptBytes})
+			if err != nil {
+				log.Fatalf("open store %s: %v", name, err)
+			}
+			db := st.DB()
+			if db.Revision() == 0 && db.NumNodes() == 0 {
+				// Fresh store: seed it from the -db file as one batch and
+				// checkpoint, so durability covers the seed from revision 1.
+				if err := seedStore(st, path); err != nil {
+					log.Fatalf("seed %s from %s: %v", name, path, err)
+				}
+				log.Printf("seeded db %q from %s: %d nodes, %d edges", name, path, db.NumNodes(), db.NumEdges())
+			} else {
+				log.Printf("recovered db %q: %d nodes, %d edges at revision %d (replayed %d records)",
+					name, db.NumNodes(), db.NumEdges(), db.Revision(), st.Stats().ReplayedRecords)
+			}
+			e := srv.addDB(name, db)
+			e.store = st
+			continue
 		}
 		f, err := os.Open(path)
 		if err != nil {
@@ -87,4 +153,45 @@ func main() {
 
 	log.Printf("cxrpq-serve listening on %s (%d dbs, inflight=%d)", *addr, len(dbs), *inflight)
 	log.Fatal(http.ListenAndServe(*addr, srv.handler()))
+}
+
+// seedStore loads a textual graph file into a store's empty database as one
+// insert batch and writes the first checkpoint.
+func seedStore(st *graph.Store, path string) error {
+	text, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	adds, err := graph.ParseDeltaEdges(string(text))
+	if err != nil {
+		return err
+	}
+	if _, err := st.DB().ApplyDelta(graph.Delta{Add: adds}); err != nil {
+		return err
+	}
+	return st.Checkpoint()
+}
+
+// storeNames lists the store directories under a durability root.
+func storeNames(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, ent := range ents {
+		if !ent.IsDir() {
+			continue
+		}
+		for _, f := range []string{"checkpoint.graph", "wal.log"} {
+			if _, err := os.Stat(filepath.Join(dir, ent.Name(), f)); err == nil {
+				names = append(names, ent.Name())
+				break
+			}
+		}
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no store directories under %s", dir)
+	}
+	return names, nil
 }

@@ -52,9 +52,10 @@ func TestQueryEvalNamedDB(t *testing.T) {
 		t.Fatal("second query failed")
 	}
 	e, _ := srv.entry("g1")
-	e.sessMu.Lock()
-	n := len(e.sessions)
-	e.sessMu.Unlock()
+	st := e.state.Load()
+	st.sessMu.Lock()
+	n := len(st.sessions)
+	st.sessMu.Unlock()
 	if n != 1 {
 		t.Fatalf("session pool has %d entries, want 1", n)
 	}

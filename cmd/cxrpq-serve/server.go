@@ -37,20 +37,33 @@ package main
 // /update delta semantics: the request is one batched graph.Delta — "edges"
 // are added (interning unknown node names), "remove" deletes one occurrence
 // of each listed edge, which must exist (a delta naming a missing edge or
-// node is rejected with 400 and nothing is applied). The batch runs under
-// the database's write lock, so it is quiescent with respect to queries,
-// and every pooled session is eagerly refreshed through the
-// incremental-update subsystem before the lock is released: an insert-only
+// node is rejected with 400 and nothing is applied). Reads are MVCC: every
+// database publishes an immutable graph.Snapshot view plus the session pool
+// forked onto it (dbState), and /query, /plan and parked cursors run
+// entirely against the published state — they take no lock a writer can
+// hold, so reads never block on /update and an open cursor keeps its pinned
+// revision. The writer applies the batch to its private live DB, makes it
+// durable (below), then publishes a fresh snapshot with every pooled
+// session forked through the incremental-update subsystem: an insert-only
 // batch over known labels keeps each session's atom relations (retained or
-// frontier-extended per entry, see cxrpq.Session) and its feasibility memo,
-// dropping only result/label/plan caches; removals, brand-new labels, or an
-// add-only batch that merely cancels a previous removal fall back to the
-// historical whole-epoch flush or wholesale retention respectively.
-// Sessions created later, and sessions of other server replicas sharing
-// the DB, maintain themselves lazily from the same per-revision delta log.
-// The response reports the net delta; /stats exposes the per-database
-// retained-vs-rebuilt maintenance counters (graph index/stats/alphabet and
-// aggregated session caches).
+// frontier-extended per entry, see cxrpq.Session.Fork) and its feasibility
+// memo, dropping only result/label/plan caches; removals or brand-new
+// labels fall back to a fresh epoch. The maintenance cost is paid at write
+// time, off the reader path. The response reports the net delta; /stats
+// exposes the per-database retained-vs-rebuilt maintenance counters.
+//
+// Durability (-data-dir): each named database lives in <dir>/<name> as a
+// checkpoint plus a write-ahead log of delta batches (graph.Store). /update
+// acknowledges only after the WAL record is fsynced — a kill -9 at any
+// moment loses no acknowledged batch; on restart the server recovers by
+// loading the checkpoint and replaying the log (a torn tail is an append
+// that was never acknowledged, and is dropped). A WAL append failure leaves
+// the last durable state published and fails the batch with 500; the entry
+// then refuses further writes (503) rather than diverge from its log.
+// -follower serves the same directories read-only, tailing each WAL and
+// republishing snapshots as the leader's batches land; /update is refused
+// with 403 there. /stats carries the durability counters (wal_bytes,
+// checkpoints, replayed_records, ...).
 
 import (
 	"context"
@@ -59,11 +72,13 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
 	"net/http/pprof"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"cxrpq/internal/cxrpq"
@@ -90,20 +105,58 @@ func defaultOptions() serverOptions {
 	}
 }
 
-// dbEntry is one named database with its session pool. Queries hold the
-// read lock; /update holds the write lock, so mutations are quiescent with
-// respect to evaluations (the Session invalidation contract).
+// dbState is one published MVCC epoch of a database: an immutable snapshot
+// view of the graph plus the session pool bound to it. Readers load the
+// current state with a single atomic pointer read and then share nothing
+// with the writer — the view's storage is frozen (graph.Snapshot), and the
+// pooled sessions are concurrency-safe caches pinned to that view.
+type dbState struct {
+	db  *graph.DB // frozen snapshot view
+	rev uint64    // == db.Revision(), cached for the lock-free cursor check
+
+	sessMu   sync.Mutex
+	sessions map[string]*cxrpq.Session // query text -> session bound to db
+}
+
+// dbEntry is one named database: the writer-owned live DB with its
+// durability hooks, and the atomically published read state. Queries never
+// lock the entry; /update (or the follower tail loop) serializes on writeMu,
+// mutates live, persists, and publishes a successor dbState.
 type dbEntry struct {
 	name string
 
-	mu sync.RWMutex
-	db *graph.DB
+	writeMu sync.Mutex // serializes mutators; guards live mutation, store, walErr
+	// live is the writer-private mutable DB. The pointer is atomic only
+	// because a follower reload swaps it while /stats reads the (atomic)
+	// maintenance counters through it; all mutation happens under writeMu.
+	live     atomic.Pointer[graph.DB]
+	store    *graph.Store    // durability, nil without -data-dir
+	follower *graph.Follower // non-nil on a read-only replica
+	walErr   error           // a failed append wedges the entry (503)
 
-	sessMu   sync.Mutex
-	sessions map[string]*cxrpq.Session // query text -> bound session
+	state atomic.Pointer[dbState]
 
 	qmu sync.Mutex
 	qs  queryCounters
+}
+
+// publish snapshots the live DB and forks every pooled session of the
+// previous state onto the new view — the MVCC publish step. The caller
+// holds writeMu. Sessions racing into the old pool after the fork loop are
+// simply dropped with it (they are pure caches, recompiled on demand).
+func (e *dbEntry) publish() *dbState {
+	view := e.live.Load().Snapshot().DB()
+	ns := &dbState{db: view, rev: view.Revision(),
+		sessions: map[string]*cxrpq.Session{}}
+	if old := e.state.Load(); old != nil {
+		old.sessMu.Lock()
+		for src, sess := range old.sessions {
+			ns.sessions[src] = sess.Fork(view)
+		}
+		old.sessMu.Unlock()
+	}
+	e.state.Store(ns)
+	return ns
 }
 
 // queryCounters aggregates the streaming telemetry of one database's
@@ -144,31 +197,31 @@ func (e *dbEntry) recordRows(rows int) {
 }
 
 // session returns the pooled session for a query text, preparing and
-// binding it on first use. The pool is bounded: on overflow the whole pool
-// is dropped (sessions are pure caches).
-func (e *dbEntry) session(src string, cap int) (*cxrpq.Session, error) {
-	e.sessMu.Lock()
-	if s, ok := e.sessions[src]; ok {
-		e.sessMu.Unlock()
+// binding it to this state's view on first use. The pool is bounded: on
+// overflow the whole pool is dropped (sessions are pure caches).
+func (st *dbState) session(src string, cap int) (*cxrpq.Session, error) {
+	st.sessMu.Lock()
+	if s, ok := st.sessions[src]; ok {
+		st.sessMu.Unlock()
 		return s, nil
 	}
-	e.sessMu.Unlock()
+	st.sessMu.Unlock()
 	// Compile outside the lock: preparing a plan walks the whole query, and
 	// holding sessMu through it would serialize pooled lookups behind it.
 	p, err := cxrpq.PrepareSrc(src)
 	if err != nil {
 		return nil, err
 	}
-	e.sessMu.Lock()
-	defer e.sessMu.Unlock()
-	if s, ok := e.sessions[src]; ok { // raced with another compiler
+	st.sessMu.Lock()
+	defer st.sessMu.Unlock()
+	if s, ok := st.sessions[src]; ok { // raced with another compiler
 		return s, nil
 	}
-	if len(e.sessions) >= cap {
-		e.sessions = map[string]*cxrpq.Session{}
+	if len(st.sessions) >= cap {
+		st.sessions = map[string]*cxrpq.Session{}
 	}
-	s := p.Bind(e.db)
-	e.sessions[src] = s
+	s := p.Bind(st.db)
+	st.sessions[src] = s
 	return s, nil
 }
 
@@ -208,11 +261,44 @@ func newServer(opts serverOptions) *server {
 	}
 }
 
-// addDB registers a named database.
-func (s *server) addDB(name string, db *graph.DB) {
+// addDB registers a named database and publishes its first snapshot. The
+// returned entry lets startup attach durability hooks (store, follower)
+// before the server begins accepting requests.
+func (s *server) addDB(name string, db *graph.DB) *dbEntry {
+	e := &dbEntry{name: name}
+	e.live.Store(db)
+	e.publish()
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.dbs[name] = &dbEntry{name: name, db: db, sessions: map[string]*cxrpq.Session{}}
+	s.dbs[name] = e
+	return e
+}
+
+// tail is the follower-mode write path: poll the leader's WAL on a cadence
+// and republish a snapshot whenever new records were applied (or a leader
+// checkpoint forced a reload, which swaps the DB identity). It takes the
+// same writeMu a leader's /update would, so the publish discipline is
+// identical; readers stay lock-free either way. Runs until stop is closed.
+func (e *dbEntry) tail(interval time.Duration, stop <-chan struct{}) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+		}
+		e.writeMu.Lock()
+		n, err := e.follower.Poll()
+		if err != nil {
+			log.Printf("follower %s: poll: %v", e.name, err)
+		}
+		if db := e.follower.DB(); n > 0 || db != e.live.Load() {
+			e.live.Store(db)
+			e.publish()
+		}
+		e.writeMu.Unlock()
+	}
 }
 
 func (s *server) entry(name string) (*dbEntry, bool) {
@@ -269,10 +355,12 @@ func (s *server) limited(h http.HandlerFunc) http.HandlerFunc {
 }
 
 // cursorRec is one parked stream held across /query pages: the pull
-// cursor, the database it reads (its producer is quiescent between
-// fetches, so /update stays safe), and the revision it opened at — a
-// mutation invalidates the cursor rather than serving rows that mix
-// epochs.
+// cursor, the snapshot view it reads (frozen storage, so /update never
+// perturbs it mid-stream), and the revision it opened at. A mutation still
+// invalidates the cursor at the API level — pages of one stream all come
+// from the current published revision, by contract — but the check is a
+// lock-free comparison against the published state, not a lock shared with
+// the writer.
 type cursorRec struct {
 	id string
 
@@ -308,20 +396,27 @@ func newCursorRegistry(cap int, ttl time.Duration) *cursorRegistry {
 	return &cursorRegistry{recs: map[string]*cursorRec{}, last: map[string]time.Time{}, cap: cap, ttl: ttl}
 }
 
+// randRead sources cursor-token entropy; a package variable so tests can
+// inject a failing reader.
+var randRead = rand.Read
+
 // put registers a cursor under a fresh token and returns the token plus any
 // records evicted by TTL or capacity — the caller closes those outside the
-// registry lock.
-func (cr *cursorRegistry) put(rec *cursorRec) (string, []*cursorRec) {
+// registry lock. A crypto/rand failure is reported, not panicked: it fails
+// one request, the server keeps serving. A non-positive capacity means
+// unbounded — the eviction loop must not run then, since with nothing
+// evictable per pass it would never terminate.
+func (cr *cursorRegistry) put(rec *cursorRec) (string, []*cursorRec, error) {
 	var b [16]byte
-	if _, err := rand.Read(b[:]); err != nil {
-		panic(err) // crypto/rand failure is not a recoverable request error
+	if _, err := randRead(b[:]); err != nil {
+		return "", nil, fmt.Errorf("minting cursor token: %w", err)
 	}
 	tok := hex.EncodeToString(b[:])
 	now := time.Now()
 	cr.mu.Lock()
 	defer cr.mu.Unlock()
 	evicted := cr.sweepLocked(now)
-	for len(cr.recs) >= cr.cap {
+	for cr.cap > 0 && len(cr.recs) >= cr.cap {
 		oldest, at := "", now
 		for id, t := range cr.last {
 			if !t.After(at) {
@@ -335,7 +430,7 @@ func (cr *cursorRegistry) put(rec *cursorRec) (string, []*cursorRec) {
 	rec.id = tok
 	cr.recs[tok] = rec
 	cr.last[tok] = now
-	return tok, evicted
+	return tok, evicted, nil
 }
 
 // get looks a token up, refreshing its idle clock. Expired records are
@@ -458,11 +553,12 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	// Resolve the database: a pooled named one, or an inline one-off graph.
+	// Resolve the database: a pooled named one (its published MVCC state —
+	// no lock is taken, so the evaluation below never waits on a writer and
+	// never observes a mutation mid-stream), or an inline one-off graph.
 	var sess *cxrpq.Session
 	var db *graph.DB
 	var e *dbEntry
-	var unlock func()
 	switch {
 	case req.DB != "" && req.Graph != "":
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("give either db or graph, not both"))
@@ -474,13 +570,11 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			writeErr(w, http.StatusNotFound, fmt.Errorf("unknown db %q", req.DB))
 			return
 		}
-		e.mu.RLock()
-		unlock = e.mu.RUnlock
-		db = e.db
+		st := e.state.Load()
+		db = st.db
 		var err error
-		sess, err = e.session(req.Query, s.opts.sessionCap)
+		sess, err = st.session(req.Query, s.opts.sessionCap)
 		if err != nil {
-			unlock()
 			writeErr(w, http.StatusBadRequest, err)
 			return
 		}
@@ -497,12 +591,10 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		sess = p.Bind(db)
-		unlock = func() {}
 	default:
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("missing db or graph"))
 		return
 	}
-	defer unlock()
 
 	sem, k, err := resolveSemantics(req.Semantics, req.K)
 	if err != nil {
@@ -658,7 +750,13 @@ func (s *server) streamQuery(w http.ResponseWriter, r *http.Request, sess *cxrpq
 	default:
 		rec := &cursorRec{cur: cur, entry: e, db: db, rev: db.Revision(),
 			fragment: sess.Fragment(), ranked: req.Ranked, limit: lim}
-		tok, evicted := s.cursors.put(rec)
+		tok, evicted, err := s.cursors.put(rec)
+		if err != nil {
+			cur.Close()
+			closeAll(evicted)
+			writeErr(w, http.StatusInternalServerError, err)
+			return
+		}
 		out.Cursor = tok
 		defer closeAll(evicted)
 	}
@@ -668,9 +766,9 @@ func (s *server) streamQuery(w http.ResponseWriter, r *http.Request, sess *cxrpq
 }
 
 // handleCursorFetch continues a parked stream: {"cursor":"...","limit":n}.
-// The fetch runs under the database read lock (the parked producer is
-// quiescent outside it), and a cursor whose database has moved on since it
-// opened is invalidated rather than resumed across epochs.
+// The fetch reads the cursor's pinned snapshot — no database lock exists to
+// take — and a cursor whose database has published a newer revision since
+// it opened is invalidated rather than resumed across epochs.
 func (s *server) handleCursorFetch(w http.ResponseWriter, req *queryRequest) {
 	if req.Query != "" || req.DB != "" || req.Graph != "" || req.Mode != "" || req.Semantics != "" {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("a cursor request carries only cursor and limit"))
@@ -692,15 +790,11 @@ func (s *server) handleCursorFetch(w http.ResponseWriter, req *queryRequest) {
 		writeErr(w, http.StatusGone, fmt.Errorf("unknown or expired cursor"))
 		return
 	}
-	if rec.entry != nil {
-		rec.entry.mu.RLock()
-		defer rec.entry.mu.RUnlock()
-		if rec.entry.db.Revision() != rec.rev {
-			s.cursors.drop(rec.id)
-			rec.close()
-			writeErr(w, http.StatusGone, fmt.Errorf("cursor invalidated by database update"))
-			return
-		}
+	if rec.entry != nil && rec.entry.state.Load().rev != rec.rev {
+		s.cursors.drop(rec.id)
+		rec.close()
+		writeErr(w, http.StatusGone, fmt.Errorf("cursor invalidated by database update"))
+		return
 	}
 	lim := req.Limit
 	if lim <= 0 {
@@ -809,7 +903,6 @@ func (s *server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	}
 	var sess *cxrpq.Session
 	var db *graph.DB
-	unlock := func() {}
 	switch {
 	case req.DB != "" && req.Graph != "":
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("give either db or graph, not both"))
@@ -820,13 +913,11 @@ func (s *server) handlePlan(w http.ResponseWriter, r *http.Request) {
 			writeErr(w, http.StatusNotFound, fmt.Errorf("unknown db %q", req.DB))
 			return
 		}
-		e.mu.RLock()
-		unlock = e.mu.RUnlock
-		db = e.db
+		st := e.state.Load()
+		db = st.db
 		var err error
-		sess, err = e.session(req.Query, s.opts.sessionCap)
+		sess, err = st.session(req.Query, s.opts.sessionCap)
 		if err != nil {
-			unlock()
 			writeErr(w, http.StatusBadRequest, err)
 			return
 		}
@@ -847,7 +938,6 @@ func (s *server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("missing db or graph"))
 		return
 	}
-	defer unlock()
 
 	rep, err := sess.PlanReport()
 	if err != nil {
@@ -898,6 +988,10 @@ func (s *server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusNotFound, fmt.Errorf("unknown db %q", req.DB))
 		return
 	}
+	if e.follower != nil {
+		writeErr(w, http.StatusForbidden, fmt.Errorf("db %q is a read-only follower replica", req.DB))
+		return
+	}
 	var delta graph.Delta
 	var err error
 	if delta.Add, err = graph.ParseDeltaEdges(req.Edges); err != nil {
@@ -908,39 +1002,46 @@ func (s *server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	// Apply under the write lock: no query is in flight, so the batch is
-	// quiescent. Pooled sessions are refreshed eagerly through the
-	// incremental-update path — the delta cost is paid here, at write time,
-	// not by the first reader of each session.
-	e.mu.Lock()
-	info, err := e.db.ApplyDelta(delta)
+	// Apply to the writer-private live DB (readers keep evaluating on the
+	// published snapshot throughout), make the batch durable, then publish:
+	// snapshot + fork every pooled session through the incremental-update
+	// path. The maintenance cost is paid here, at write time, never by a
+	// reader. The ack is written only after the WAL fsync — the durability
+	// contract — and a failed append refuses to publish (or acknowledge)
+	// state the log does not hold.
+	e.writeMu.Lock()
+	defer e.writeMu.Unlock()
+	if e.walErr != nil {
+		writeErr(w, http.StatusServiceUnavailable,
+			fmt.Errorf("db %q refuses writes after a WAL failure: %v", e.name, e.walErr))
+		return
+	}
+	live := e.live.Load()
+	fromRev := live.Revision()
+	info, err := live.ApplyDelta(delta)
 	if err != nil {
-		e.mu.Unlock()
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	e.sessMu.Lock()
-	sessions := make([]*cxrpq.Session, 0, len(e.sessions))
-	for _, sess := range e.sessions {
-		sessions = append(sessions, sess)
+	if e.store != nil {
+		if err := e.store.Append(delta, fromRev, live.Revision()); err != nil {
+			// The live DB is ahead of its log now; wedge the entry so the
+			// divergence cannot compound, and keep serving the last durable
+			// published state.
+			e.walErr = err
+			writeErr(w, http.StatusInternalServerError, fmt.Errorf("wal append: %v", err))
+			return
+		}
 	}
-	e.sessMu.Unlock()
-	// Each session maintains from the shared mutation log independently; if
-	// per-update latency under the write lock ever matters with very large
-	// pools, the net delta and the relation-extension frontier could be
-	// derived once here and shared across the refreshes.
-	for _, sess := range sessions {
-		sess.Refresh()
-	}
+	st := e.publish()
 	resp := updateResponse{
-		DB: e.name, Revision: e.db.Revision(), Nodes: e.db.NumNodes(), Edges: e.db.NumEdges(),
+		DB: e.name, Revision: st.rev, Nodes: st.db.NumNodes(), Edges: st.db.NumEdges(),
 		Added: len(info.Added), Removed: len(info.Removed), NewNodes: info.NewNodes,
 		InsertOnly: info.InsertOnly(),
 	}
 	for _, l := range info.NewLabels {
 		resp.NewLabels = append(resp.NewLabels, string(l))
 	}
-	e.mu.Unlock()
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -962,6 +1063,12 @@ type dbStats struct {
 	// database's derived state and the pooled sessions' caches.
 	Maint     graph.MaintStats `json:"maint"`
 	SessMaint sessMaintStats   `json:"sessions_maint"`
+
+	// Durability counters (-data-dir): WAL volume, fsync cadence,
+	// checkpoints and recovery replay; Follower mirrors the tail loop of a
+	// read-only replica.
+	Store    *graph.StoreStats `json:"store,omitempty"`
+	Follower *followerStats    `json:"follower,omitempty"`
 
 	// Streaming telemetry: /query volume, rows delivered (first pages plus
 	// cursor fetches), mean time-to-first-row, and how many evaluations
@@ -985,6 +1092,13 @@ type sessMaintStats struct {
 	RelExtended  uint64 `json:"rel_extended"`
 }
 
+// followerStats reports a replica's tail-loop progress: WAL records applied
+// (recovery plus tailing) and checkpoint-forced reloads.
+type followerStats struct {
+	Replayed uint64 `json:"replayed_records"`
+	Reloads  uint64 `json:"reloads"`
+}
+
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	names := make([]string, 0, len(s.dbs))
@@ -999,13 +1113,21 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		if !ok {
 			continue
 		}
-		e.mu.RLock()
-		st := dbStats{Name: e.name, Nodes: e.db.NumNodes(), Edges: e.db.NumEdges(), Revision: e.db.Revision(),
-			Maint: e.db.MaintStats()}
-		e.mu.RUnlock()
-		e.sessMu.Lock()
-		st.Sessions = len(e.sessions)
-		for _, sess := range e.sessions {
+		pub := e.state.Load()
+		// Sizes come from the published view; the maintenance counters live
+		// on the writer's DB (atomics — safe to read without its lock).
+		st := dbStats{Name: e.name, Nodes: pub.db.NumNodes(), Edges: pub.db.NumEdges(), Revision: pub.rev,
+			Maint: e.live.Load().MaintStats()}
+		if e.store != nil {
+			ss := e.store.Stats()
+			st.Store = &ss
+		}
+		if e.follower != nil {
+			st.Follower = &followerStats{Replayed: e.follower.Replayed(), Reloads: e.follower.Reloads()}
+		}
+		pub.sessMu.Lock()
+		st.Sessions = len(pub.sessions)
+		for _, sess := range pub.sessions {
 			ss := sess.Stats()
 			st.SessMaint.DeltaApplies += ss.Maint.DeltaApplies
 			st.SessMaint.Retains += ss.Maint.Retains
@@ -1013,7 +1135,7 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 			st.SessMaint.RelRetained += ss.Rel.Retained
 			st.SessMaint.RelExtended += ss.Rel.Extended
 		}
-		e.sessMu.Unlock()
+		pub.sessMu.Unlock()
 		e.qmu.Lock()
 		st.Queries = e.qs.Queries
 		st.RowsStreamed = e.qs.RowsStreamed

@@ -25,7 +25,16 @@
 //	                     (shared CSR base + overlay), recompute only
 //	                     touched labels' stats and revalidate the alphabet
 //	                     instead of rebuilding (MaintStats counts the
-//	                     retained-vs-rebuilt paths)
+//	                     retained-vs-rebuilt paths); DB.Snapshot pins a
+//	                     revision as an immutable read view sharing the
+//	                     live DB's storage (persistent name layers, pinned
+//	                     CSR spans, pre-warmed derived caches), and
+//	                     store.go is the durability layer: an append-only
+//	                     write-ahead log of framed Delta batches
+//	                     (length + CRC32 + revision-windowed payload,
+//	                     fsync per SyncEvery) with automatic checkpoints,
+//	                     torn-tail-tolerant crash recovery (OpenStore) and
+//	                     log-tailing read-only followers (OpenFollower)
 //	internal/engine      the product-reachability core shared by every
 //	                     evaluation path: integer-interned graph×NFA BFS
 //	                     with bitset visited sets (Reach/ReachBits), a
@@ -98,22 +107,29 @@
 //	                     generator (RandomQuery) behind the differential
 //	                     fuzz harness, and the MutationStream delta
 //	                     workload behind the incremental-update experiment
-//	internal/exp         the E1-E23 experiment harness (see DESIGN.md)
+//	internal/exp         the E1-E24 experiment harness (see DESIGN.md)
 //
 // cmd/cxrpq-serve is the concurrent HTTP/JSON evaluation server over the
 // prepared-query subsystem: a per-database pool of prepared sessions,
+// MVCC reads (every /query, /plan and cursor fetch runs lock-free on the
+// latest published snapshot epoch, loaded through one atomic pointer),
 // pull-based streaming /query with limit/cursor pagination, deadline_ms
 // budgets (expiry or client disconnect returns the rows found so far with
 // "truncated") and ranked shortest-witness-first order, a two-tier
 // in-flight limiter that degrades to shed partial answers before
 // rejecting with 429, batched /update deltas (additions and removals)
-// that maintain the pooled sessions' caches incrementally instead of
-// flushing them (and invalidate parked cursors), a /plan debug endpoint
-// reporting the planner-chosen join order with estimated cardinalities,
-// and /stats counters for retained-vs-rebuilt cache entries,
-// time-to-first-row and rows-streamed telemetry, and the sharded kernel's
-// per-shard edge/exchange volumes; -shards pins the kernel shard count and
-// -pprof mounts net/http/pprof (see the quickstart in internal/README.md).
+// that append to the write-ahead log before acknowledging and fork the
+// pooled sessions' caches incrementally off the reader path (invalidating
+// parked cursors), a /plan debug endpoint reporting the planner-chosen
+// join order with estimated cardinalities, and /stats counters for
+// retained-vs-rebuilt cache entries, time-to-first-row and rows-streamed
+// telemetry, the sharded kernel's per-shard edge/exchange volumes, and the
+// store's WAL/checkpoint/recovery counters; -data-dir makes every
+// database durable (recover on startup, WAL-append-then-ack), -follower
+// serves the same directories read-only by tailing the leader's log,
+// -shards pins the kernel shard count and -pprof mounts net/http/pprof
+// (see the quickstart and the PR 8 durability section in
+// internal/README.md).
 //
 // internal/README.md describes the architecture of the hot path and the
 // Plan/Session lifecycle. bench_test.go in this directory exposes every

@@ -10,8 +10,10 @@
 package automata
 
 import (
+	"encoding/binary"
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // Epsilon is the reserved label for ε-transitions. It is outside the valid
@@ -135,8 +137,25 @@ func newStateSet(states map[int]bool) StateSet {
 	return s
 }
 
-// Key returns a canonical string key for use in maps.
-func (s StateSet) Key() string { return fmt.Sprint([]int(s)) }
+// keyBuf recycles the scratch buffer Key encodes into (the returned string
+// is its own allocation either way).
+var keyBuf = sync.Pool{New: func() any { b := make([]byte, 0, 64); return &b }}
+
+// Key returns a canonical string key for use in maps: the uvarint encoding
+// of the sorted states, concatenated. Varints are self-delimiting, so
+// distinct sets yield distinct keys — far cheaper than the decimal print
+// this replaces, which subset constructions pay per discovered set.
+func (s StateSet) Key() string {
+	bp := keyBuf.Get().(*[]byte)
+	b := (*bp)[:0]
+	for _, p := range s {
+		b = binary.AppendUvarint(b, uint64(p))
+	}
+	k := string(b)
+	*bp = b
+	keyBuf.Put(bp)
+	return k
+}
 
 // Contains reports whether p is in the (sorted) set.
 func (s StateSet) Contains(p int) bool {

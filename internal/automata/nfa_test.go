@@ -189,3 +189,20 @@ func TestQuickAcceptAgainstSpec(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestStateSetKeyInjective: the binary Key must separate state sets that a
+// naive byte concatenation would conflate (varints are self-delimiting).
+func TestStateSetKeyInjective(t *testing.T) {
+	sets := []StateSet{
+		{}, {0}, {1}, {0, 1}, {1, 2}, {128}, {1, 28}, {12, 8},
+		{127}, {127, 128}, {16384}, {0, 16384},
+	}
+	seen := map[string]int{}
+	for i, s := range sets {
+		k := s.Key()
+		if j, dup := seen[k]; dup {
+			t.Fatalf("sets %v and %v share key %q", sets[j], s, k)
+		}
+		seen[k] = i
+	}
+}

@@ -316,6 +316,61 @@ func (s *Session) Refresh() {
 	}
 }
 
+// Fork returns a new Session bound to db — a successor of the current
+// binding, typically the next graph.Snapshot view of the same lineage —
+// with the cache epoch carried forward by the same invalidation matrix as
+// maintainLocked, but applied copy-on-write: the receiver is never
+// modified, so in-flight and parked readers of the old session (open
+// stream cursors included) keep their pinned epoch on their pinned
+// revision. This is the MVCC publish step of the serving layer: the writer
+// forks the pooled sessions onto each new snapshot at write time, so no
+// reader ever waits on maintenance.
+//
+// The fate of the caches per delta window (receiver revision → db's):
+//
+//	same revision / net-empty    epoch shared outright (caches are
+//	                             concurrency-safe; same data)
+//	insert-only, no new labels   relation cache forked + delta-maintained,
+//	                             feasibility memo shared (alphabet
+//	                             unchanged), labels/plan/results fresh
+//	anything else                fresh epoch (full rebuild)
+func (s *Session) Fork(db *graph.DB) *Session {
+	ns := &Session{plan: s.plan, db: db, opts: s.opts}
+	rev := db.Revision()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ns.maint = s.maint
+	if !s.bound || s.caches == nil {
+		return ns // never-used receiver: the fork binds lazily on first use
+	}
+	if rev == s.rev {
+		ns.bound, ns.rev, ns.sigma = true, rev, s.sigma
+		ns.caches, ns.results = s.caches, s.results
+		return ns
+	}
+	if info := db.DeltaSince(s.rev); info != nil {
+		if info.Empty() {
+			ns.bound, ns.rev, ns.sigma = true, rev, s.sigma
+			ns.caches, ns.results = s.caches, s.results
+			ns.maint.Retains++
+			return ns
+		}
+		if info.InsertOnly() && len(info.NewLabels) == 0 {
+			rels := s.caches.rels.Fork()
+			if _, _, err := rels.ApplyDelta(db, info); err == nil {
+				ns.bound, ns.rev, ns.sigma = true, rev, s.sigma
+				ns.caches = &sessionCaches{rels: rels, feas: s.caches.feas,
+					labels: map[int][]string{}}
+				ns.results = newResultCache(s.opts.ResultCacheCap)
+				ns.maint.DeltaApplies++
+				return ns
+			}
+		}
+	}
+	ns.refreshLocked(rev) // fresh epoch; safe: ns is not yet shared
+	return ns
+}
+
 // Invalidate drops every cache of the session unconditionally — no delta
 // maintenance, the next call starts a fresh epoch. Calling it is never
 // required for correctness after a quiescent DB mutation (the revision

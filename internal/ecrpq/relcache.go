@@ -131,6 +131,26 @@ func (c *RelCache) Stats() RelCacheStats {
 		Retained: c.retained, Extended: c.extended, Size: len(c.m), Cap: c.cap}
 }
 
+// Fork returns an independent copy of the cache for a successor database
+// snapshot: the entry map and its relEntry structs are cloned (so a
+// subsequent ApplyDelta on the fork rewrites its own entries), while the
+// EdgeRel values themselves — immutable once built — stay shared with the
+// parent. Readers of the parent cache therefore keep their pinned
+// relations untouched. Counters carry over: a fork continues the session
+// lineage's telemetry rather than restarting it.
+func (c *RelCache) Fork() *RelCache {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := &RelCache{cap: c.cap, m: make(map[string]*relEntry, len(c.m)),
+		hits: c.hits, misses: c.misses, evictions: c.evictions,
+		retained: c.retained, extended: c.extended}
+	for k, e := range c.m {
+		ce := *e
+		n.m[k] = &ce
+	}
+	return n
+}
+
 // Reset drops every entry (the counters are kept); used by session
 // invalidation after a database mutation.
 func (c *RelCache) Reset() {

@@ -233,6 +233,7 @@ func sortedLabelSet(set map[rune]bool) []rune {
 // net DeltaInfo of the batch. Mutations must not run concurrently with
 // readers (the usual revision contract).
 func (d *DB) ApplyDelta(delta Delta) (*DeltaInfo, error) {
+	d.mutable()
 	fromRev := d.version
 	preNodes := len(d.names)
 	// Validate removals against the pre-delta multiset.

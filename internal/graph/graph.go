@@ -34,6 +34,18 @@ type DB struct {
 	log     deltaLog // per-revision mutation records (see delta.go)
 	maint   maintCounters
 
+	// Snapshot support (see snapshot.go). frozen marks a read-only view
+	// returned by Snapshot(): mutators panic on it. layer is the immutable
+	// layered name→id map a frozen view resolves Lookup through instead of
+	// byName (which frozen views do not carry). The snap* fields live on the
+	// live DB only and cache layer/handle construction across Snapshot calls.
+	frozen      bool
+	layer       *nameLayer
+	snapLayer   *nameLayer
+	lastSnap    *Snapshot
+	lastSnapRev uint64
+	snapOnce    bool
+
 	idxMu      sync.Mutex
 	idx        *Index
 	idxVersion uint64
@@ -62,6 +74,7 @@ func (d *DB) Node(name string) int {
 	if id, ok := d.byName[name]; ok {
 		return id
 	}
+	d.mutable()
 	id := len(d.names)
 	d.names = append(d.names, name)
 	d.byName[name] = id
@@ -72,11 +85,25 @@ func (d *DB) Node(name string) int {
 	return id
 }
 
-// AddNode adds an anonymous node and returns its id.
-func (d *DB) AddNode() int { return d.Node(fmt.Sprintf("#%d", len(d.names))) }
+// AddNode adds an anonymous node and returns its id. The generated "#i"
+// name starts at the node count but probes upward until it is fresh: a
+// caller may already have interned a node literally named "#3" (delta edge
+// lists and test fixtures do), and returning that existing id here would
+// silently alias two logically distinct nodes.
+func (d *DB) AddNode() int {
+	for i := len(d.names); ; i++ {
+		name := fmt.Sprintf("#%d", i)
+		if _, taken := d.byName[name]; !taken {
+			return d.Node(name)
+		}
+	}
+}
 
 // Lookup returns the id of a named node.
 func (d *DB) Lookup(name string) (int, bool) {
+	if d.layer != nil {
+		return d.layer.lookup(name)
+	}
 	id, ok := d.byName[name]
 	return id, ok
 }
@@ -86,6 +113,7 @@ func (d *DB) Name(id int) string { return d.names[id] }
 
 // AddEdge adds the arc (from, label, to); nodes must already exist.
 func (d *DB) AddEdge(from int, label rune, to int) {
+	d.mutable()
 	e := Edge{From: from, Label: label, To: to}
 	d.out[from] = append(d.out[from], e)
 	d.in[to] = append(d.in[to], e)
@@ -385,6 +413,97 @@ func (d *DB) Write(w io.Writer) error {
 		}
 	}
 	return bw.Flush()
+}
+
+// WriteFull serialises the database in the checkpoint superset of the Write
+// format: a "#cxrpq v1 rev=R" header, one "#node <name>" directive per node
+// in id order, then the Write edge lines. Unlike Write, the output
+// reconstructs isolated nodes, the exact name→id assignment, and the
+// revision lineage — everything the WAL checkpoint needs. Plain Read treats
+// the directives as comments, so a checkpoint file still loads as a graph
+// with older tooling (minus isolated nodes).
+func (d *DB) WriteFull(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "#cxrpq v1 rev=%d\n", d.version); err != nil {
+		return err
+	}
+	for _, name := range d.names {
+		if _, err := fmt.Fprintf(bw, "#node %s\n", name); err != nil {
+			return err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	return d.Write(w)
+}
+
+// ReadFull parses the WriteFull checkpoint format. "#node" directives are
+// interned in file order (restoring the id assignment), "#cxrpq ... rev=R"
+// pins the revision counter, and every remaining line — including lines
+// whose from-node happens to start with '#', which plain Read would drop as
+// comments — is parsed as an edge when its first field names a declared
+// node. Lines starting with '#' that do not resolve to a declared node stay
+// comments, keeping ReadFull a superset of Read.
+func ReadFull(r io.Reader) (*DB, error) {
+	d := New()
+	var rev uint64
+	haveRev := false
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+			continue
+		case strings.HasPrefix(line, "#cxrpq "):
+			for _, f := range strings.Fields(line)[1:] {
+				if v, ok := strings.CutPrefix(f, "rev="); ok {
+					if _, err := fmt.Sscanf(v, "%d", &rev); err != nil {
+						return nil, fmt.Errorf("graph: line %d: bad rev %q", lineNo, v)
+					}
+					haveRev = true
+				}
+			}
+			continue
+		case strings.HasPrefix(line, "#node "):
+			d.Node(strings.TrimSpace(strings.TrimPrefix(line, "#node ")))
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if first := strings.Fields(line)[0]; !d.hasName(first) {
+				continue // genuine comment
+			}
+		}
+		from, label, to, err := parseEdgeLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: %v", lineNo, err)
+		}
+		d.AddEdgeNames(from, label, to)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if haveRev {
+		d.forceRevision(rev)
+	}
+	return d, nil
+}
+
+func (d *DB) hasName(name string) bool {
+	_, ok := d.byName[name]
+	return ok
+}
+
+// forceRevision pins the revision counter to rev (used when reloading a
+// checkpoint: the reload replays a different op count than the lineage the
+// WAL's record windows refer to). The mutation log is cleared — DeltaSince
+// windows older than rev report uncovered, which is the truth.
+func (d *DB) forceRevision(rev uint64) {
+	d.version = rev
+	d.log = deltaLog{start: rev}
 }
 
 // Read parses the textual format: one edge per line, "from label to";

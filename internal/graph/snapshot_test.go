@@ -1,0 +1,201 @@
+package graph
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// Regression: AddNode used to derive the anonymous name as "#len(names)",
+// so a caller that had already interned a node literally named "#N" got
+// that existing id back — two logically distinct nodes silently aliased.
+func TestAddNodeAliasRegression(t *testing.T) {
+	d := New()
+	collided := d.Node("#1") // the name AddNode would generate for the second node
+	first := d.AddNode()     // "#0": free
+	second := d.AddNode()    // would be "#1" — must probe past the collision
+	if first == collided || second == collided || first == second {
+		t.Fatalf("AddNode aliased an existing node: #1=%d, AddNode()=%d,%d", collided, first, second)
+	}
+	if d.NumNodes() != 3 {
+		t.Fatalf("NumNodes = %d, want 3", d.NumNodes())
+	}
+	seen := map[string]bool{}
+	for i := 0; i < d.NumNodes(); i++ {
+		if name := d.Name(i); seen[name] {
+			t.Fatalf("duplicate node name %q", name)
+		} else {
+			seen[name] = true
+		}
+	}
+}
+
+func TestAddNodeManyCollisions(t *testing.T) {
+	d := New()
+	for i := 2; i < 12; i++ {
+		d.Node(fmt.Sprintf("#%d", i)) // pre-intern a dense block of generated names
+	}
+	id := d.AddNode()
+	if got := d.Name(id); got != "#12" {
+		t.Fatalf("AddNode produced %q, want the first fresh generated name #12", got)
+	}
+}
+
+func TestSnapshotIsolation(t *testing.T) {
+	d := MustParse("u a v\nu a w\nv b w\n")
+	snap := d.Snapshot()
+	view := snap.DB()
+	if snap.Revision() != d.Revision() {
+		t.Fatalf("snapshot revision %d != live %d", snap.Revision(), d.Revision())
+	}
+	if d.Snapshot() != snap {
+		t.Fatal("Snapshot without intervening mutation should return the cached handle")
+	}
+
+	// Mutate the live DB: add edges and nodes, remove an edge, new label.
+	if _, err := d.ApplyDelta(Delta{
+		Add: []DeltaEdge{{From: "w", Label: 'c', To: "x"}, {From: "u", Label: 'a', To: "x"}},
+		Del: []DeltaEdge{{From: "v", Label: 'b', To: "w"}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	if view.NumNodes() != 3 || view.NumEdges() != 3 {
+		t.Fatalf("snapshot sizes changed: %d nodes %d edges", view.NumNodes(), view.NumEdges())
+	}
+	if _, ok := view.Lookup("x"); ok {
+		t.Fatal("snapshot sees a node interned after it was taken")
+	}
+	if id, ok := d.Lookup("x"); !ok || id != 3 {
+		t.Fatalf("live DB lost the new node: id=%d ok=%v", id, ok)
+	}
+	u, _ := view.Lookup("u")
+	v, _ := view.Lookup("v")
+	w, _ := view.Lookup("w")
+	if len(view.Out(u)) != 2 {
+		t.Fatalf("snapshot out(u) = %v", view.Out(u))
+	}
+	if !view.HasPath(v, "b", w) {
+		t.Fatal("snapshot lost the removed-later edge v-b->w")
+	}
+	if got := string(view.Alphabet()); got != "ab" {
+		t.Fatalf("snapshot alphabet = %q, want ab", got)
+	}
+	if got := string(d.Alphabet()); got != "ac" {
+		t.Fatalf("live alphabet = %q, want ac", got)
+	}
+	if info := view.DeltaSince(snap.Revision()); info == nil || !info.Empty() {
+		t.Fatalf("DeltaSince on the pinned view should be empty, got %+v", info)
+	}
+
+	// A second snapshot pins the new revision; the first is untouched.
+	snap2 := d.Snapshot()
+	if snap2 == snap || snap2.Revision() == snap.Revision() {
+		t.Fatal("second snapshot should pin the new revision")
+	}
+	if _, ok := snap2.DB().Lookup("x"); !ok {
+		t.Fatal("second snapshot misses the new node")
+	}
+	if view.NumEdges() != 3 {
+		t.Fatal("first snapshot perturbed by taking the second")
+	}
+	if s3 := view.Snapshot(); s3.DB() != view {
+		t.Fatal("snapshotting a frozen view should return the view itself")
+	}
+}
+
+func TestSnapshotMutatorsPanic(t *testing.T) {
+	d := MustParse("u a v\n")
+	view := d.Snapshot().DB()
+	for name, f := range map[string]func(){
+		"Node":       func() { view.Node("fresh") },
+		"AddNode":    func() { view.AddNode() },
+		"AddEdge":    func() { view.AddEdge(0, 'z', 1) },
+		"ApplyDelta": func() { view.ApplyDelta(Delta{Add: []DeltaEdge{{From: "u", Label: 'a', To: "v"}}}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s on a frozen view did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+	// Read-path entry points must keep working on the frozen view.
+	if id, ok := view.Lookup("u"); !ok || view.Name(id) != "u" {
+		t.Fatal("Lookup broken on frozen view")
+	}
+}
+
+// Many snapshots interleaved with mutations: every pinned view must keep
+// resolving exactly the names it covered, and never the later ones. This
+// exercises the layered name map across fold boundaries.
+func TestSnapshotLayeredLookup(t *testing.T) {
+	d := New()
+	type pin struct {
+		view  *DB
+		nodes int
+	}
+	var pins []pin
+	for i := 0; i < 100; i++ {
+		a, b := fmt.Sprintf("n%d", 2*i), fmt.Sprintf("n%d", 2*i+1)
+		d.AddEdgeNames(a, 'a', b)
+		s := d.Snapshot()
+		pins = append(pins, pin{view: s.DB(), nodes: d.NumNodes()})
+	}
+	for k, p := range pins {
+		if p.view.NumNodes() != p.nodes {
+			t.Fatalf("pin %d: NumNodes %d, want %d", k, p.view.NumNodes(), p.nodes)
+		}
+		for id := 0; id < p.nodes; id++ {
+			name := p.view.Name(id)
+			if got, ok := p.view.Lookup(name); !ok || got != id {
+				t.Fatalf("pin %d: Lookup(%q) = %d,%v want %d", k, name, got, ok, id)
+			}
+		}
+		if _, ok := p.view.Lookup(fmt.Sprintf("n%d", p.nodes)); ok {
+			t.Fatalf("pin %d resolves a name interned later", k)
+		}
+	}
+}
+
+// Readers hold pinned snapshots while the writer keeps mutating — run under
+// -race this proves the no-shared-lock contract.
+func TestSnapshotConcurrentReaders(t *testing.T) {
+	d := MustParse("u a v\nv a w\nw b u\n")
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 4; r++ {
+		snap := d.Snapshot()
+		wg.Add(1)
+		go func(view *DB, wantEdges int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if view.NumEdges() != wantEdges {
+					t.Errorf("snapshot edge count drifted: %d != %d", view.NumEdges(), wantEdges)
+					return
+				}
+				ix := view.Index()
+				u, _ := view.Lookup("u")
+				_ = ix.OutByLabel(u, 'a')
+				_ = view.HasPath(u, "aab", u)
+			}
+		}(snap.DB(), d.NumEdges())
+		// Writer keeps going between reader launches.
+		for i := 0; i < 50; i++ {
+			if _, err := d.ApplyDelta(Delta{Add: []DeltaEdge{
+				{From: fmt.Sprintf("m%d_%d", r, i), Label: 'a', To: "u"},
+			}}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -1,0 +1,178 @@
+package graph
+
+// Write-ahead log encoding: the durable on-disk form of the per-revision
+// mutation log. One record frames one applied Delta batch together with its
+// revision window, so replay reproduces the exact lineage the in-memory
+// deltaLog describes:
+//
+//	frame   := length(uint32 LE) crc(uint32 LE) payload
+//	payload := fromRev(uvarint) toRev(uvarint) edges(Add) edges(Del)
+//	edges   := count(uvarint) { len(from) from len(to) to label(uvarint) }*
+//
+// The CRC is IEEE CRC-32 over the payload. Recovery distinguishes a torn
+// tail (a crash mid-append: the last frame is shorter than its declared
+// length, or its CRC fails with nothing after it — truncated and forgotten,
+// the batch was never acknowledged) from mid-file corruption (a CRC failure
+// with valid data after it — a hard error, the log is not trustworthy).
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// walRecord is one framed Delta batch: applying Delta to the graph at
+// revision FromRev yields revision ToRev.
+type walRecord struct {
+	FromRev, ToRev uint64
+	Delta          Delta
+}
+
+// maxWALRecord bounds a single record frame; a declared length beyond it is
+// treated as corruption rather than an allocation request.
+const maxWALRecord = 1 << 30
+
+// ErrWALCorrupt reports a CRC or structural failure in the interior of the
+// log — unlike a torn tail, it cannot be explained by a crashed append.
+var ErrWALCorrupt = errors.New("graph: wal corrupt")
+
+func appendUvarint(b []byte, v uint64) []byte {
+	return binary.AppendUvarint(b, v)
+}
+
+func appendEdges(b []byte, edges []DeltaEdge) []byte {
+	b = appendUvarint(b, uint64(len(edges)))
+	for _, e := range edges {
+		b = appendUvarint(b, uint64(len(e.From)))
+		b = append(b, e.From...)
+		b = appendUvarint(b, uint64(len(e.To)))
+		b = append(b, e.To...)
+		b = appendUvarint(b, uint64(uint32(e.Label)))
+	}
+	return b
+}
+
+// encodeWALRecord appends the full frame (header + payload) for rec to b.
+func encodeWALRecord(b []byte, rec walRecord) []byte {
+	payload := appendUvarint(nil, rec.FromRev)
+	payload = appendUvarint(payload, rec.ToRev)
+	payload = appendEdges(payload, rec.Delta.Add)
+	payload = appendEdges(payload, rec.Delta.Del)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(payload)))
+	b = binary.LittleEndian.AppendUint32(b, crc32.ChecksumIEEE(payload))
+	return append(b, payload...)
+}
+
+type walDecoder struct {
+	buf []byte
+	off int
+}
+
+func (d *walDecoder) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(d.buf[d.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("%w: bad uvarint", ErrWALCorrupt)
+	}
+	d.off += n
+	return v, nil
+}
+
+func (d *walDecoder) str() (string, error) {
+	n, err := d.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if n > uint64(len(d.buf)-d.off) {
+		return "", fmt.Errorf("%w: string overruns payload", ErrWALCorrupt)
+	}
+	s := string(d.buf[d.off : d.off+int(n)])
+	d.off += int(n)
+	return s, nil
+}
+
+func (d *walDecoder) edges() ([]DeltaEdge, error) {
+	n, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(len(d.buf)-d.off) { // every edge takes ≥ 3 bytes
+		return nil, fmt.Errorf("%w: edge count overruns payload", ErrWALCorrupt)
+	}
+	out := make([]DeltaEdge, 0, n)
+	for i := uint64(0); i < n; i++ {
+		var e DeltaEdge
+		if e.From, err = d.str(); err != nil {
+			return nil, err
+		}
+		if e.To, err = d.str(); err != nil {
+			return nil, err
+		}
+		lbl, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		e.Label = rune(uint32(lbl))
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+func decodeWALPayload(payload []byte) (walRecord, error) {
+	d := &walDecoder{buf: payload}
+	var rec walRecord
+	var err error
+	if rec.FromRev, err = d.uvarint(); err != nil {
+		return rec, err
+	}
+	if rec.ToRev, err = d.uvarint(); err != nil {
+		return rec, err
+	}
+	if rec.Delta.Add, err = d.edges(); err != nil {
+		return rec, err
+	}
+	if rec.Delta.Del, err = d.edges(); err != nil {
+		return rec, err
+	}
+	if d.off != len(payload) {
+		return rec, fmt.Errorf("%w: %d trailing payload bytes", ErrWALCorrupt, len(payload)-d.off)
+	}
+	return rec, nil
+}
+
+// parseWAL scans buf for complete valid frames. It returns the decoded
+// records and the byte length of the valid prefix. A torn tail — an
+// incomplete final frame, or a final frame whose CRC fails with no data
+// after it — ends the scan cleanly at the last valid frame; interior CRC or
+// structural failures return ErrWALCorrupt.
+func parseWAL(buf []byte) (recs []walRecord, valid int, err error) {
+	off := 0
+	for off < len(buf) {
+		rem := len(buf) - off
+		if rem < 8 {
+			return recs, off, nil // torn header
+		}
+		length := int(binary.LittleEndian.Uint32(buf[off:]))
+		crc := binary.LittleEndian.Uint32(buf[off+4:])
+		if length > maxWALRecord {
+			return recs, off, fmt.Errorf("%w: frame length %d at offset %d", ErrWALCorrupt, length, off)
+		}
+		if rem < 8+length {
+			return recs, off, nil // torn payload
+		}
+		payload := buf[off+8 : off+8+length]
+		if crc32.ChecksumIEEE(payload) != crc {
+			if off+8+length == len(buf) {
+				return recs, off, nil // torn final frame
+			}
+			return recs, off, fmt.Errorf("%w: crc mismatch at offset %d", ErrWALCorrupt, off)
+		}
+		rec, derr := decodeWALPayload(payload)
+		if derr != nil {
+			return recs, off, fmt.Errorf("offset %d: %w", off, derr)
+		}
+		recs = append(recs, rec)
+		off += 8 + length
+	}
+	return recs, off, nil
+}

@@ -1,0 +1,332 @@
+package graph
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// equalDB asserts two databases agree on names (in id order), the edge
+// multiset per node (order-insensitive: checkpoint reload regroups the
+// incoming-edge interleaving by source node), the alphabet, and the
+// revision counter.
+func equalDB(t *testing.T, a, b *DB) {
+	t.Helper()
+	if !reflect.DeepEqual(a.Names(), b.Names()) {
+		t.Fatalf("names differ:\n%v\n%v", a.Names(), b.Names())
+	}
+	for u := 0; u < a.NumNodes(); u++ {
+		if !equalEdgeSet(a.Out(u), b.Out(u)) {
+			t.Fatalf("out(%s) differs: %v vs %v", a.Name(u), a.Out(u), b.Out(u))
+		}
+		if !equalEdgeSet(a.In(u), b.In(u)) {
+			t.Fatalf("in(%s) differs: %v vs %v", a.Name(u), a.In(u), b.In(u))
+		}
+	}
+	if string(a.Alphabet()) != string(b.Alphabet()) {
+		t.Fatalf("alphabet differs: %q vs %q", a.Alphabet(), b.Alphabet())
+	}
+	if a.Revision() != b.Revision() {
+		t.Fatalf("revision differs: %d vs %d", a.Revision(), b.Revision())
+	}
+}
+
+func equalEdgeSet(a, b []Edge) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	key := func(e Edge) string { return fmt.Sprintf("%d|%c|%d", e.From, e.Label, e.To) }
+	cnt := map[string]int{}
+	for _, e := range a {
+		cnt[key(e)]++
+	}
+	for _, e := range b {
+		if cnt[key(e)]--; cnt[key(e)] < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// randomDB builds a database exercising the serialization corner cases:
+// isolated nodes, anonymous "#N" node names (which plain Read would drop as
+// comments when they start an edge line), parallel edges, and multi-rune
+// labels from a small alphabet.
+func randomDB(rng *rand.Rand) *DB {
+	d := New()
+	n := 2 + rng.Intn(12)
+	for i := 0; i < n; i++ {
+		switch rng.Intn(3) {
+		case 0:
+			d.AddNode()
+		default:
+			d.Node(fmt.Sprintf("v%d", i))
+		}
+	}
+	labels := []rune("abc")
+	for i := rng.Intn(4 * n); i > 0; i-- {
+		d.AddEdge(rng.Intn(d.NumNodes()), labels[rng.Intn(len(labels))], rng.Intn(d.NumNodes()))
+	}
+	return d
+}
+
+// Satellite coverage: the WriteFull checkpoint format round-trips names,
+// edges, alphabet and revision exactly — including isolated nodes and
+// anonymous '#'-prefixed names that the plain Write/Read edge format cannot
+// represent.
+func TestWriteFullRoundTripProperty(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		d := randomDB(rng)
+		var buf bytes.Buffer
+		if err := d.WriteFull(&buf); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadFull(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		equalDB(t, d, got)
+	}
+}
+
+// The plain Write format round-trips the edge multiset for ordinary names
+// (its documented contract); isolated nodes are out of scope for it.
+func TestWriteRoundTripEdges(t *testing.T) {
+	d := MustParse("u a v\nu a v\nv b w\n")
+	var buf bytes.Buffer
+	if err := d.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Parse(buf.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumEdges() != d.NumEdges() || got.NumNodes() != d.NumNodes() {
+		t.Fatalf("Write/Read drifted: %d/%d nodes, %d/%d edges",
+			got.NumNodes(), d.NumNodes(), got.NumEdges(), d.NumEdges())
+	}
+}
+
+func TestWALRecordRoundTrip(t *testing.T) {
+	recs := []walRecord{
+		{FromRev: 0, ToRev: 7, Delta: Delta{Add: []DeltaEdge{{From: "u", Label: 'a', To: "v"}}}},
+		{FromRev: 7, ToRev: 9, Delta: Delta{
+			Add: []DeltaEdge{{From: "#2", Label: '∂', To: "x y"}}, // names are opaque bytes here
+			Del: []DeltaEdge{{From: "u", Label: 'a', To: "v"}},
+		}},
+		{FromRev: 9, ToRev: 9, Delta: Delta{}},
+	}
+	var buf []byte
+	for _, r := range recs {
+		buf = encodeWALRecord(buf, r)
+	}
+	got, valid, err := parseWAL(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if valid != len(buf) {
+		t.Fatalf("valid prefix %d != %d", valid, len(buf))
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("decoded %d records, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i].FromRev != recs[i].FromRev || got[i].ToRev != recs[i].ToRev ||
+			!reflect.DeepEqual(append([]DeltaEdge{}, got[i].Delta.Add...), append([]DeltaEdge{}, recs[i].Delta.Add...)) ||
+			!reflect.DeepEqual(append([]DeltaEdge{}, got[i].Delta.Del...), append([]DeltaEdge{}, recs[i].Delta.Del...)) {
+			t.Fatalf("record %d mismatch:\n%+v\n%+v", i, got[i], recs[i])
+		}
+	}
+}
+
+func storeDelta(t *testing.T, s *Store, delta Delta) {
+	t.Helper()
+	from := s.DB().Revision()
+	if _, err := s.DB().ApplyDelta(delta); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(delta, from, s.DB().Revision()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func add(from string, to string) Delta {
+	return Delta{Add: []DeltaEdge{{From: from, Label: 'a', To: to}}}
+}
+
+// Crash recovery drops a torn tail record (the append that never finished
+// was never acknowledged) and keeps everything before it.
+func TestStoreRecoverTruncatedTail(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir, StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	storeDelta(t, s, add("u", "v"))
+	storeDelta(t, s, add("v", "w"))
+	want := s.DB().Revision()
+	storeDelta(t, s, add("w", "x"))
+	// Crash mid-append of the third record: chop bytes off the WAL tail.
+	// The store is abandoned without Close, like a killed process.
+	walPath := filepath.Join(dir, walFile)
+	fi, err := os.Stat(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(walPath, fi.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := OpenStore(dir, StoreOptions{})
+	if err != nil {
+		t.Fatalf("recovery after torn tail: %v", err)
+	}
+	defer s2.Close()
+	if got := s2.DB().Revision(); got != want {
+		t.Fatalf("recovered revision %d, want %d (torn record dropped)", got, want)
+	}
+	if _, ok := s2.DB().Lookup("x"); ok {
+		t.Fatal("torn record leaked into recovery")
+	}
+	if st := s2.Stats(); st.ReplayedRecords != 2 {
+		t.Fatalf("replayed %d records, want 2", st.ReplayedRecords)
+	}
+	// The tail was physically truncated, so appends resume on a frame
+	// boundary and a further recovery sees them.
+	storeDelta(t, s2, add("w", "y"))
+	s3, err := OpenStore(dir, StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s3.Close()
+	if _, ok := s3.DB().Lookup("y"); !ok {
+		t.Fatal("append after torn-tail recovery lost")
+	}
+}
+
+// A CRC failure in the interior of the log (valid frames after it) is
+// corruption, not a torn tail: recovery must refuse rather than silently
+// resurrect a partial history.
+func TestStoreRejectsInteriorCorruption(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir, StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	storeDelta(t, s, add("u", "v"))
+	storeDelta(t, s, add("v", "w"))
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	walPath := filepath.Join(dir, walFile)
+	buf, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[9] ^= 0xff // a payload byte of the first record
+	if err := os.WriteFile(walPath, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenStore(dir, StoreOptions{}); !errors.Is(err, ErrWALCorrupt) {
+		t.Fatalf("OpenStore on corrupt interior = %v, want ErrWALCorrupt", err)
+	}
+}
+
+// Checkpoint + replay must reproduce the live database exactly, across
+// random mutation batches (including removals and fresh nodes) and store
+// reopens at arbitrary points — compared against an in-memory twin that
+// applies the same deltas without any persistence.
+func TestStoreCheckpointReplayTwin(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		dir := t.TempDir()
+		// Tiny checkpoint threshold: force frequent checkpoint+truncate.
+		s, err := OpenStore(dir, StoreOptions{CheckpointBytes: 256})
+		if err != nil {
+			t.Fatal(err)
+		}
+		twin := New()
+		for step := 0; step < 40; step++ {
+			var delta Delta
+			for i := 0; i <= rng.Intn(3); i++ {
+				delta.Add = append(delta.Add, DeltaEdge{
+					From:  fmt.Sprintf("n%d", rng.Intn(10)),
+					Label: rune('a' + rng.Intn(2)),
+					To:    fmt.Sprintf("n%d", rng.Intn(10)),
+				})
+			}
+			// Occasionally remove an edge that exists on the twin.
+			if twin.NumEdges() > 0 && rng.Intn(3) == 0 {
+				u := rng.Intn(twin.NumNodes())
+				if es := twin.Out(u); len(es) > 0 {
+					e := es[rng.Intn(len(es))]
+					delta.Del = append(delta.Del, DeltaEdge{
+						From: twin.Name(e.From), Label: e.Label, To: twin.Name(e.To)})
+				}
+			}
+			if _, err := twin.ApplyDelta(delta); err != nil {
+				t.Fatalf("seed %d step %d: twin: %v", seed, step, err)
+			}
+			storeDelta(t, s, delta)
+			if rng.Intn(8) == 0 { // crash: reopen without Close
+				if s, err = OpenStore(dir, StoreOptions{CheckpointBytes: 256}); err != nil {
+					t.Fatalf("seed %d step %d: reopen: %v", seed, step, err)
+				}
+			}
+		}
+		s2, err := OpenStore(dir, StoreOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Revision counters survive checkpoints (forceRevision), so the
+		// twin and the recovered store agree on the full lineage.
+		equalDB(t, twin, s2.DB())
+		s2.Close()
+	}
+}
+
+func TestFollowerTailsLeader(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir, StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	storeDelta(t, s, add("u", "v"))
+	f, err := OpenFollower(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	equalDB(t, s.DB(), f.DB())
+	storeDelta(t, s, add("v", "w"))
+	storeDelta(t, s, add("w", "x"))
+	if n, err := f.Poll(); err != nil || n != 2 {
+		t.Fatalf("Poll = %d, %v; want 2 records", n, err)
+	}
+	equalDB(t, s.DB(), f.DB())
+	if n, err := f.Poll(); err != nil || n != 0 {
+		t.Fatalf("idle Poll = %d, %v; want 0", n, err)
+	}
+	// Leader checkpoints (WAL truncates under the follower's offset), then
+	// keeps writing: the follower reloads and catches up.
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	storeDelta(t, s, add("x", "y"))
+	for i := 0; i < 3; i++ { // reload may take an extra poll cycle
+		if _, err := f.Poll(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if f.DB().Revision() != s.DB().Revision() {
+		t.Fatalf("follower at revision %d, leader at %d", f.DB().Revision(), s.DB().Revision())
+	}
+	equalDB(t, s.DB(), f.DB())
+	if f.Reloads() == 0 {
+		t.Fatal("follower never took the checkpoint-reload path")
+	}
+}

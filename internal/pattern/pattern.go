@@ -5,8 +5,10 @@
 package pattern
 
 import (
+	"encoding/binary"
 	"fmt"
 	"sort"
+	"sync"
 
 	"cxrpq/internal/xregex"
 )
@@ -108,8 +110,27 @@ func (g *Graph) Clone() *Graph {
 // Tuple is an output tuple of node ids.
 type Tuple []int
 
-// Key returns a canonical map key for the tuple.
-func (t Tuple) Key() string { return fmt.Sprint([]int(t)) }
+// keyBuf recycles the scratch buffer Key encodes into; the returned string
+// is its own allocation, so pooling the buffer leaves exactly one
+// allocation per key.
+var keyBuf = sync.Pool{New: func() any { b := make([]byte, 0, 64); return &b }}
+
+// Key returns a canonical map key for the tuple: the uvarint encoding of
+// its ids, concatenated. Varints are self-delimiting, so distinct tuples
+// yield distinct keys, at a fraction of the cost and size of the decimal
+// print this replaces. uint64 conversion is a bijection on int, so the
+// encoding stays injective even for out-of-range ids.
+func (t Tuple) Key() string {
+	bp := keyBuf.Get().(*[]byte)
+	b := (*bp)[:0]
+	for _, v := range t {
+		b = binary.AppendUvarint(b, uint64(v))
+	}
+	s := string(b)
+	*bp = b
+	keyBuf.Put(bp)
+	return s
+}
 
 // TupleSet is a set of output tuples with deterministic enumeration order.
 type TupleSet struct {

@@ -92,3 +92,27 @@ func TestSizeAndClone(t *testing.T) {
 		t.Fatal("clone mismatch")
 	}
 }
+
+// TestTupleKeyInjective: the compact binary Key must distinguish every
+// distinct tuple, including length-vs-value boundaries the old decimal
+// print separated with brackets and spaces.
+func TestTupleKeyInjective(t *testing.T) {
+	tuples := []Tuple{
+		{}, {0}, {1}, {0, 0}, {0, 1}, {1, 0}, {128}, {1, 28}, {12, 8},
+		{127, 1}, {16384}, {128, 128}, {-1}, {-1, 0}, {1 << 40},
+	}
+	seen := map[string]int{}
+	for i, a := range tuples {
+		k := a.Key()
+		if j, dup := seen[k]; dup {
+			t.Fatalf("tuples %v and %v share key %q", tuples[j], a, k)
+		}
+		seen[k] = i
+	}
+	// And stability: the same tuple keys identically across pooled buffers.
+	for _, a := range tuples {
+		if a.Key() != a.Key() {
+			t.Fatalf("key of %v is not stable", a)
+		}
+	}
+}
