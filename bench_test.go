@@ -18,6 +18,7 @@ import (
 	"cxrpq/internal/exp"
 	"cxrpq/internal/graph"
 	"cxrpq/internal/pattern"
+	"cxrpq/internal/planner"
 	"cxrpq/internal/reductions"
 	"cxrpq/internal/separations"
 	"cxrpq/internal/workload"
@@ -492,6 +493,49 @@ func BenchmarkPlannerJoin(b *testing.B) {
 		run("planner", it.Planned)
 	}
 }
+
+// BenchmarkYannakakis measures the planner-v2 acyclic-join specialization
+// (PR 9) on the E25 workload families: a dead-end chain (every
+// backtracking anchor explores ~width·fanout² partial assignments that
+// die one atom later) and a tri-label star under ans(x) (backtracking
+// enumerates fanout³ assignments per center that all project to one output
+// tuple). "backtracking" runs with the Yannakakis switch off,
+// "yannakakis" with the GYO join tree + semijoin passes + backtrack-free
+// enumeration on. The acceptance floor for PR 9 is yannakakis ≥ 2x faster
+// on both families (see E25's metrics in BENCH_engine.json).
+func BenchmarkYannakakis(b *testing.B) {
+	families := []struct {
+		name, src string
+		db        *graph.DB
+	}{
+		{"dead-end-chain", "ans(x0, x3)\nx0 x1 : a\nx1 x2 : a\nx2 x3 : a",
+			workload.DeadEndChain(3, 120, 20, 2)},
+		{"tri-label-star", "ans(x)\nx y1 : a\nx y2 : b\nx y3 : c",
+			workload.TriStar(30, 20)},
+	}
+	for _, f := range families {
+		plan, err := cxrpq.PrepareSrc(f.src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		f.db.Index() // shared state: warm outside the timings
+		run := func(name string, on bool) {
+			b.Run(f.name+"/"+name, func(b *testing.B) {
+				prev := planner.SetYannakakis(on)
+				defer planner.SetYannakakis(prev)
+				for i := 0; i < b.N; i++ {
+					if _, err := plan.Bind(f.db).Eval(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+		run("backtracking", false)
+		run("yannakakis", true)
+	}
+}
+
+func BenchmarkE25PlannerV2(b *testing.B) { benchTable(b, exp.E25PlannerV2) }
 
 // TestEmitBenchJSON writes the machine-readable experiment benchmark report
 // when BENCH_JSON names an output path (e.g. BENCH_JSON=BENCH_engine.json

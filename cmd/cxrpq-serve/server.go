@@ -85,6 +85,7 @@ import (
 	"cxrpq/internal/engine"
 	"cxrpq/internal/graph"
 	"cxrpq/internal/pattern"
+	"cxrpq/internal/planner"
 	"cxrpq/internal/xregex"
 )
 
@@ -884,8 +885,12 @@ type planResponse struct {
 
 // handlePlan is the planner debug endpoint: it resolves the (database,
 // query) pair exactly like /query but returns the session's physical plan
-// — the cost-based join order with estimated cardinalities — along with
-// the per-label graph statistics the estimates came from, instead of
+// — the cost-based join order with estimated cardinalities, plus the
+// planner-v2 rewrite report ("minimized_atoms": atoms the containment pass
+// deletes; "acyclic"/"free_connex"/"join_tree": the GYO classification of
+// the remaining conjunct graph; "strategy": "yannakakis" when the leaf
+// joins would run the semijoin program, "backtracking" otherwise) — along
+// with the per-label graph statistics the estimates came from, instead of
 // evaluating anything.
 func (s *server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
@@ -1157,6 +1162,10 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		// edge volume, cross-shard exchange volume and the per-shard
 		// breakdown (for shard-count tuning alongside -pprof).
 		"engine": engine.ReachBatchStats(),
+		// Planner-v2 counters: containment checks/bails, atoms deleted by
+		// minimization, Yannakakis programs run, semijoin sweeps and
+		// cyclic fallbacks (process-wide, across all DBs).
+		"planner": planner.Stats(),
 	})
 }
 

@@ -58,10 +58,19 @@
 //	                     shapes × graph.Stats, exact counts for
 //	                     materialized relations), a greedy join-order
 //	                     search with bound-variable selectivity
-//	                     propagation (Order), and a semijoin domain
-//	                     reduction (Reduce); every join in the stack
-//	                     consults it, and SetEnabled(false) restores the
-//	                     structural heuristic as a differential baseline
+//	                     propagation (Order), a semijoin domain
+//	                     reduction (Reduce), and the v2 rewrite pipeline:
+//	                     containment-based query minimization (Minimize,
+//	                     with LangContains deciding L' ⊆ L by a bounded
+//	                     BFS over the product of the atoms' SubsetCache
+//	                     determinizations) and GYO acyclicity detection
+//	                     with join-tree construction and a free-connex
+//	                     test (BuildJoinTree / FreeConnex) feeding the
+//	                     two-pass Yannakakis semijoin program in ecrpq;
+//	                     every join in the stack consults it, and
+//	                     SetEnabled(false) / SetMinimize / SetYannakakis
+//	                     restore the earlier behaviours as differential
+//	                     baselines
 //	internal/crpq        CRPQs (Lemma 1 evaluation)
 //	internal/ecrpq       ECRPQs with regular relations; ECRPQ^er is the
 //	                     synchronized-product evaluation core
@@ -107,7 +116,7 @@
 //	                     generator (RandomQuery) behind the differential
 //	                     fuzz harness, and the MutationStream delta
 //	                     workload behind the incremental-update experiment
-//	internal/exp         the E1-E24 experiment harness (see DESIGN.md)
+//	internal/exp         the E1-E25 experiment harness (see DESIGN.md)
 //
 // cmd/cxrpq-serve is the concurrent HTTP/JSON evaluation server over the
 // prepared-query subsystem: a per-database pool of prepared sessions,
@@ -121,7 +130,9 @@
 // that append to the write-ahead log before acknowledging and fork the
 // pooled sessions' caches incrementally off the reader path (invalidating
 // parked cursors), a /plan debug endpoint reporting the planner-chosen
-// join order with estimated cardinalities, and /stats counters for
+// join order with estimated cardinalities plus the planner-v2 rewrite
+// report (minimized atoms, acyclicity, free-connexness, join tree,
+// strategy), and /stats counters for
 // retained-vs-rebuilt cache entries, time-to-first-row and rows-streamed
 // telemetry, the sharded kernel's per-shard edge/exchange volumes, and the
 // store's WAL/checkpoint/recovery counters; -data-dir makes every

@@ -232,7 +232,8 @@ func newBoundedEngine(p *boundedPlan, db *graph.DB, k int, boolOnly bool, pre ma
 	e.fanBud = e.bud.Fork() // nil-safe: a standalone fork when unbudgeted
 	e.leaf = e.joinLeaf
 	if !planner.Enabled() {
-		e.structSpec = &planner.PlanSpec{Order: ecrpq.JoinOrder(p.q.Pattern, pre)}
+		e.structSpec = &planner.PlanSpec{Order: ecrpq.JoinOrder(p.q.Pattern, pre),
+			SemijoinFloor: caches.semijoinFloor}
 	}
 	return e, nil
 }
@@ -510,6 +511,7 @@ func (e *boundedEngine) joinLeaf(st *boundedState) error {
 	spec := e.structSpec
 	if spec == nil {
 		spec = ecrpq.PlanJoin(e.p.q.Pattern, st.rels, e.pre)
+		spec.SemijoinFloor = e.caches.semijoinFloor
 	}
 	if e.yield != nil {
 		// Streaming leaf (Session.Stream): rows flow to the consumer as the

@@ -1,0 +1,199 @@
+package cxrpq_test
+
+// Differential properties for the planner-v2 rewrites (PR 9): the
+// containment-based minimization pass and the acyclicity-aware Yannakakis
+// join program must be observationally invisible — across randomized
+// workloads, every evaluation path must produce exactly the tuple sets of
+// (a) the structural pre-planner baseline and (b) the v1 planner with both
+// rewrites switched off, including under interleaved ApplyDelta mutations.
+// The /plan report assertions pin the new explain fields the server
+// surfaces.
+
+import (
+	"testing"
+
+	"cxrpq/internal/cxrpq"
+	"cxrpq/internal/pattern"
+	"cxrpq/internal/planner"
+	"cxrpq/internal/workload"
+)
+
+// setV2 installs a full planner knob configuration and returns a restore
+// func. floor/gain use the planner knob conventions (floor: 0 forces, <0
+// disables; gain: 0 makes every acyclic join above the floor eligible).
+func setV2(enabled, minimize, yannakakis bool, floor, gain float64) func() {
+	e := planner.SetEnabled(enabled)
+	m := planner.SetMinimize(minimize)
+	y := planner.SetYannakakis(yannakakis)
+	fl := planner.SetSemijoinFloor(floor)
+	g := planner.SetYannakakisGain(gain)
+	return func() {
+		planner.SetYannakakisGain(g)
+		planner.SetSemijoinFloor(fl)
+		planner.SetYannakakis(y)
+		planner.SetMinimize(m)
+		planner.SetEnabled(e)
+	}
+}
+
+// plannerV2DiffSeed compares three configurations on one random
+// (query, graph, k) triple: structural baseline (planner off), planner v1
+// (rewrites off), and planner v2 forced (minimization on, Yannakakis
+// gates dropped to zero so every acyclic join takes the semijoin
+// program).
+func plannerV2DiffSeed(t *testing.T, seed int64) {
+	t.Helper()
+	r := workload.NewRNG(seed)
+	finite := r.Intn(3) != 0
+	q := workload.RandomQuery(r, finite)
+	nodes := 3 + r.Intn(4)
+	edges := nodes + r.Intn(nodes+4)
+	db := workload.Random(seed^0x9a7, nodes, edges, "ab")
+	k := 1
+	if !finite && r.Intn(2) == 0 {
+		k = 2
+	}
+
+	type outcome struct {
+		bounded *pattern.TupleSet
+		eval    *pattern.TupleSet // nil when the fragment has no Eval
+	}
+	run := func(name string, config func() func()) outcome {
+		restore := config()
+		defer restore()
+		var o outcome
+		var err error
+		o.bounded, err = cxrpq.EvalBounded(q, db, k)
+		if err != nil {
+			t.Fatalf("seed %d (%s): EvalBounded: %v\nquery:\n%s", seed, name, err, q.Pattern)
+		}
+		if q.CXRE().IsVStarFree() {
+			o.eval, err = cxrpq.Eval(q, db)
+			if err != nil {
+				t.Fatalf("seed %d (%s): Eval: %v\nquery:\n%s", seed, name, err, q.Pattern)
+			}
+		}
+		return o
+	}
+
+	structural := run("structural", func() func() { return setV2(false, false, false, 0, 0) })
+	v1 := run("planner-v1", func() func() {
+		return setV2(true, false, false, planner.DefaultSemijoinFloor, planner.DefaultYannakakisGain)
+	})
+	v2 := run("planner-v2", func() func() { return setV2(true, true, true, 0, 0) })
+
+	for _, c := range []struct {
+		name string
+		got  outcome
+	}{{"planner-v1", v1}, {"planner-v2", v2}} {
+		if !c.got.bounded.Equal(structural.bounded) {
+			t.Fatalf("seed %d: EvalBounded diverged (%s %d tuples, structural %d)\nquery:\n%s",
+				seed, c.name, c.got.bounded.Len(), structural.bounded.Len(), q.Pattern)
+		}
+		if structural.eval != nil && !c.got.eval.Equal(structural.eval) {
+			t.Fatalf("seed %d: Eval diverged (%s %d tuples, structural %d)\nquery:\n%s",
+				seed, c.name, c.got.eval.Len(), structural.eval.Len(), q.Pattern)
+		}
+	}
+}
+
+func TestPlannerV2Differential(t *testing.T) {
+	n := int64(40)
+	if testing.Short() {
+		n = 15
+	}
+	for seed := int64(0); seed < n; seed++ {
+		plannerV2DiffSeed(t, seed)
+	}
+}
+
+// TestPlannerV2DifferentialWithDeltas interleaves session mutations with
+// evaluations: after every ApplyDelta, the v2-forced session must agree
+// with a fresh v2-disabled bind on the mutated database.
+func TestPlannerV2DifferentialWithDeltas(t *testing.T) {
+	db, deltas := workload.MutationStream(3, 40, 6, 4)
+	q := cxrpq.MustParse("ans(x, z)\nx y : a\nx y : a|b\ny z : b+")
+	plan := cxrpq.MustPrepare(q)
+
+	restore := setV2(true, true, true, 0, 0)
+	defer restore()
+	sess := plan.Bind(db)
+	for step, delta := range deltas {
+		if _, err := sess.ApplyDelta(delta); err != nil {
+			t.Fatalf("step %d: ApplyDelta: %v", step, err)
+		}
+		got, err := sess.EvalBounded(1)
+		if err != nil {
+			t.Fatalf("step %d: EvalBounded (v2): %v", step, err)
+		}
+		inner := setV2(true, false, false, -1, 0) // rewrites and semijoins all off
+		want, werr := plan.Bind(sess.DB()).EvalBounded(1)
+		inner()
+		if werr != nil {
+			t.Fatalf("step %d: EvalBounded (baseline): %v", step, werr)
+		}
+		if !got.Equal(want) {
+			t.Fatalf("step %d: v2 session %d tuples, baseline %d", step, got.Len(), want.Len())
+		}
+	}
+}
+
+// TestPlanReportV2Fields pins the planner-v2 explain surface served by
+// cxrpq-serve /plan: minimized atoms, acyclicity, free-connexness, the
+// join tree and the chosen strategy.
+func TestPlanReportV2Fields(t *testing.T) {
+	db := workload.Random(2, 20, 60, "ab")
+	report := func(src string, opts cxrpq.SessionOptions) *cxrpq.PlanReport {
+		t.Helper()
+		rep, err := cxrpq.MustPrepare(cxrpq.MustParse(src)).BindOpts(db, opts).PlanReport()
+		if err != nil {
+			t.Fatalf("%q: PlanReport: %v", src, err)
+		}
+		return rep
+	}
+	restore := setV2(true, true, true, 0, 0)
+	defer restore()
+
+	t.Run("redundant acyclic chain", func(t *testing.T) {
+		rep := report("ans(x, z)\nx y : a\nx y : a|b\ny z : a", cxrpq.SessionOptions{})
+		if len(rep.MinimizedAtoms) != 1 || rep.MinimizedAtoms[0] != 1 {
+			t.Fatalf("MinimizedAtoms = %v, want [1] (the widened a|b atom)", rep.MinimizedAtoms)
+		}
+		if !rep.Acyclic {
+			t.Fatal("chain reported cyclic")
+		}
+		if rep.FreeConnex {
+			t.Fatal("ans(x, z) over a path must not be free-connex (head closes a cycle)")
+		}
+		if len(rep.JoinTree) != 2 {
+			t.Fatalf("JoinTree has %d nodes, want 2 kept atoms", len(rep.JoinTree))
+		}
+		if rep.Strategy != "yannakakis" {
+			t.Fatalf("Strategy = %q, want yannakakis under forced gates", rep.Strategy)
+		}
+	})
+	t.Run("free-connex star", func(t *testing.T) {
+		rep := report("ans(x)\nx y1 : a\nx y2 : b", cxrpq.SessionOptions{})
+		if !rep.Acyclic || !rep.FreeConnex {
+			t.Fatalf("Acyclic=%v FreeConnex=%v, want both true", rep.Acyclic, rep.FreeConnex)
+		}
+	})
+	t.Run("cyclic triangle", func(t *testing.T) {
+		rep := report("ans(x)\nx y : a\ny z : a\nz x : b", cxrpq.SessionOptions{})
+		if rep.Acyclic || len(rep.JoinTree) != 0 {
+			t.Fatalf("Acyclic=%v JoinTree=%v, want cyclic with no tree", rep.Acyclic, rep.JoinTree)
+		}
+		if rep.Strategy != "backtracking" {
+			t.Fatalf("Strategy = %q, want backtracking", rep.Strategy)
+		}
+	})
+	t.Run("session floor disables", func(t *testing.T) {
+		rep := report("ans(x, z)\nx y : a\ny z : a", cxrpq.SessionOptions{SemijoinCostFloor: -1})
+		if !rep.Acyclic {
+			t.Fatal("chain reported cyclic")
+		}
+		if rep.Strategy != "backtracking" {
+			t.Fatalf("Strategy = %q, want backtracking with the session floor negative", rep.Strategy)
+		}
+	})
+}

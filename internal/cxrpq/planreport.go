@@ -1,6 +1,7 @@
 package cxrpq
 
 import (
+	"cxrpq/internal/automata"
 	"cxrpq/internal/graph"
 	"cxrpq/internal/planner"
 	"cxrpq/internal/xregex"
@@ -28,10 +29,21 @@ type PlanStep struct {
 	EstRows  float64 `json:"est_rows"`
 }
 
+// PlanTreeNode is one node of the join tree in a PlanReport, listed in
+// parent-before-child order.
+type PlanTreeNode struct {
+	Edge   int      `json:"edge"`             // index into the query pattern's edges
+	Parent int      `json:"parent"`           // parent's edge index; -1 for the root
+	Shared []string `json:"shared,omitempty"` // join variables shared with the parent
+}
+
 // PlanReport is the humanly (and machine) readable physical plan of a
 // prepared query bound to a database: the chosen join order with estimated
-// cardinalities. CostBased reports whether the cost-based planner chose
-// the order (false: the structural fallback).
+// cardinalities, plus the planner-v2 rewrites — which atoms the
+// containment-based minimization pass deletes, whether the (minimized)
+// conjunct graph is acyclic and free-connex, its join tree, and which join
+// strategy the leaf joins would take. CostBased reports whether the
+// cost-based planner chose the order (false: the structural fallback).
 type PlanReport struct {
 	Fragment  string     `json:"fragment"`
 	Revision  uint64     `json:"revision"`
@@ -39,6 +51,19 @@ type PlanReport struct {
 	Steps     []PlanStep `json:"steps"`
 	TotalCost float64    `json:"total_cost"`
 	EstRows   float64    `json:"est_rows"`
+
+	// Planner-v2 rewrite report. MinimizedAtoms lists the edge indices the
+	// containment pass proves redundant (evaluation skips them); Acyclic /
+	// FreeConnex classify the conjunct graph that remains; JoinTree is its
+	// GYO join tree when acyclic; Strategy is "yannakakis" when the leaf
+	// joins would run the semijoin program over that tree (acyclic, cost
+	// estimate above the session's semijoin floor, switch on) and
+	// "backtracking" otherwise.
+	MinimizedAtoms []int          `json:"minimized_atoms,omitempty"`
+	Acyclic        bool           `json:"acyclic"`
+	FreeConnex     bool           `json:"free_connex"`
+	JoinTree       []PlanTreeNode `json:"join_tree,omitempty"`
+	Strategy       string         `json:"strategy"`
 }
 
 // plannerPlan returns the session's cached physical plan for the query
@@ -55,6 +80,8 @@ func (sc *sessionCaches) plannerPlan(db *graph.DB, q *Query, sigma []rune) ([]pl
 	sc.planDone = true
 	st := db.Stats()
 	atoms := make([]planner.Atom, len(q.Pattern.Edges))
+	minAtoms := make([]planner.MinAtom, len(q.Pattern.Edges))
+	refs := make([]planner.EdgeRef, len(q.Pattern.Edges))
 	for i, e := range q.Pattern.Edges {
 		relaxed, err := relaxCut(e.Label, map[string]string{}, sigma)
 		if err != nil {
@@ -67,6 +94,24 @@ func (sc *sessionCaches) plannerPlan(db *graph.DB, q *Query, sigma []rune) ([]pl
 			return nil, nil, err
 		}
 		atoms[i] = planner.Atom{From: e.From, To: e.To, Est: planner.EstimateNFA(st, m)}
+		refs[i] = planner.EdgeRef{From: e.From, To: e.To}
+		minAtoms[i] = planner.MinAtom{From: e.From, To: e.To}
+		if !xregex.HasVars(e.Label) {
+			// Only variable-free atoms participate in minimization: the
+			// relaxed NFA is then the atom's exact language. (The ecrpq
+			// evaluator applies the same restriction via its entry caches.)
+			minAtoms[i].Cache = automata.NewSubsetCache(m)
+		}
+	}
+	drop := planner.Minimize(minAtoms, 0)
+	for i, d := range drop {
+		if d {
+			sc.planMin = append(sc.planMin, i)
+		}
+	}
+	if tree, ok := planner.BuildJoinTree(refs, drop); ok {
+		sc.planTree = tree
+		sc.planFC = planner.FreeConnex(refs, drop, q.Pattern.Out)
 	}
 	sc.planAtoms = atoms
 	sc.planSpec = planner.Order(atoms, nil)
@@ -91,7 +136,32 @@ func (s *Session) PlanReport() (*PlanReport, error) {
 		CostBased: spec.CostBased,
 		TotalCost: spec.Cost,
 		EstRows:   spec.Rows,
+		Strategy:  "backtracking",
 	}
+	sc.planMu.Lock()
+	rep.MinimizedAtoms = append([]int(nil), sc.planMin...)
+	if tree := sc.planTree; tree != nil {
+		rep.Acyclic = true
+		rep.FreeConnex = sc.planFC
+		for _, i := range tree.Order {
+			p := -1
+			if tree.Parent[i] >= 0 {
+				p = tree.Parent[i]
+			}
+			rep.JoinTree = append(rep.JoinTree, PlanTreeNode{
+				Edge: i, Parent: p,
+				Shared: append([]string(nil), tree.Shared[i]...),
+			})
+		}
+		floor := sc.semijoinFloor
+		if floor == 0 {
+			floor = planner.SemijoinFloor()
+		}
+		if planner.YannakakisEnabled() && spec.CostBased && floor >= 0 && spec.Cost >= floor {
+			rep.Strategy = "yannakakis"
+		}
+	}
+	sc.planMu.Unlock()
 	for _, step := range spec.Steps {
 		ei := step.Atom
 		e := s.plan.q.Pattern.Edges[ei]

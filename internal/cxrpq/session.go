@@ -47,6 +47,13 @@ type SessionOptions struct {
 	RelCacheCap    int // atom-relation cache entries (default ecrpq.DefaultRelCacheCap)
 	FeasCacheCap   int // feasibility memo entries (default 65536)
 	ResultCacheCap int // whole-result entries (default 256; < 0 disables)
+
+	// SemijoinCostFloor overrides the estimated-join-cost floor above which
+	// this session's leaf joins run the semijoin reduction / Yannakakis
+	// program (see planner.SemijoinFloor): 0 keeps the process default, a
+	// positive value is the floor, a negative value disables the passes for
+	// this session outright.
+	SemijoinCostFloor int
 }
 
 // epochMap is the session-local instance of the drop-all-on-overflow
@@ -110,17 +117,25 @@ type sessionCaches struct {
 	planDone  bool
 	planAtoms []planner.Atom
 	planSpec  *planner.PlanSpec
+	planMin   []int             // atoms Minimize would drop (report only)
+	planTree  *planner.JoinTree // join tree of the kept atoms; nil if cyclic
+	planFC    bool              // free-connex w.r.t. the output variables
 	planErr   error
+
+	// semijoinFloor is the session's SemijoinCostFloor option, threaded
+	// into every leaf-join PlanSpec (0 = process default).
+	semijoinFloor float64
 }
 
-func newSessionCaches(relCap, feasCap int) *sessionCaches {
+func newSessionCaches(relCap, feasCap, floor int) *sessionCaches {
 	if feasCap <= 0 {
 		feasCap = defaultFeasCap
 	}
 	return &sessionCaches{
-		rels:   ecrpq.NewRelCache(relCap),
-		feas:   newEpochMap[bool](feasCap),
-		labels: map[int][]string{},
+		rels:          ecrpq.NewRelCache(relCap),
+		feas:          newEpochMap[bool](feasCap),
+		labels:        map[int][]string{},
+		semijoinFloor: float64(floor),
 	}
 }
 
@@ -136,6 +151,9 @@ func (sc *sessionCaches) dropDerived() {
 	sc.planDone = false
 	sc.planAtoms = nil
 	sc.planSpec = nil
+	sc.planMin = nil
+	sc.planTree = nil
+	sc.planFC = false
 	sc.planErr = nil
 	sc.planMu.Unlock()
 }
@@ -253,7 +271,7 @@ func (s *Session) refreshLocked(rev uint64) {
 	s.bound = true
 	s.rev = rev
 	s.sigma = mergeDBAlphabet(s.db, s.plan.c)
-	s.caches = newSessionCaches(s.opts.RelCacheCap, s.opts.FeasCacheCap)
+	s.caches = newSessionCaches(s.opts.RelCacheCap, s.opts.FeasCacheCap, s.opts.SemijoinCostFloor)
 	s.results = newResultCache(s.opts.ResultCacheCap)
 	s.maint.FullRebuilds++
 }
@@ -360,7 +378,8 @@ func (s *Session) Fork(db *graph.DB) *Session {
 			if _, _, err := rels.ApplyDelta(db, info); err == nil {
 				ns.bound, ns.rev, ns.sigma = true, rev, s.sigma
 				ns.caches = &sessionCaches{rels: rels, feas: s.caches.feas,
-					labels: map[int][]string{}}
+					labels:        map[int][]string{},
+					semijoinFloor: s.caches.semijoinFloor}
 				ns.results = newResultCache(s.opts.ResultCacheCap)
 				ns.maint.DeltaApplies++
 				return ns

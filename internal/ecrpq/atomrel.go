@@ -216,21 +216,31 @@ func JoinOrder(g *pattern.Graph, pre map[string]int) []int {
 	return order
 }
 
-// semijoinCostFloor gates the semijoin pass of JoinRelations: a join whose
-// estimated cost is below it is cheaper to run directly than to sweep the
-// relations' endpoint supports first.
-const semijoinCostFloor = 256
+// semijoinFloorFor resolves the cost floor gating the semijoin and
+// Yannakakis passes of JoinRelations for one plan: the per-plan override
+// (PlanSpec.SemijoinFloor, threaded from SessionOptions.SemijoinCostFloor)
+// when set, the process-wide planner.SemijoinFloor() knob otherwise. A
+// negative result disables the passes.
+func semijoinFloorFor(spec *planner.PlanSpec) float64 {
+	if spec != nil && spec.SemijoinFloor != 0 {
+		return spec.SemijoinFloor
+	}
+	return planner.SemijoinFloor()
+}
 
 // JoinRelations runs the backtracking join of a relation-free pattern over
 // precomputed per-edge relations (the leaf step of the bounded-evaluation
 // engine), visiting edges in the order of the physical plan (see PlanJoin;
 // nil falls back to the structural JoinOrder) and enumerating node
 // variables from the relation rows. For plans whose estimated cost clears
-// semijoinCostFloor a semijoin reduction pass first shrinks each node
-// variable's candidate domain by propagating the relations' endpoint sets —
-// proving many joins empty outright and bounding the enumeration of the
-// rest. pre pre-binds node variables (Check-style); with boolOnly the join
-// stops at the first complete assignment.
+// the semijoin floor (planner.SemijoinFloor, overridable per plan through
+// PlanSpec.SemijoinFloor) an acyclic conjunct graph is evaluated with the
+// Yannakakis semijoin program (yannakakis.go) — linear in the relation
+// sizes, no backtracking — and a cyclic one falls back to the
+// backtracking join after a semijoin reduction pass shrinks each node
+// variable's candidate domain by propagating the relations' endpoint
+// sets. pre pre-binds node variables (Check-style); with boolOnly the
+// join stops at the first complete assignment.
 func JoinRelations(g *pattern.Graph, rels []*EdgeRel, spec *planner.PlanSpec, pre map[string]int, boolOnly bool) *pattern.TupleSet {
 	out := pattern.NewTupleSet()
 	JoinRelationsStream(g, rels, spec, pre, nil, func(t pattern.Tuple, _ int) bool {
@@ -256,15 +266,58 @@ func JoinRelationsStream(g *pattern.Graph, rels []*EdgeRel, spec *planner.PlanSp
 		order = JoinOrder(g, pre)
 	}
 	var dom *planner.Domains
-	if spec != nil && spec.CostBased && spec.Cost >= semijoinCostFloor && len(rels) > 0 && rels[0] != nil {
+	floor := semijoinFloorFor(spec)
+	if spec != nil && spec.CostBased && floor >= 0 && spec.Cost >= floor && len(rels) > 0 && rels[0] != nil {
 		refs := make([]planner.EdgeRef, len(g.Edges))
 		prels := make([]planner.Rel, len(g.Edges))
+		complete := len(rels) >= len(g.Edges)
 		for i, e := range g.Edges {
 			refs[i] = planner.EdgeRef{From: e.From, To: e.To}
 			if i < len(rels) && rels[i] != nil {
 				prels[i] = rels[i]
+			} else {
+				complete = false
 			}
 		}
+		// Acyclic cores take the Yannakakis program: relation-level
+		// semijoins along the join tree, then a backtrack-free streaming
+		// enumeration under the same yield contract. Parallel atoms over
+		// the identical relation are collapsed first (sound: identical
+		// constraint) — except in ranked joins, where each atom's Dist
+		// contributes to the witness cost.
+		if complete && planner.YannakakisEnabled() {
+			ranked := false
+			for _, r := range rels[:len(g.Edges)] {
+				if r.HasLevels() {
+					ranked = true
+				}
+			}
+			var skip []bool
+			kept := len(g.Edges)
+			if !ranked {
+				skip = make([]bool, len(g.Edges))
+				for i, e := range g.Edges {
+					for j := 0; j < i; j++ {
+						ej := g.Edges[j]
+						if !skip[j] && ej.From == e.From && ej.To == e.To && rels[j] == rels[i] {
+							skip[i] = true
+							kept--
+							break
+						}
+					}
+				}
+			}
+			if kept > 0 {
+				if tree, ok := planner.BuildJoinTree(refs, skip); ok {
+					yannakakisStream(g, rels, tree, pre, bud, yield)
+					return
+				}
+				planner.CountCyclicFallback()
+			}
+		}
+		// Cyclic fallback: shrink the variable domains by arc consistency
+		// and run the backtracking join over the reduced candidate sets.
+		planner.CountSemijoinPass()
 		d, ok := planner.Reduce(refs, prels, rels[0].NumNodes(), pre)
 		if !ok {
 			return // a variable lost every candidate: the join is empty

@@ -3,6 +3,8 @@ package ecrpq
 import (
 	"encoding/binary"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"cxrpq/internal/automata"
 	"cxrpq/internal/engine"
@@ -46,36 +48,69 @@ func EvalBool(q *Query, db *graph.DB) (bool, error) {
 	return res.Len() > 0, nil
 }
 
-// EvalUnion computes ⋃ qi(D).
+// EvalUnion computes ⋃ qi(D). Members are evaluated concurrently across
+// the engine worker pool (engine.Fan) — each worker materializes its own
+// member's tuple set, and a mutex-guarded shared set dedupes the union as
+// results land. The first member error (by member index, so the outcome is
+// deterministic) wins.
 func EvalUnion(u *Union, db *graph.DB) (*pattern.TupleSet, error) {
 	if err := u.Validate(); err != nil {
 		return nil, err
 	}
+	db.Index() // force one index build before the fan-out races on it
 	out := pattern.NewTupleSet()
-	for _, m := range u.Members {
-		res, err := Eval(m, db)
+	errs := make([]error, len(u.Members))
+	var mu sync.Mutex
+	engine.Fan(len(u.Members), func(i int) {
+		res, err := Eval(u.Members[i], db)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		mu.Lock()
+		for _, t := range res.All() {
+			out.Add(t)
+		}
+		mu.Unlock()
+	})
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
-		}
-		for _, t := range res.Sorted() {
-			out.Add(t)
 		}
 	}
 	return out, nil
 }
 
-// EvalUnionBool decides whether some member matches.
+// EvalUnionBool decides whether some member matches. Members run
+// concurrently; any satisfied member settles the answer (errors from other
+// members are irrelevant once a witness exists, matching the sequential
+// short-circuit semantics).
 func EvalUnionBool(u *Union, db *graph.DB) (bool, error) {
 	if err := u.Validate(); err != nil {
 		return false, err
 	}
-	for _, m := range u.Members {
-		ok, err := EvalBool(m, db)
+	db.Index()
+	var found atomic.Bool
+	errs := make([]error, len(u.Members))
+	engine.Fan(len(u.Members), func(i int) {
+		if found.Load() {
+			return
+		}
+		ok, err := EvalBool(u.Members[i], db)
 		if err != nil {
-			return false, err
+			errs[i] = err
+			return
 		}
 		if ok {
-			return true, nil
+			found.Store(true)
+		}
+	})
+	if found.Load() {
+		return true, nil
+	}
+	for _, err := range errs {
+		if err != nil {
+			return false, err
 		}
 	}
 	return false, nil
@@ -95,6 +130,14 @@ type evaluator struct {
 	gmemo []map[string]groupExp
 
 	inGroup []bool
+
+	// dropped marks edges deleted by the planner's containment-based
+	// minimization pass (planner.Minimize): an ungrouped edge whose
+	// language contains a kept same-endpoint edge's language is implied
+	// by it and never evaluated. Dropped edges still participate in the
+	// witness-reconstruction search (soundness is free — they are
+	// implied), just not in the join.
+	dropped []bool
 
 	// Streaming/any-k state (see stream.go). bud is polled at level
 	// granularity inside the BFS expansions and per node in the join
@@ -157,6 +200,18 @@ func newEvaluator(q *Query, db *graph.DB) (*evaluator, error) {
 			ev.inGroup[ei] = true
 		}
 	}
+	// Containment-based minimization (planner v2): delete redundant
+	// ungrouped atoms before any relation work. Grouped edges are
+	// ineligible (their semantics involve the group relation, not the
+	// edge language alone) and marked with a nil cache.
+	minAtoms := make([]planner.MinAtom, len(q.Pattern.Edges))
+	for i, e := range q.Pattern.Edges {
+		minAtoms[i] = planner.MinAtom{From: e.From, To: e.To}
+		if !ev.inGroup[i] {
+			minAtoms[i].Cache = ev.ents[i].cache
+		}
+	}
+	ev.dropped = planner.Minimize(minAtoms, 0)
 	return ev, nil
 }
 
@@ -626,7 +681,7 @@ func (ev *evaluator) productNodes(opts [][]int, f func([]int)) {
 func (ev *evaluator) constraintOrder(pre map[string]int) []constraintRef {
 	var unary []int
 	for i := range ev.q.Pattern.Edges {
-		if !ev.inGroup[i] {
+		if !ev.inGroup[i] && !ev.dropped[i] {
 			unary = append(unary, i)
 		}
 	}

@@ -89,13 +89,31 @@ func EvalBudget(q *Query, db *graph.DB, bud *engine.Budget) (*pattern.TupleSet, 
 // granularity (the BFS expansions below additionally poll per level).
 func (ev *evaluator) runStream(pre map[string]int, yield StreamFunc) error {
 	q := ev.q
+	seen := map[string]bool{}
+	sink := func(t pattern.Tuple, cost int) bool {
+		if !ev.ranked {
+			k := intsKey(t)
+			if seen[k] {
+				return true
+			}
+			seen[k] = true
+		}
+		return yield(t, cost)
+	}
+	// Acyclic-core specialization: when the minimized conjunct graph has
+	// a join tree and the backtracking search is estimated expensive
+	// enough to pay for materializing the relations, run the Yannakakis
+	// semijoin program instead (yannakakis.go) — same yields, same
+	// dedup, same budget discipline.
+	if ev.tryYannakakis(pre, sink) {
+		return nil
+	}
 	order := ev.constraintOrder(pre)
 
 	assign := map[string]int{}
 	for z, v := range pre {
 		assign[z] = v
 	}
-	seen := map[string]bool{}
 	stop := false
 	var rec func(ci, cost int)
 	rec = func(ci, cost int) {
@@ -111,14 +129,7 @@ func (ev *evaluator) runStream(pre map[string]int, yield StreamFunc) error {
 				}
 				t[i] = v
 			}
-			if !ev.ranked {
-				k := intsKey(t)
-				if seen[k] {
-					return
-				}
-				seen[k] = true
-			}
-			if !yield(t, cost) {
+			if !sink(t, cost) {
 				stop = true
 			}
 			return

@@ -1,0 +1,447 @@
+package ecrpq
+
+// The acyclic-join specialization (planner v2). When the conjunct graph
+// of a join over materialized relations admits a join tree (GYO
+// reduction, planner.BuildJoinTree), the generic backtracking search is
+// replaced by Yannakakis' algorithm: a bottom-up semijoin pass filters
+// every parent relation by its children, a top-down pass filters every
+// child by its parent, and a final enumeration over the fully reduced
+// relations is backtrack-free — total work linear in the relation sizes
+// plus the output, where backtracking can spend time exponential in the
+// query size on dead-end prefixes. The enumeration pass speaks the
+// JoinRelationsStream yield contract (projected tuple + summed
+// EdgeRel.Dist cost, no dedup, budget polled per step), so the PR 7
+// cursors and budgets ride it unchanged. Subtrees containing no output
+// variable are existence-checked by the semijoin passes alone and never
+// enumerated (the free-connex trick) — disabled in ranked mode, where
+// every atom's Dist must flow into the witness cost.
+
+import (
+	"sort"
+
+	"cxrpq/internal/engine"
+	"cxrpq/internal/pattern"
+	"cxrpq/internal/planner"
+)
+
+// tryYannakakis is the evaluator-level dispatch: for a materialized
+// (non-lazy) run over a group-free query whose minimized conjunct graph
+// is acyclic, and whose estimated backtracking cost exceeds both the
+// semijoin floor and YannakakisGain times the cost of materializing the
+// kept relations, it builds the per-edge relations and runs the
+// Yannakakis program into sink. It reports whether it ran — false means
+// the caller should take the generic backtracking join.
+func (ev *evaluator) tryYannakakis(pre map[string]int, sink StreamFunc) bool {
+	if !planner.YannakakisEnabled() || ev.lazy || len(ev.q.Groups) > 0 {
+		return false
+	}
+	floor := planner.SemijoinFloor()
+	if floor < 0 {
+		return false
+	}
+	var kept []int
+	for i := range ev.q.Pattern.Edges {
+		if !ev.dropped[i] {
+			kept = append(kept, i)
+		}
+	}
+	if len(kept) < 2 {
+		return false // a single relation scan gains nothing from semijoins
+	}
+	atoms := make([]planner.Atom, len(kept))
+	mat := 0.0
+	for j, ei := range kept {
+		e := ev.q.Pattern.Edges[ei]
+		est := ev.ents[ei].shape().Estimate(ev.stats)
+		atoms[j] = planner.Atom{From: e.From, To: e.To, Est: est}
+		mat += est.Pairs + float64(est.Nodes)
+	}
+	spec := planner.Order(atoms, boundSet(pre))
+	if !spec.CostBased || spec.Cost < floor || spec.Cost < mat*planner.YannakakisGain() {
+		return false
+	}
+	refs := make([]planner.EdgeRef, len(ev.q.Pattern.Edges))
+	for i, e := range ev.q.Pattern.Edges {
+		refs[i] = planner.EdgeRef{From: e.From, To: e.To}
+	}
+	tree, ok := planner.BuildJoinTree(refs, ev.dropped)
+	if !ok {
+		planner.CountCyclicFallback()
+		return false
+	}
+	rels := make([]*EdgeRel, len(ev.q.Pattern.Edges))
+	for _, ei := range kept {
+		r, err := RelationForEx(ev.db, ev.q.Pattern.Edges[ei].Label, ev.sigma, ev.bud, ev.ranked)
+		if err != nil {
+			// Budget-truncated (or otherwise failed) materialization:
+			// fall back — a canceled budget unwinds the backtracking
+			// join immediately anyway.
+			return false
+		}
+		rels[ei] = r
+	}
+	yannakakisStream(ev.q.Pattern, rels, tree, pre, ev.bud, sink)
+	return true
+}
+
+// yanRel is one atom's relation with a pair-level liveness bitset laid
+// over the EdgeRel's forward adjacency (flattened positions, prefix
+// offsets per source). The semijoin passes only ever clear bits.
+type yanRel struct {
+	r        *EdgeRel
+	from, to string
+	selfLoop bool
+	off      []int // off[u] = flattened position of fwd[u][0]; len n+1
+	alive    []uint64
+	live     int
+}
+
+func bitGet(b []uint64, i int) bool { return b[i>>6]&(1<<(uint(i)&63)) != 0 }
+func bitSet(b []uint64, i int)      { b[i>>6] |= 1 << (uint(i) & 63) }
+func bitClear(b []uint64, i int)    { b[i>>6] &^= 1 << (uint(i) & 63) }
+
+// newYanRel builds the liveness overlay, pre-filtering by a self-loop
+// constraint (From == To atoms keep only diagonal pairs) and by any
+// pre-bound endpoint variables.
+func newYanRel(r *EdgeRel, from, to string, pre map[string]int) *yanRel {
+	n := r.NumNodes()
+	y := &yanRel{r: r, from: from, to: to, selfLoop: from == to}
+	y.off = make([]int, n+1)
+	for u := 0; u < n; u++ {
+		y.off[u+1] = y.off[u] + len(r.Forward(u))
+	}
+	total := y.off[n]
+	y.alive = make([]uint64, (total+63)/64)
+	pf, pfok := pre[from]
+	pt, ptok := pre[to]
+	for u := 0; u < n; u++ {
+		if pfok && u != pf {
+			continue
+		}
+		for i, v := range r.Forward(u) {
+			if y.selfLoop && v != u {
+				continue
+			}
+			if ptok && v != pt {
+				continue
+			}
+			bitSet(y.alive, y.off[u]+i)
+			y.live++
+		}
+	}
+	return y
+}
+
+// pos returns the flattened position of (u, v), or -1 if absent.
+func (y *yanRel) pos(u, v int) int {
+	ws := y.r.Forward(u)
+	i := sort.SearchInts(ws, v)
+	if i < len(ws) && ws[i] == v {
+		return y.off[u] + i
+	}
+	return -1
+}
+
+// hasAlive reports whether the pair (u, v) is present and still live.
+func (y *yanRel) hasAlive(u, v int) bool {
+	if u < 0 || u >= len(y.off)-1 {
+		return false
+	}
+	p := y.pos(u, v)
+	return p >= 0 && bitGet(y.alive, p)
+}
+
+// value resolves a shared variable to its side of the pair.
+func (y *yanRel) value(z string, u, v int) int {
+	if z == y.from {
+		return u
+	}
+	return v
+}
+
+// eachAlive visits every live pair; returning false stops the sweep.
+func (y *yanRel) eachAlive(f func(u, v int, p int) bool) {
+	n := len(y.off) - 1
+	for u := 0; u < n; u++ {
+		if y.off[u] == y.off[u+1] {
+			continue
+		}
+		for i, v := range y.r.Forward(u) {
+			p := y.off[u] + i
+			if bitGet(y.alive, p) && !f(u, v, p) {
+				return
+			}
+		}
+	}
+}
+
+// support returns the bitset of node values variable z takes over the
+// live pairs.
+func (y *yanRel) support(z string) []uint64 {
+	n := len(y.off) - 1
+	sup := make([]uint64, (n+63)/64)
+	y.eachAlive(func(u, v, _ int) bool {
+		bitSet(sup, y.value(z, u, v))
+		return true
+	})
+	return sup
+}
+
+// filter clears every live pair the predicate rejects.
+func (y *yanRel) filter(keep func(u, v int) bool) {
+	y.eachAlive(func(u, v, p int) bool {
+		if !keep(u, v) {
+			bitClear(y.alive, p)
+			y.live--
+		}
+		return true
+	})
+}
+
+// semijoin filters p's live pairs to those joinable with a live pair of c
+// on the given shared variables: a proper pairwise intersection when the
+// atoms are parallel (both endpoints shared), an endpoint-support filter
+// on one shared variable, and the cross-product rule (empty child ⇒
+// empty parent) when the atoms share nothing. This is the relation-level
+// operation arc consistency (planner.Reduce) only approximates: parallel
+// relations {(a,b),(c,d)} and {(a,d),(c,b)} pass domain filtering but
+// their semijoin is empty.
+func semijoin(p, c *yanRel, shared []string) {
+	switch len(shared) {
+	case 0:
+		if c.live == 0 {
+			p.filter(func(int, int) bool { return false })
+		}
+	case 1:
+		z := shared[0]
+		sup := c.support(z)
+		p.filter(func(u, v int) bool { return bitGet(sup, p.value(z, u, v)) })
+	default:
+		swapped := c.from != p.from
+		p.filter(func(u, v int) bool {
+			if swapped {
+				u, v = v, u
+			}
+			return c.hasAlive(u, v)
+		})
+	}
+}
+
+// yannakakisStream evaluates the join of g over rels along the join tree
+// and streams the output projections through yield under the
+// JoinRelationsStream contract. Atoms outside the tree (Parent == -2,
+// i.e. minimized duplicates the caller masked out of BuildJoinTree) are
+// ignored; pre pre-binds node variables Check-style. The budget is
+// polled per enumeration step; cancellation unwinds with the sound
+// partial output already yielded.
+func yannakakisStream(g *pattern.Graph, rels []*EdgeRel, tree *planner.JoinTree, pre map[string]int, bud *engine.Budget, yield func(t pattern.Tuple, cost int) bool) {
+	planner.CountAcyclicPlan()
+	nodes := make([]*yanRel, len(g.Edges))
+	ranked := false
+	for _, i := range tree.Order {
+		e := g.Edges[i]
+		nodes[i] = newYanRel(rels[i], e.From, e.To, pre)
+		if rels[i].HasLevels() {
+			ranked = true
+		}
+	}
+
+	// Pass 1, leaves up: filter every parent by its children.
+	planner.CountSemijoinPass()
+	for k := len(tree.Order) - 1; k >= 0; k-- {
+		i := tree.Order[k]
+		if p := tree.Parent[i]; p >= 0 {
+			semijoin(nodes[p], nodes[i], tree.Shared[i])
+		}
+	}
+	if len(tree.Order) > 0 && nodes[tree.Order[0]].live == 0 {
+		return // the root drained: the join is empty
+	}
+	// Pass 2, root down: filter every child by its parent. After this the
+	// relations are fully reduced — every live pair extends to a full
+	// answer, which is what makes the enumeration backtrack-free.
+	planner.CountSemijoinPass()
+	for _, i := range tree.Order {
+		if p := tree.Parent[i]; p >= 0 {
+			semijoin(nodes[i], nodes[p], tree.Shared[i])
+		}
+	}
+
+	// Neededness: a variable must be bound during enumeration when it is
+	// an output variable or is shared between two enumerated atoms; an
+	// atom must be enumerated when its subtree contains a needed atom
+	// (the connected hull of the output atoms — outside it, the semijoin
+	// passes already guarantee existence). Ranked mode enumerates
+	// everything so each atom's Dist reaches the witness cost.
+	need := map[string]bool{}
+	for _, z := range g.Out {
+		need[z] = true
+	}
+	inS := make([]bool, len(g.Edges))
+	for k := len(tree.Order) - 1; k >= 0; k-- {
+		i := tree.Order[k]
+		e := g.Edges[i]
+		if ranked || need[e.From] || need[e.To] {
+			inS[i] = true
+		}
+		if inS[i] && tree.Parent[i] >= 0 {
+			inS[tree.Parent[i]] = true
+		}
+	}
+	var enum []int
+	for _, i := range tree.Order {
+		if inS[i] {
+			enum = append(enum, i)
+			for _, z := range tree.Shared[i] {
+				need[z] = true
+			}
+		}
+	}
+
+	assign := map[string]int{}
+	for z, v := range pre {
+		assign[z] = v
+	}
+	project := func(cost int) bool {
+		t := make(pattern.Tuple, len(g.Out))
+		for i, z := range g.Out {
+			v, ok := assign[z]
+			if !ok {
+				return true // output var not constrained; Validate prevents this
+			}
+			t[i] = v
+		}
+		return yield(t, cost)
+	}
+	stop := false
+	var rec func(k, cost int)
+	rec = func(k, cost int) {
+		if stop {
+			return
+		}
+		if k == len(enum) {
+			if !project(cost) {
+				stop = true
+			}
+			return
+		}
+		if bud.Canceled() {
+			stop = true
+			return
+		}
+		y := nodes[enum[k]]
+		u, uok := assign[y.from]
+		v, vok := assign[y.to]
+		dist := func(u, v int) int { return int(y.r.Dist(u, v)) }
+		switch {
+		case uok && vok: // includes bound self-loops (same var twice)
+			if y.hasAlive(u, v) {
+				rec(k+1, cost+dist(u, v))
+			}
+		case uok && !y.selfLoop:
+			if ranked || need[y.to] {
+				for i, w := range y.r.Forward(u) {
+					if !bitGet(y.alive, y.off[u]+i) {
+						continue
+					}
+					assign[y.to] = w
+					rec(k+1, cost+dist(u, w))
+					if stop {
+						break
+					}
+				}
+				delete(assign, y.to)
+			} else {
+				// The target is needed by nothing downstream: one live
+				// pair proves the extension (full reduction), unranked
+				// mode carries no Dist, so don't fan out over targets.
+				for i := range y.r.Forward(u) {
+					if bitGet(y.alive, y.off[u]+i) {
+						rec(k+1, cost)
+						break
+					}
+				}
+			}
+		case vok && !y.selfLoop:
+			if ranked || need[y.from] {
+				for _, w := range y.r.Backward(v) {
+					if !y.hasAlive(w, v) {
+						continue
+					}
+					assign[y.from] = w
+					rec(k+1, cost+dist(w, v))
+					if stop {
+						break
+					}
+				}
+				delete(assign, y.from)
+			} else {
+				for _, w := range y.r.Backward(v) {
+					if y.hasAlive(w, v) {
+						rec(k+1, cost)
+						break
+					}
+				}
+			}
+		default:
+			needF := ranked || need[y.from]
+			needT := ranked || need[y.to]
+			switch {
+			case y.selfLoop:
+				// Live pairs are diagonal by construction.
+				prev := -1
+				y.eachAlive(func(u, _, _ int) bool {
+					if !needF {
+						rec(k+1, cost)
+						return false
+					}
+					if u == prev {
+						return true
+					}
+					prev = u
+					assign[y.from] = u
+					rec(k+1, cost+dist(u, u))
+					return !stop
+				})
+				if needF {
+					delete(assign, y.from)
+				}
+			case needF && needT:
+				y.eachAlive(func(u, v, _ int) bool {
+					assign[y.from], assign[y.to] = u, v
+					rec(k+1, cost+dist(u, v))
+					return !stop
+				})
+				delete(assign, y.from)
+				delete(assign, y.to)
+			case needF:
+				prevU := -1
+				y.eachAlive(func(u, _, _ int) bool {
+					if u == prevU {
+						return true
+					}
+					prevU = u
+					assign[y.from] = u
+					rec(k+1, cost)
+					return !stop
+				})
+				delete(assign, y.from)
+			case needT:
+				sup := y.support(y.to)
+				for w := 0; w < y.r.NumNodes() && !stop; w++ {
+					if !bitGet(sup, w) {
+						continue
+					}
+					assign[y.to] = w
+					rec(k+1, cost)
+				}
+				delete(assign, y.to)
+			default:
+				if y.live > 0 {
+					rec(k+1, cost)
+				}
+			}
+		}
+	}
+	rec(0, 0)
+}

@@ -1,0 +1,172 @@
+package ecrpq_test
+
+import (
+	"testing"
+
+	"cxrpq/internal/ecrpq"
+	"cxrpq/internal/graph"
+	"cxrpq/internal/pattern"
+	"cxrpq/internal/planner"
+	"cxrpq/internal/workload"
+)
+
+// forceYannakakis drops the cost gates so every acyclic, group-free,
+// non-lazy join takes the Yannakakis path, and returns a restore func.
+func forceYannakakis(t *testing.T) func() {
+	t.Helper()
+	en := planner.SetEnabled(true)
+	yan := planner.SetYannakakis(true)
+	floor := planner.SetSemijoinFloor(0)
+	gain := planner.SetYannakakisGain(0)
+	return func() {
+		planner.SetYannakakisGain(gain)
+		planner.SetSemijoinFloor(floor)
+		planner.SetYannakakis(yan)
+		planner.SetEnabled(en)
+	}
+}
+
+// TestYannakakisDifferential runs a query zoo over random graphs with the
+// Yannakakis path forced and with it disabled, asserting tuple-set
+// equality — the two join programs must be observationally identical.
+func TestYannakakisDifferential(t *testing.T) {
+	queries := []string{
+		"ans(x, z)\nx y : a\ny z : b",
+		"ans(w, z)\nw x : a\nx y : b\ny z : a|b",
+		"ans(x)\nx y1 : a\nx y2 : b\nx y3 : a|b",
+		"ans()\nx y : a\ny z : b",
+		"ans(x, y)\nx x : a\nx y : b",
+		"ans(x, y)\nx y : a\nx y : b",
+		"ans(x, y)\nx y : a\nx y : a",
+		"ans(x, u)\nx y : a\nu v : b",
+		"ans(x, y, z)\nx y : a\ny z : b",
+		"ans(x, z)\nx y : a+\ny z : b*a",
+		// cyclic core: must fall back to backtracking, same answers
+		"ans(x, z)\nx y : a\ny z : a\nx z : b",
+	}
+	for seed := int64(1); seed <= 3; seed++ {
+		db := workload.Random(seed, 30, 140, "ab")
+		for _, src := range queries {
+			q := mustQuery(t, src)
+
+			restore := forceYannakakis(t)
+			planner.SetYannakakis(false)
+			want, err := ecrpq.Eval(q, db)
+			if err != nil {
+				restore()
+				t.Fatalf("seed %d %q backtracking: %v", seed, src, err)
+			}
+			planner.SetYannakakis(true)
+			before := planner.Stats().AcyclicPlans
+			got, err := ecrpq.Eval(q, db)
+			fired := planner.Stats().AcyclicPlans - before
+			gotBool, berr := ecrpq.EvalBool(q, db)
+			restore()
+			if err != nil {
+				t.Fatalf("seed %d %q yannakakis: %v", seed, src, err)
+			}
+			if !got.Equal(want) {
+				t.Fatalf("seed %d %q: yannakakis %v != backtracking %v",
+					seed, src, got.Sorted(), want.Sorted())
+			}
+			if berr != nil || gotBool != (want.Len() > 0) {
+				t.Fatalf("seed %d %q: EvalBool = %v, %v; want %v", seed, src, gotBool, berr, want.Len() > 0)
+			}
+			if fired == 0 && len(q.Pattern.Edges) > 2 && src != "ans(x, z)\nx y : a\ny z : a\nx z : b" {
+				t.Fatalf("seed %d %q: acyclic path never fired under forced gates", seed, src)
+			}
+		}
+	}
+}
+
+// TestYannakakisPairwiseSemijoin pins the counterexample that separates
+// relation-level semijoins from per-variable domain filtering: two
+// parallel atoms whose relations agree on every endpoint domain but share
+// no pair. The join is empty, and a domain-only reduction would not see
+// it.
+func TestYannakakisPairwiseSemijoin(t *testing.T) {
+	db := graph.MustParse(`
+a p b
+c p d
+a q d
+c q b
+`)
+	q := mustQuery(t, "ans(u, v)\nu v : p\nu v : q")
+	restore := forceYannakakis(t)
+	defer restore()
+	before := planner.Stats().AcyclicPlans
+	got, err := ecrpq.Eval(q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if planner.Stats().AcyclicPlans == before {
+		t.Fatal("acyclic path never fired")
+	}
+	if got.Len() != 0 {
+		t.Fatalf("expected the empty join, got %v", got.Sorted())
+	}
+}
+
+// TestMinimizeDropsRedundantAtoms checks the evaluator-level containment
+// pass end to end: a duplicated atom and an atom widened to a|b both
+// vanish from the join without changing the answer set.
+func TestMinimizeDropsRedundantAtoms(t *testing.T) {
+	db := workload.Random(7, 25, 100, "ab")
+	q := mustQuery(t, "ans(x, z)\nx y : a\nx y : a|b\ny z : a\ny z : a")
+
+	en := planner.SetEnabled(true)
+	defer planner.SetEnabled(en)
+	min := planner.SetMinimize(false)
+	want, err := ecrpq.Eval(q, db)
+	if err != nil {
+		planner.SetMinimize(min)
+		t.Fatal(err)
+	}
+	planner.SetMinimize(true)
+	before := planner.Stats().AtomsMinimized
+	got, err := ecrpq.Eval(q, db)
+	dropped := planner.Stats().AtomsMinimized - before
+	planner.SetMinimize(min)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dropped < 2 {
+		t.Fatalf("minimization dropped %d atoms, want 2", dropped)
+	}
+	if !got.Equal(want) {
+		t.Fatalf("minimized answers %v != full answers %v", got.Sorted(), want.Sorted())
+	}
+}
+
+// TestEvalUnionParallel checks the fanned-out union evaluation: members
+// evaluated concurrently must dedupe into the same set the sequential
+// loop produced, and a member error must surface deterministically.
+func TestEvalUnionParallel(t *testing.T) {
+	db := workload.Random(11, 20, 80, "ab")
+	u := &ecrpq.Union{Members: []*ecrpq.Query{
+		mustQuery(t, "ans(x, y)\nx y : a"),
+		mustQuery(t, "ans(x, y)\nx y : a|b"), // superset of member 1: forces dedup
+		mustQuery(t, "ans(x, y)\nx y : b"),
+	}}
+	got, err := ecrpq.EvalUnion(u, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := pattern.NewTupleSet()
+	for _, m := range u.Members {
+		res, err := ecrpq.Eval(m, db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tp := range res.All() {
+			want.Add(tp)
+		}
+	}
+	if !got.Equal(want) {
+		t.Fatalf("parallel union %d tuples, sequential %d", got.Len(), want.Len())
+	}
+	ok, err := ecrpq.EvalUnionBool(u, db)
+	if err != nil || ok != (want.Len() > 0) {
+		t.Fatalf("EvalUnionBool = %v, %v; want %v", ok, err, want.Len() > 0)
+	}
+}

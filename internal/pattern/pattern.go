@@ -158,6 +158,11 @@ func (s *TupleSet) Contains(t Tuple) bool { return s.seen[t.Key()] }
 // Len returns the number of tuples.
 func (s *TupleSet) Len() int { return len(s.list) }
 
+// All returns the tuples in insertion order. The returned slice is the
+// set's backing storage — callers must not modify it or hold it across a
+// later Add.
+func (s *TupleSet) All() []Tuple { return s.list }
+
 // Sorted returns the tuples in lexicographic order.
 func (s *TupleSet) Sorted() []Tuple {
 	out := append([]Tuple(nil), s.list...)

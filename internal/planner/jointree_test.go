@@ -1,0 +1,127 @@
+package planner
+
+import "testing"
+
+// checkTree validates the structural invariants of a join tree over the
+// given edges: every non-skipped atom appears exactly once in Order, every
+// parent precedes its children, skipped atoms are marked -2, and Shared
+// lists are the actual endpoint intersections.
+func checkTree(t *testing.T, tree *JoinTree, edges []EdgeRef, skip []bool) {
+	t.Helper()
+	pos := map[int]int{}
+	for p, i := range tree.Order {
+		if skip != nil && skip[i] {
+			t.Fatalf("skipped atom %d in Order", i)
+		}
+		if _, dup := pos[i]; dup {
+			t.Fatalf("atom %d appears twice in Order", i)
+		}
+		pos[i] = p
+	}
+	for i := range edges {
+		if skip != nil && skip[i] {
+			if tree.Parent[i] != -2 {
+				t.Fatalf("skipped atom %d has Parent %d, want -2", i, tree.Parent[i])
+			}
+			continue
+		}
+		if _, ok := pos[i]; !ok {
+			t.Fatalf("atom %d missing from Order", i)
+		}
+		p := tree.Parent[i]
+		if p == -2 {
+			t.Fatalf("kept atom %d marked excluded", i)
+		}
+		if p >= 0 {
+			if pos[p] >= pos[i] {
+				t.Fatalf("parent %d not before child %d in Order %v", p, i, tree.Order)
+			}
+			want := map[string]bool{}
+			for _, v := range atomVars(edges[i]) {
+				for _, w := range atomVars(edges[p]) {
+					if v == w {
+						want[v] = true
+					}
+				}
+			}
+			if len(want) != len(tree.Shared[i]) {
+				t.Fatalf("atom %d Shared = %v, want the %d-var intersection", i, tree.Shared[i], len(want))
+			}
+			for _, v := range tree.Shared[i] {
+				if !want[v] {
+					t.Fatalf("atom %d Shared contains %q, not an endpoint intersection", i, v)
+				}
+			}
+		}
+	}
+}
+
+func TestBuildJoinTreeAcyclic(t *testing.T) {
+	cases := []struct {
+		name  string
+		edges []EdgeRef
+		skip  []bool
+	}{
+		{"single", []EdgeRef{{"x", "y"}}, nil},
+		{"chain", []EdgeRef{{"x", "y"}, {"y", "z"}, {"z", "w"}}, nil},
+		{"star", []EdgeRef{{"x", "y1"}, {"x", "y2"}, {"x", "y3"}}, nil},
+		{"parallel", []EdgeRef{{"x", "y"}, {"x", "y"}}, nil},
+		{"self-loop", []EdgeRef{{"x", "x"}, {"x", "y"}}, nil},
+		{"disconnected", []EdgeRef{{"x", "y"}, {"u", "v"}}, nil},
+		{"triangle minus skipped edge", []EdgeRef{{"x", "y"}, {"y", "z"}, {"z", "x"}}, []bool{false, false, true}},
+		{"reversed chain atoms", []EdgeRef{{"z", "w"}, {"y", "z"}, {"x", "y"}}, nil},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			tree, ok := BuildJoinTree(c.edges, c.skip)
+			if !ok {
+				t.Fatal("BuildJoinTree reported cyclic")
+			}
+			checkTree(t, tree, c.edges, c.skip)
+		})
+	}
+}
+
+func TestBuildJoinTreeCyclic(t *testing.T) {
+	cases := []struct {
+		name  string
+		edges []EdgeRef
+	}{
+		{"triangle", []EdgeRef{{"x", "y"}, {"y", "z"}, {"z", "x"}}},
+		{"4-cycle", []EdgeRef{{"x", "y"}, {"y", "z"}, {"z", "w"}, {"w", "x"}}},
+		{"triangle plus pendant", []EdgeRef{{"x", "y"}, {"y", "z"}, {"z", "x"}, {"x", "p"}}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, ok := BuildJoinTree(c.edges, nil); ok {
+				t.Fatal("BuildJoinTree accepted a cyclic conjunct graph")
+			}
+		})
+	}
+}
+
+func TestFreeConnex(t *testing.T) {
+	chain := []EdgeRef{{"x", "y"}, {"y", "z"}}
+	cases := []struct {
+		name  string
+		edges []EdgeRef
+		skip  []bool
+		out   []string
+		want  bool
+	}{
+		{"boolean chain", chain, nil, nil, true},
+		{"head inside one atom", chain, nil, []string{"x", "y"}, true},
+		{"endpoints of a path", chain, nil, []string{"x", "z"}, false},
+		{"full head", chain, nil, []string{"x", "y", "z"}, true},
+		{"duplicated head vars", chain, nil, []string{"x", "x", "y"}, true},
+		{"cyclic stays cyclic", []EdgeRef{{"x", "y"}, {"y", "z"}, {"z", "x"}}, nil, []string{"x"}, false},
+		{"skip restores free-connex", []EdgeRef{{"x", "y"}, {"y", "z"}, {"x", "z"}}, []bool{false, true, false}, []string{"x", "z"}, true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := FreeConnex(c.edges, c.skip, c.out); got != c.want {
+				t.Fatalf("FreeConnex = %v, want %v", got, c.want)
+			}
+		})
+	}
+}

@@ -1,0 +1,134 @@
+package planner
+
+import "sync/atomic"
+
+// Planner-v2 switches and counters. The minimization pass and the
+// Yannakakis join program each get their own kill switch under the master
+// Enabled() flag, so the differential tests can isolate one rewrite at a
+// time; the semijoin cost floor, formerly a hard-coded constant in ecrpq,
+// becomes a process-wide default that sessions may override per plan.
+
+var (
+	minimizeOff   atomic.Bool
+	yannakakisOff atomic.Bool
+)
+
+// MinimizeEnabled reports whether the containment-based minimization pass
+// is active. It is off whenever the whole planner is off.
+func MinimizeEnabled() bool { return Enabled() && !minimizeOff.Load() }
+
+// SetMinimize switches the minimization pass on or off process-wide and
+// returns the previous setting.
+func SetMinimize(on bool) bool { return !minimizeOff.Swap(!on) }
+
+// YannakakisEnabled reports whether the acyclic-join specialization is
+// active. It is off whenever the whole planner is off.
+func YannakakisEnabled() bool { return Enabled() && !yannakakisOff.Load() }
+
+// SetYannakakis switches the Yannakakis join program on or off
+// process-wide and returns the previous setting.
+func SetYannakakis(on bool) bool { return !yannakakisOff.Swap(!on) }
+
+// DefaultSemijoinFloor is the estimated-join-cost floor below which the
+// semijoin reduction (and the Yannakakis program over materialized
+// relations) is considered not worth its linear pass over the relations.
+const DefaultSemijoinFloor = 256
+
+// semijoinFloor holds the process-wide floor, offset by one so the zero
+// value of the atomic means "default".
+var semijoinFloor atomic.Int64
+
+// SemijoinFloor returns the process-wide semijoin cost floor. Negative
+// means the pass is disabled outright.
+func SemijoinFloor() float64 {
+	v := semijoinFloor.Load()
+	if v == 0 {
+		return DefaultSemijoinFloor
+	}
+	return float64(v - 1)
+}
+
+// SetSemijoinFloor sets the process-wide semijoin cost floor and returns
+// the previous value. Zero makes every eligible join take the pass; a
+// negative value disables it.
+func SetSemijoinFloor(v float64) float64 {
+	prev := semijoinFloor.Swap(int64(v) + 1)
+	if prev == 0 {
+		return DefaultSemijoinFloor
+	}
+	return float64(prev - 1)
+}
+
+// DefaultYannakakisGain is the factor by which a join's estimated
+// backtracking cost must exceed the cost of materializing its relations
+// before the ecrpq evaluator switches to the Yannakakis program. The
+// program is linear in the relation sizes, so it only pays off when the
+// backtracking search is estimated to re-walk the relations repeatedly;
+// selective joins (the planner's bread and butter) stay on backtracking.
+const DefaultYannakakisGain = 4
+
+// yanGain stores the gain offset by one so the atomic zero means default.
+var yanGain atomic.Int64
+
+// YannakakisGain returns the current gain factor.
+func YannakakisGain() float64 {
+	v := yanGain.Load()
+	if v == 0 {
+		return DefaultYannakakisGain
+	}
+	return float64(v - 1)
+}
+
+// SetYannakakisGain sets the gain factor and returns the previous value;
+// 0 makes every acyclic join above the semijoin floor take the
+// Yannakakis path (the differential tests use this to force coverage).
+func SetYannakakisGain(v float64) float64 {
+	prev := yanGain.Swap(int64(v) + 1)
+	if prev == 0 {
+		return DefaultYannakakisGain
+	}
+	return float64(prev - 1)
+}
+
+// Counters are the planner-v2 telemetry, surfaced by cxrpq-serve /stats.
+type Counters struct {
+	ContainChecks  uint64 `json:"contain_checks"`   // NFA-containment product explorations
+	ContainBails   uint64 `json:"contain_bails"`    // explorations abandoned at the state cap
+	AtomsMinimized uint64 `json:"atoms_minimized"`  // atoms deleted by Minimize
+	AcyclicPlans   uint64 `json:"acyclic_plans"`    // Yannakakis programs executed
+	SemijoinPasses uint64 `json:"semijoin_passes"`  // semijoin sweeps (Reduce calls + Yannakakis passes)
+	CyclicFallback uint64 `json:"cyclic_fallbacks"` // joins that wanted the acyclic path but the core was cyclic
+}
+
+var (
+	ctrContainChecks  atomic.Uint64
+	ctrContainBails   atomic.Uint64
+	ctrAtomsMinimized atomic.Uint64
+	ctrAcyclicPlans   atomic.Uint64
+	ctrSemijoinPasses atomic.Uint64
+	ctrCyclicFallback atomic.Uint64
+)
+
+// CountSemijoinPass records one semijoin sweep over materialized
+// relations; ecrpq calls it from Reduce consumers and the Yannakakis
+// passes.
+func CountSemijoinPass() { ctrSemijoinPasses.Add(1) }
+
+// CountAcyclicPlan records one executed Yannakakis join program.
+func CountAcyclicPlan() { ctrAcyclicPlans.Add(1) }
+
+// CountCyclicFallback records a join that cleared the cost gate but whose
+// conjunct graph was cyclic, so it fell back to the backtracking join.
+func CountCyclicFallback() { ctrCyclicFallback.Add(1) }
+
+// Stats returns a snapshot of the planner-v2 counters.
+func Stats() Counters {
+	return Counters{
+		ContainChecks:  ctrContainChecks.Load(),
+		ContainBails:   ctrContainBails.Load(),
+		AtomsMinimized: ctrAtomsMinimized.Load(),
+		AcyclicPlans:   ctrAcyclicPlans.Load(),
+		SemijoinPasses: ctrSemijoinPasses.Load(),
+		CyclicFallback: ctrCyclicFallback.Load(),
+	}
+}

@@ -35,6 +35,12 @@ type PlanSpec struct {
 	Cost      float64 // Σ step costs
 	Rows      float64 // estimated final rows
 	CostBased bool
+	// SemijoinFloor overrides the process-wide SemijoinFloor() gate for
+	// joins executed under this plan: 0 keeps the process default, a
+	// positive value is the floor, and a negative value disables the
+	// semijoin/Yannakakis passes outright (SessionOptions threads the
+	// per-session knob through here).
+	SemijoinFloor float64
 }
 
 // rowsFloor keeps the running row estimate from collapsing to zero: an

@@ -267,3 +267,67 @@ func SkewedJoin(hub int) *graph.DB {
 	d.AddEdge(c0, 's', c1)
 	return d
 }
+
+// TriStar returns the free-connex enumeration stress graph of E25: `hubs`
+// center nodes, each with `fanout` private a-, b- and c-labelled leaves.
+// On the star query ans(x) <- (x,a,y1), (x,b,y2), (x,c,y3) a backtracking
+// join enumerates fanout³ satisfying assignments per center — all
+// projecting to the same output tuple — while the Yannakakis program's
+// enumeration pass skips the unneeded leaf variables and emits each
+// center once after the semijoin passes certified its three arms.
+func TriStar(hubs, fanout int) *graph.DB {
+	d := graph.New()
+	for h := 0; h < hubs; h++ {
+		c := d.Node(fmt.Sprintf("h%d", h))
+		for _, l := range []rune{'a', 'b', 'c'} {
+			for j := 0; j < fanout; j++ {
+				d.AddEdge(c, l, d.AddNode())
+			}
+		}
+	}
+	return d
+}
+
+// DeadEndChain returns the semijoin stress graph of E25: a four-layer DAG
+// over the single label a whose dense hops are twisted against each other
+// — first-hop edges land only on middle sources whose second-hop targets
+// have no third-hop continuation, and third-hop sources are fed only by
+// middle nodes with no first-hop predecessors — except for `bridge`
+// dedicated chains threading all three hops. Each atom's relation has
+// ~width·fanout edges of identical shape, so whichever end a backtracking
+// join anchors at, it explores ~width·fanout² partial assignments that
+// die one atom later; the Yannakakis bottom-up pass deletes every dead
+// pair in two linear sweeps before enumeration.
+func DeadEndChain(seed int64, width, fanout, bridge int) *graph.DB {
+	r := NewRNG(seed)
+	d := graph.New()
+	mk := func(prefix string, n int) []int {
+		ids := make([]int, n)
+		for i := range ids {
+			ids[i] = d.Node(fmt.Sprintf("%s%d", prefix, i))
+		}
+		return ids
+	}
+	l0 := mk("s", width)   // chain sources
+	m1a := mk("ma", width) // middle-1: reachable from l0, leads nowhere useful
+	m1b := mk("mb", width) // middle-1: unreachable from l0, feeds m2b
+	m2a := mk("na", width) // middle-2: reachable via m1a, no outgoing hop
+	m2b := mk("nb", width) // middle-2: feeds l3, fed only by m1b
+	l3 := mk("t", width)   // chain targets
+	for i := 0; i < width; i++ {
+		for j := 0; j < fanout; j++ {
+			d.AddEdge(l0[i], 'a', m1a[r.Intn(width)])
+			d.AddEdge(m1a[i], 'a', m2a[r.Intn(width)])
+			d.AddEdge(m1b[i], 'a', m2b[r.Intn(width)])
+			d.AddEdge(m2b[i], 'a', l3[r.Intn(width)])
+		}
+	}
+	// The surviving chains: dedicated nodes so the answer set is exactly
+	// the bridge pairs plus whatever the random fans happen to align.
+	for b := 0; b < bridge && b < width; b++ {
+		d.AddEdge(l0[b], 'a', m1b[b])
+		d.AddEdge(m2a[b], 'a', l3[b])
+		d.AddEdge(m1a[b], 'a', m2b[b])
+	}
+	return d
+}
