@@ -537,6 +537,63 @@ func BenchmarkYannakakis(b *testing.B) {
 
 func BenchmarkE25PlannerV2(b *testing.B) { benchTable(b, exp.E25PlannerV2) }
 
+// BenchmarkAnyK measures the incremental any-k ranked enumerator (PR 10) on
+// the E26 gMark-style workload: "first/anyk" pulls one ranked row through the
+// priority-queue producer on a session-cold bind, "first/drain" forces the
+// historical drain-then-sort producer via a custom comparator replicating the
+// default order (so only the production strategy differs), and "top64/anyk"
+// pulls a 64-row ranked prefix. The acceptance floor for PR 10 is
+// first/anyk ≥ 50x faster than first/drain (asserted inside E26; see
+// BENCH_engine.json for recorded ratios).
+func BenchmarkAnyK(b *testing.B) {
+	db := workload.GMark(7, 1200)
+	db.Index() // shared label index: warm outside the timings
+	plan := cxrpq.MustPrepare(cxrpq.MustParse("ans(x, z)\nx y : a+\ny z : b+"))
+	drainLess := func(a, c cxrpq.Row) bool { // default order, forcing the drain producer
+		if a.Cost != c.Cost {
+			return a.Cost < c.Cost
+		}
+		n := len(a.Tuple)
+		if len(c.Tuple) < n {
+			n = len(c.Tuple)
+		}
+		for i := 0; i < n; i++ {
+			if a.Tuple[i] != c.Tuple[i] {
+				return a.Tuple[i] < c.Tuple[i]
+			}
+		}
+		return len(a.Tuple) < len(c.Tuple)
+	}
+	first := func(b *testing.B, opts cxrpq.StreamOptions) {
+		for i := 0; i < b.N; i++ {
+			cur, err := plan.Bind(db).Stream(opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if rows := cur.Fetch(1); len(rows) != 1 {
+				b.Fatal("no first row")
+			}
+			cur.Close()
+		}
+	}
+	b.Run("first/anyk", func(b *testing.B) { first(b, cxrpq.StreamOptions{Ranked: true}) })
+	b.Run("first/drain", func(b *testing.B) { first(b, cxrpq.StreamOptions{Ranked: true, Less: drainLess}) })
+	b.Run("top64/anyk", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cur, err := plan.Bind(db).Stream(cxrpq.StreamOptions{Ranked: true, Limit: 64})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if rows := cur.Fetch(64); len(rows) != 64 {
+				b.Fatalf("ranked prefix delivered %d rows", len(rows))
+			}
+			cur.Close()
+		}
+	})
+}
+
+func BenchmarkE26RankedTTFR(b *testing.B) { benchTable(b, exp.E26RankedTTFR) }
+
 // TestEmitBenchJSON writes the machine-readable experiment benchmark report
 // when BENCH_JSON names an output path (e.g. BENCH_JSON=BENCH_engine.json
 // go test -run TestEmitBenchJSON .), the same format cxrpq-exp -json emits.

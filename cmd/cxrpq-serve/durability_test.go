@@ -29,6 +29,7 @@ func durableServer(t *testing.T, dir string) (*server, *httptest.Server, *graph.
 	srv := newServer(serverOptions{maxInflight: 8, sessionCap: 16})
 	e := srv.addDB("g1", st.DB())
 	e.store = st
+	srv.recoverCursors(e) // same startup sequence as main.go
 	ts := httptest.NewServer(srv.handler())
 	t.Cleanup(ts.Close)
 	return srv, ts, st

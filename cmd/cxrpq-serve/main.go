@@ -136,6 +136,7 @@ func main() {
 			}
 			e := srv.addDB(name, db)
 			e.store = st
+			srv.recoverCursors(e)
 			continue
 		}
 		f, err := os.Open(path)

@@ -25,14 +25,34 @@ package main
 // reclaimed with its final page. "deadline_ms" bounds the evaluation: on
 // expiry (or client disconnect — the request context is honored inside the
 // evaluation loops) the rows found so far are returned with
-// "truncated": true. The deadline is set when the stream opens and covers
-// the cursor's whole lifetime across pages. "ranked": true streams
-// shortest-witness-first (mode=eval only); each answer's witness cost — the
-// number of query-path edges of its shortest accepted witness — is returned
-// in "costs", and ranked streams pay their ordering guarantee with a full
-// drain before the first row. "rows_streamed" counts rows delivered by the
-// cursor so far; /stats aggregates per-database time-to-first-row and
-// rows-streamed counters.
+// "truncated": true — and every later page of the same cursor carries
+// "truncated" too, so a deadline-cut ranked result can never be mistaken
+// for a complete top-k mid-pagination. The deadline is set when the stream
+// opens and covers the cursor's whole lifetime across pages. "ranked": true
+// streams shortest-witness-first (mode=eval only); each answer's witness
+// cost is returned in "costs". Under the default order the ranked stream is
+// incremental (any-k over partial assignments): the first row surfaces
+// after one cheapest-extension chain, not a full drain. "weights" (ranked
+// eval only) generalizes the witness cost from edge count to a per-label
+// weight map, e.g. {"a":1,"b":4}; unlisted labels cost 1, negative weights
+// clamp to 0. "rows_streamed" counts rows delivered by the cursor so far;
+// /stats aggregates per-database time-to-first-row and rows-streamed
+// counters.
+//
+// Cursor persistence (-data-dir, leader only): parking a *ranked* cursor
+// also appends a side record to the database's WAL (graph.Store.AppendSide)
+// carrying the token, query, semantics, weights, revision pin, deadline and
+// rows-delivered count; each later fetch re-appends it with the new count,
+// and closing (exhaustion, eviction, invalidation) appends a tombstone. On
+// restart the server re-parks every live-recorded cursor whose revision pin
+// matches the recovered database: the stream is re-opened and fast-forwarded
+// past the delivered prefix — exact, because ranked order is deterministic
+// at a fixed revision under the default comparator — so clients resume
+// pagination instead of receiving 410. A record whose pin mismatches (the
+// WAL replayed past it), whose deadline passed, or which a checkpoint
+// truncated away is not resumed: those tokens fall back to the usual 410.
+// Unranked cursors are never persisted (their row order is not guaranteed
+// deterministic across a restart).
 //
 // /update delta semantics: the request is one batched graph.Delta — "edges"
 // are added (interning unknown node names), "remove" deletes one occurrence
@@ -137,6 +157,12 @@ type dbEntry struct {
 
 	state atomic.Pointer[dbState]
 
+	// onPublish fires after every publish with the new revision; the server
+	// hooks it to eagerly invalidate parked cursors pinned to older
+	// revisions, so the leader's /update and a follower's tail loop enforce
+	// the same 410 contract at the same moment.
+	onPublish func(rev uint64)
+
 	qmu sync.Mutex
 	qs  queryCounters
 }
@@ -157,6 +183,9 @@ func (e *dbEntry) publish() *dbState {
 		old.sessMu.Unlock()
 	}
 	e.state.Store(ns)
+	if e.onPublish != nil {
+		e.onPublish(ns.rev)
+	}
 	return ns
 }
 
@@ -267,12 +296,109 @@ func newServer(opts serverOptions) *server {
 // before the server begins accepting requests.
 func (s *server) addDB(name string, db *graph.DB) *dbEntry {
 	e := &dbEntry{name: name}
+	e.onPublish = func(rev uint64) { s.invalidateCursors(e, rev) }
 	e.live.Store(db)
 	e.publish()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.dbs[name] = e
 	return e
+}
+
+// invalidateCursors drops and closes every parked cursor of e pinned to a
+// revision other than rev. It runs on every publish — the fetch-time lazy
+// check remains as a backstop for cursors parked concurrently with a
+// publish, but eager invalidation frees the parked streams immediately and
+// writes the persisted records' tombstones while the WAL generation that
+// holds them is still current.
+func (s *server) invalidateCursors(e *dbEntry, rev uint64) {
+	var stale []*cursorRec
+	s.cursors.mu.Lock()
+	for id, rec := range s.cursors.recs {
+		if rec.entry == e && rec.rev != rev {
+			stale = append(stale, rec)
+			delete(s.cursors.recs, id)
+			delete(s.cursors.last, id)
+		}
+	}
+	s.cursors.mu.Unlock()
+	closeAll(stale)
+}
+
+// recoverCursors re-parks the ranked cursors persisted on e's WAL (called
+// at startup, after the store is attached and before the server accepts
+// requests). The last record per token wins and tombstones drop it; a
+// surviving record is resumed only when its revision pin matches the
+// recovered database and its deadline has not passed — anything else falls
+// back to the usual 410 for that token. Resume re-opens the stream on the
+// published state and fast-forwards past the rows already delivered, which
+// reproduces the parked position exactly: ranked order is deterministic at
+// a fixed revision under the default comparator and fixed weights.
+func (s *server) recoverCursors(e *dbEntry) {
+	latest := map[string]*cursorWALBlob{}
+	var order []string
+	for _, raw := range e.store.SideRecords(cursorWALKind) {
+		var blob cursorWALBlob
+		if err := json.Unmarshal(raw, &blob); err != nil || blob.Token == "" {
+			continue
+		}
+		if blob.Closed {
+			delete(latest, blob.Token)
+			continue
+		}
+		if _, seen := latest[blob.Token]; !seen {
+			order = append(order, blob.Token)
+		}
+		b := blob
+		latest[blob.Token] = &b
+	}
+	st := e.state.Load()
+	for _, tok := range order {
+		blob := latest[tok]
+		if blob == nil || blob.DB != e.name || blob.Rev != st.rev {
+			continue
+		}
+		var deadline time.Time
+		if blob.DeadlineMS != 0 {
+			deadline = time.UnixMilli(blob.DeadlineMS)
+			if !deadline.After(time.Now()) {
+				continue
+			}
+		}
+		weight, err := weightFromMap(blob.Weights)
+		if err != nil {
+			continue
+		}
+		sess, err := st.session(blob.Query, s.opts.sessionCap)
+		if err != nil {
+			log.Printf("db %s: resume cursor %s: %v", e.name, blob.Token, err)
+			continue
+		}
+		cur, err := sess.Stream(cxrpq.StreamOptions{
+			Semantics: blob.Semantics, K: blob.K, Ranked: true,
+			Weight: weight, Deadline: deadline,
+		})
+		if err != nil {
+			log.Printf("db %s: resume cursor %s: %v", e.name, blob.Token, err)
+			continue
+		}
+		for skip := blob.Rows; skip > 0; {
+			n := 4096
+			if skip < int64(n) {
+				n = int(skip)
+			}
+			got := cur.Fetch(n)
+			if len(got) == 0 {
+				break
+			}
+			skip -= int64(len(got))
+		}
+		rec := &cursorRec{cur: cur, entry: e, db: st.db, rev: st.rev,
+			fragment: sess.Fragment(), ranked: true, limit: blob.Limit, persist: blob}
+		closeAll(s.cursors.putAt(tok, rec))
+		log.Printf("db %s: resumed cursor %s at revision %d (%d rows fast-forwarded)",
+			e.name, blob.Token[:8], st.rev, blob.Rows)
+	}
 }
 
 // tail is the follower-mode write path: poll the leader's WAL on a cadence
@@ -372,7 +498,8 @@ type cursorRec struct {
 	rev      uint64
 	fragment string
 	ranked   bool
-	limit    int // default page size for fetches that give none
+	limit    int            // default page size for fetches that give none
+	persist  *cursorWALBlob // WAL-persisted state, nil when not persisted
 	closed   bool
 }
 
@@ -380,6 +507,49 @@ func (rec *cursorRec) close() {
 	if !rec.closed {
 		rec.closed = true
 		rec.cur.Close()
+		if rec.persist != nil {
+			persistCursor(rec.entry, &cursorWALBlob{Token: rec.persist.Token, Closed: true})
+			rec.persist = nil
+		}
+	}
+}
+
+// cursorWALKind is the graph.Store side-record kind under which parked
+// ranked cursors persist (see the package comment and the record-format
+// notes beside the WAL framing docs in internal/graph/wal.go).
+const cursorWALKind = 1
+
+// cursorWALBlob is the JSON payload of one cursor side record: everything
+// needed to re-open the stream at the pinned revision and fast-forward past
+// the rows already delivered. The last record per token wins; Closed is the
+// tombstone.
+type cursorWALBlob struct {
+	Token      string         `json:"token"`
+	DB         string         `json:"db,omitempty"`
+	Query      string         `json:"query,omitempty"`
+	Semantics  string         `json:"semantics,omitempty"`
+	K          int            `json:"k,omitempty"`
+	Limit      int            `json:"limit,omitempty"`       // default page size
+	Rows       int64          `json:"rows"`                  // rows delivered so far
+	Rev        uint64         `json:"rev"`                   // revision pin
+	Weights    map[string]int `json:"weights,omitempty"`     // ranked per-label weights
+	DeadlineMS int64          `json:"deadline_ms,omitempty"` // absolute, unix ms
+	Closed     bool           `json:"closed,omitempty"`
+}
+
+// persistCursor appends the blob to the entry's WAL as a side record.
+// Best-effort by contract: a failure costs a resumable cursor (410 after
+// restart), never the entry's write availability.
+func persistCursor(e *dbEntry, blob *cursorWALBlob) {
+	if e == nil || e.store == nil || blob == nil {
+		return
+	}
+	b, err := json.Marshal(blob)
+	if err != nil {
+		return
+	}
+	if err := e.store.AppendSide(cursorWALKind, b); err != nil {
+		log.Printf("db %s: persisting cursor %s: %v", e.name, blob.Token, err)
 	}
 }
 
@@ -413,6 +583,12 @@ func (cr *cursorRegistry) put(rec *cursorRec) (string, []*cursorRec, error) {
 		return "", nil, fmt.Errorf("minting cursor token: %w", err)
 	}
 	tok := hex.EncodeToString(b[:])
+	return tok, cr.putAt(tok, rec), nil
+}
+
+// putAt registers rec under a caller-chosen token — restart resume re-parks
+// a recovered cursor under its original token, which the client still holds.
+func (cr *cursorRegistry) putAt(tok string, rec *cursorRec) []*cursorRec {
 	now := time.Now()
 	cr.mu.Lock()
 	defer cr.mu.Unlock()
@@ -431,7 +607,7 @@ func (cr *cursorRegistry) put(rec *cursorRec) (string, []*cursorRec, error) {
 	rec.id = tok
 	cr.recs[tok] = rec
 	cr.last[tok] = now
-	return tok, evicted, nil
+	return evicted
 }
 
 // get looks a token up, refreshing its idle clock. Expired records are
@@ -493,6 +669,32 @@ type queryRequest struct {
 	DeadlineMS int      `json:"deadline_ms,omitempty"` // evaluation budget; expiry returns partial rows with truncated
 	Ranked     bool     `json:"ranked,omitempty"`      // shortest-witness-first order with costs (eval)
 	Cursor     string   `json:"cursor,omitempty"`      // continue a paginated stream; excludes db/graph/query
+
+	// Weights maps single-rune edge labels to a per-edge witness cost
+	// (ranked eval only): unlisted labels cost 1, negatives clamp to 0.
+	Weights map[string]int `json:"weights,omitempty"`
+}
+
+// weightFromMap compiles a request weight map into an engine.Weight. Keys
+// must be single runes; nil/empty maps mean unit cost (nil Weight).
+func weightFromMap(m map[string]int) (engine.Weight, error) {
+	if len(m) == 0 {
+		return nil, nil
+	}
+	w := make(map[rune]int32, len(m))
+	for k, v := range m {
+		r := []rune(k)
+		if len(r) != 1 {
+			return nil, fmt.Errorf("weights key %q must be a single edge label", k)
+		}
+		w[r[0]] = int32(v)
+	}
+	return func(label rune) int32 {
+		if c, ok := w[label]; ok {
+			return c
+		}
+		return 1
+	}, nil
 }
 
 type explanationJSON struct {
@@ -616,6 +818,15 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("limit and ranked apply to mode=eval"))
 		return
 	}
+	if len(req.Weights) > 0 && !req.Ranked {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("weights apply to ranked eval"))
+		return
+	}
+	weight, err := weightFromMap(req.Weights)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
 	var tuple pattern.Tuple
 	if op == "check" || (op == "explain" && len(req.Tuple) > 0) {
 		tuple = make(pattern.Tuple, len(req.Tuple))
@@ -643,7 +854,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 
 	if op == "eval" && (req.Limit > 0 || req.Ranked) {
-		s.streamQuery(w, r, sess, db, e, sem, k, &req, deadline, shed, start)
+		s.streamQuery(w, r, sess, db, e, sem, k, weight, &req, deadline, shed, start)
 		return
 	}
 
@@ -707,7 +918,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 // parked in the cursor registry under an opaque token — unless the request
 // was admitted degraded, in which case the remainder is shed.
 func (s *server) streamQuery(w http.ResponseWriter, r *http.Request, sess *cxrpq.Session, db *graph.DB,
-	e *dbEntry, sem string, k int, req *queryRequest, deadline time.Time, shed bool, start time.Time) {
+	e *dbEntry, sem string, k int, weight engine.Weight, req *queryRequest, deadline time.Time, shed bool, start time.Time) {
 	// A parked cursor outlives its opening request, and the request context
 	// is canceled the moment this response is written — so only a shed
 	// stream (which never parks) is bound to it. Parked cursors are bounded
@@ -717,7 +928,7 @@ func (s *server) streamQuery(w http.ResponseWriter, r *http.Request, sess *cxrpq
 		ctx = r.Context()
 	}
 	cur, err := sess.Stream(cxrpq.StreamOptions{
-		Semantics: sem, K: k, Ranked: req.Ranked,
+		Semantics: sem, K: k, Ranked: req.Ranked, Weight: weight,
 		Deadline: deadline, Ctx: ctx,
 	})
 	if err != nil {
@@ -758,7 +969,22 @@ func (s *server) streamQuery(w http.ResponseWriter, r *http.Request, sess *cxrpq
 			writeErr(w, http.StatusInternalServerError, err)
 			return
 		}
+		if e != nil && e.store != nil && req.Ranked {
+			// Persist the parked ranked cursor so a restart resumes it
+			// (unranked order is not deterministic enough to replay).
+			blob := &cursorWALBlob{Token: tok, DB: e.name, Query: req.Query,
+				Semantics: sem, K: k, Limit: lim, Rows: cur.RowsStreamed(),
+				Rev: rec.rev, Weights: req.Weights}
+			if !deadline.IsZero() {
+				blob.DeadlineMS = deadline.UnixMilli()
+			}
+			rec.persist = blob
+			persistCursor(e, blob)
+		}
 		out.Cursor = tok
+		// A page cut short by the deadline must say so even when the stream
+		// parks: later pages inherit the flag from the cursor as well.
+		out.Truncated = cur.Truncated()
 		defer closeAll(evicted)
 	}
 	out.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
@@ -816,6 +1042,12 @@ func (s *server) handleCursorFetch(w http.ResponseWriter, req *queryRequest) {
 		rec.close()
 	} else {
 		out.Cursor = rec.id
+		// Every page of a cut stream carries the flag, not just the last.
+		out.Truncated = rec.cur.Truncated()
+		if rec.persist != nil {
+			rec.persist.Rows = rec.cur.RowsStreamed()
+			persistCursor(rec.entry, rec.persist)
+		}
 	}
 	out.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
 	rec.entry.recordRows(len(rows))

@@ -33,8 +33,12 @@
 //	                     write-ahead log of framed Delta batches
 //	                     (length + CRC32 + revision-windowed payload,
 //	                     fsync per SyncEvery) with automatic checkpoints,
-//	                     torn-tail-tolerant crash recovery (OpenStore) and
+//	                     torn-tail-tolerant crash recovery (OpenStore),
 //	                     log-tailing read-only followers (OpenFollower)
+//	                     and opaque application side records
+//	                     (AppendSide/SideRecords, sentinel-framed so old
+//	                     logs parse unchanged) behind the serving layer's
+//	                     restart-surviving parked cursors
 //	internal/engine      the product-reachability core shared by every
 //	                     evaluation path: integer-interned graph×NFA BFS
 //	                     with bitset visited sets (Reach/ReachBits), a
@@ -47,7 +51,10 @@
 //	                     counters; relation construction in ecrpq runs
 //	                     through it instead of the per-source fan; the
 //	                     kernels expose BFS level indices (shortest-witness
-//	                     distances, ReachLevels / BatchResult.Levs) and
+//	                     distances, ReachLevels / BatchResult.Levs),
+//	                     accept a pluggable edge-weight function (Weight;
+//	                     ReachLevelsW switches the level computation from
+//	                     BFS to a heap Dijkstra over the same product) and
 //	                     poll a per-query Budget (deadline, row cap,
 //	                     context cancellation, Fork for
 //	                     first-witness-cancels-siblings fans) at level
@@ -103,10 +110,16 @@
 //	                     growing source chunks, so the first row costs one
 //	                     shallow probe), with per-stream budgets
 //	                     (deadline/limit/context cancellation), ranked
-//	                     shortest-witness-first order built on the
-//	                     kernels' BFS levels, and a producer provably
-//	                     parked between fetches so ApplyDelta interleaves
-//	                     with open cursors
+//	                     best-witness-first order produced by the
+//	                     incremental any-k enumerator (ecrpq/anyk.go: a
+//	                     priority queue over partial assignments keyed by
+//	                     cost plus an admissible per-constraint lower
+//	                     bound, Lawler child/sibling expansion, memoized
+//	                     kernel-batched extension lists — the first row
+//	                     streams out without draining the answer set)
+//	                     over unit or pluggable per-label edge weights,
+//	                     and a producer provably parked between fetches
+//	                     so ApplyDelta interleaves with open cursors
 //	internal/oracle      brute-force reference implementations backing the
 //	                     conformance tests
 //	internal/reductions  executable hardness reductions (Thms 1/3/7)
@@ -116,7 +129,7 @@
 //	                     generator (RandomQuery) behind the differential
 //	                     fuzz harness, and the MutationStream delta
 //	                     workload behind the incremental-update experiment
-//	internal/exp         the E1-E25 experiment harness (see DESIGN.md)
+//	internal/exp         the E1-E26 experiment harness (see DESIGN.md)
 //
 // cmd/cxrpq-serve is the concurrent HTTP/JSON evaluation server over the
 // prepared-query subsystem: a per-database pool of prepared sessions,
@@ -124,7 +137,11 @@
 // latest published snapshot epoch, loaded through one atomic pointer),
 // pull-based streaming /query with limit/cursor pagination, deadline_ms
 // budgets (expiry or client disconnect returns the rows found so far with
-// "truncated") and ranked shortest-witness-first order, a two-tier
+// "truncated" on every page of the cut stream) and ranked
+// best-witness-first order served incrementally with optional per-label
+// "weights" — on a durable database parked ranked cursors are persisted
+// as WAL side records and resume at the exact delivered row after a
+// restart — a two-tier
 // in-flight limiter that degrades to shed partial answers before
 // rejecting with 429, batched /update deltas (additions and removals)
 // that append to the write-ahead log before acknowledging and fork the

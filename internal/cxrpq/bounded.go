@@ -178,6 +178,21 @@ type boundedEngine struct {
 	// (ecrpq.EdgeRel.Dist), so leaf joins can report witness costs.
 	ranked bool
 
+	// weight generalizes ranked witness cost from edge count to a pluggable
+	// per-edge-label weight. Weighted relations have no cache identity (a
+	// function can't key the session RelCache), so relationFor builds them
+	// outside the shared cache, memoized per run in wrels.
+	weight engine.Weight
+	wrelMu sync.Mutex
+	wrels  map[string]*ecrpq.EdgeRel
+
+	// anyk, when set, redirects every complete mapping's leaf join onto the
+	// shared incremental any-k priority queue (one AddJoin per mapping,
+	// relations snapshotted) instead of executing it: run() then only
+	// enumerates mappings and builds relations, and the consumer pulls
+	// ranked rows lazily from the queue. Implies seq.
+	anyk *ecrpq.AnyK
+
 	// yield, when set, streams each leaf join's rows (with witness cost)
 	// instead of merging into out; a false return stops the run. Streaming
 	// runs force seq — yield is called from one goroutine only. Tuples are
@@ -427,6 +442,29 @@ func (st *boundedState) processStep(i int) (bool, error) {
 // engine.ErrCanceled and is never cached) and requests BFS levels when the
 // run is ranked.
 func (e *boundedEngine) relationFor(inst xregex.Node) (*ecrpq.EdgeRel, error) {
+	if e.ranked && e.weight != nil {
+		// Weighted levels never enter the cross-query cache: two queries
+		// with different weights would collide on the same label key. The
+		// per-run memo still shares the build across this run's mappings.
+		key := xregex.String(inst)
+		e.wrelMu.Lock()
+		if r, ok := e.wrels[key]; ok {
+			e.wrelMu.Unlock()
+			return r, nil
+		}
+		e.wrelMu.Unlock()
+		r, err := ecrpq.RelationForW(e.db, inst, e.sigma, e.fanBud, true, e.weight)
+		if err != nil {
+			return nil, err
+		}
+		e.wrelMu.Lock()
+		if e.wrels == nil {
+			e.wrels = map[string]*ecrpq.EdgeRel{}
+		}
+		e.wrels[key] = r
+		e.wrelMu.Unlock()
+		return r, nil
+	}
 	return e.caches.rels.ForOpts(e.db, inst, e.sigma, e.fanBud, e.ranked)
 }
 
@@ -512,6 +550,14 @@ func (e *boundedEngine) joinLeaf(st *boundedState) error {
 	if spec == nil {
 		spec = ecrpq.PlanJoin(e.p.q.Pattern, st.rels, e.pre)
 		spec.SemijoinFloor = e.caches.semijoinFloor
+	}
+	if e.anyk != nil {
+		// Deferred ranked leaf (incremental any-k): snapshot this mapping's
+		// relations — boundedState reuses its slices across mappings — and
+		// register the join as one root on the shared priority queue. The
+		// join itself runs lazily as the consumer pulls ranked rows.
+		e.anyk.AddJoin(e.p.q.Pattern, append([]*ecrpq.EdgeRel(nil), st.rels...), spec, e.pre)
+		return nil
 	}
 	if e.yield != nil {
 		// Streaming leaf (Session.Stream): rows flow to the consumer as the

@@ -18,13 +18,18 @@ package cxrpq
 // of per drain). Close stops the cursor's budget, unwinds the producer at
 // its next budget poll, and joins it before returning.
 //
-// Ranked mode (shortest-witness-first) cannot stream lazily: a tuple's
-// minimal witness length is only known once every assignment producing it
-// has been enumerated. The producer instead drains the enumeration — keeping
-// the minimal cost per tuple — sorts by the comparator, and then serves
-// pages from the ordered result; time-to-first-row degrades to the drain
-// time, which is the price of the ordering guarantee (costs are
-// nondecreasing across the stream).
+// Ranked mode (shortest-witness-first) streams incrementally under the
+// default comparator: the producer runs the any-k enumerator
+// (ecrpq.AnyK) — a priority queue over partial join assignments keyed by
+// admissible lower bounds from the kernels' level indices — whose pops
+// arrive in nondecreasing witness cost, so the first occurrence of a tuple
+// IS its minimal cost and top-k costs O(k) queue expansions instead of a
+// full drain. Equal-cost runs are buffered and sorted lexicographically
+// before emission, making the output sequence identical to the historical
+// drain-then-sort. A custom Less falls back to that drain — an arbitrary
+// comparator's order can only be known once every row has been enumerated —
+// and a witness cost under a pluggable StreamOptions.Weight rides either
+// path. In all ranked modes costs are nondecreasing across the stream.
 
 import (
 	"context"
@@ -57,13 +62,21 @@ type StreamOptions struct {
 	K         int // image bound for Semantics == "bounded"
 
 	// Ranked orders the stream shortest-witness-first (nondecreasing Cost).
-	// See the package comment: ranked streams materialize before the first
-	// row.
+	// Under the default comparator the stream is incremental (any-k); see
+	// the package comment.
 	Ranked bool
 
 	// Less overrides the ranked comparator (default: Cost ascending, then
-	// lexicographic tuple order). Ignored unless Ranked.
+	// lexicographic tuple order). Ignored unless Ranked. A custom Less
+	// forfeits incremental streaming: the producer drains and sorts.
 	Less func(a, b Row) bool
+
+	// Weight generalizes the ranked witness cost from edge count to a
+	// pluggable per-edge-label weight (engine.Weight; nil = unit cost).
+	// Ignored unless Ranked. Weighted evaluations bypass the session's
+	// cross-query relation caches — a weight function has no cache
+	// identity — so they trade cache reuse for the custom metric.
+	Weight engine.Weight
 
 	// Limit caps the total number of rows the cursor yields (0 = all).
 	// On ranked streams this is top-k selection.
@@ -129,18 +142,97 @@ func (s *Session) Stream(opts StreamOptions) (*Cursor, error) {
 		return nil, fmt.Errorf("cxrpq: unknown stream semantics %q", opts.Semantics)
 	}
 	bud := engine.NewBudget(opts.Ctx, opts.Deadline, 0)
-	run, err := s.streamRunFor(bounded, k, opts.Ranked, bud)
+	if opts.Ranked && opts.Less == nil {
+		build, err := s.anyKBuilderFor(bounded, k, bud, opts.Weight)
+		if err != nil {
+			return nil, err
+		}
+		if build != nil {
+			return newCursor(bud, opts, nil, build), nil
+		}
+	}
+	run, err := s.streamRunFor(bounded, k, opts.Ranked, opts.Weight, bud)
 	if err != nil {
 		return nil, err
 	}
-	return newCursor(bud, opts, run), nil
+	return newCursor(bud, opts, run, nil), nil
+}
+
+// anyKBuilderFor builds the deferred constructor of the incremental any-k
+// enumerator for one ranked dispatch under the default comparator. It
+// returns (nil, nil) when the dispatch has no incremental path (the VSF
+// branch-combination overflow case) — the caller falls back to the drain.
+// The constructor itself runs on the producer goroutine: for query-form
+// dispatches it only registers roots (evaluation is lazy behind Next), while
+// the bounded dispatch first enumerates the variable mappings and builds
+// their relations, deferring every leaf join onto the queue.
+func (s *Session) anyKBuilderFor(bounded bool, k int, bud *engine.Budget, w engine.Weight) (func() (*ecrpq.AnyK, error), error) {
+	if bounded {
+		sc, _, sigma := s.current()
+		bp, err := s.plan.boundedPlanFor()
+		if err != nil {
+			return nil, err
+		}
+		return func() (*ecrpq.AnyK, error) {
+			e, err := newBoundedEngine(bp, s.db, k, false, nil, sc, sigma)
+			if err != nil {
+				return nil, err
+			}
+			e.setBudget(bud)
+			e.ranked = true
+			e.seq = true // AnyK is single-consumer; leaves run on this goroutine
+			e.weight = w
+			ak := ecrpq.NewAnyK(bud)
+			e.anyk = ak
+			if _, err := e.run(); err != nil {
+				return nil, err
+			}
+			return ak, nil
+		}, nil
+	}
+	switch s.plan.kind {
+	case kindClassical, kindSimple:
+		eq, err := s.plan.simpleQuery()
+		if err != nil {
+			return nil, err
+		}
+		return func() (*ecrpq.AnyK, error) {
+			ak := ecrpq.NewAnyK(bud)
+			if err := ak.AddQuery(eq, s.db, w); err != nil {
+				return nil, err
+			}
+			return ak, nil
+		}, nil
+	case kindVsf:
+		combos, overflow, err := s.plan.vsfCombos()
+		if err != nil {
+			return nil, err
+		}
+		if overflow {
+			return nil, nil // too many branch combos to root eagerly: drain
+		}
+		return func() (*ecrpq.AnyK, error) {
+			ak := ecrpq.NewAnyK(bud)
+			for _, cb := range combos {
+				if cb.err != nil {
+					return nil, cb.err
+				}
+				if err := ak.AddQuery(cb.eq, s.db, w); err != nil {
+					return nil, err
+				}
+			}
+			return ak, nil
+		}, nil
+	default:
+		return nil, fmt.Errorf("cxrpq: %s is not vstar-free; stream with Semantics \"bounded\" or \"log\"", s.plan.fragment)
+	}
 }
 
 // streamRunFor builds the producer enumeration for one dispatch. Unranked
 // multi-source dispatches (branch combinations, bounded mappings) dedup at
 // this layer — each source dedups only within itself; ranked dispatches must
 // NOT dedup here (the cursor keeps the minimal cost per tuple instead).
-func (s *Session) streamRunFor(bounded bool, k int, ranked bool, bud *engine.Budget) (streamRun, error) {
+func (s *Session) streamRunFor(bounded bool, k int, ranked bool, weight engine.Weight, bud *engine.Budget) (streamRun, error) {
 	if bounded {
 		sc, rc, sigma := s.current()
 		bp, err := s.plan.boundedPlanFor()
@@ -157,6 +249,7 @@ func (s *Session) streamRunFor(bounded bool, k int, ranked bool, bud *engine.Bud
 			}
 			e.setBudget(bud)
 			e.ranked = ranked
+			e.weight = weight
 			e.seq = true // yield is called from this goroutine only
 			if ranked {
 				e.yield = emit
@@ -178,7 +271,7 @@ func (s *Session) streamRunFor(bounded bool, k int, ranked bool, bud *engine.Bud
 			return run, nil
 		}
 		return func(emit func(t pattern.Tuple, cost int) bool) error {
-			return ecrpq.EvalStream(eq, s.db, bud, ranked, ecrpq.StreamFunc(emit))
+			return ecrpq.EvalStreamW(eq, s.db, bud, ranked, weight, ecrpq.StreamFunc(emit))
 		}, nil
 	case kindVsf:
 		_, rc, _ := s.current()
@@ -206,7 +299,7 @@ func (s *Session) streamRunFor(bounded bool, k int, ranked bool, bud *engine.Bud
 					if cb.err != nil {
 						return cb.err
 					}
-					if err := ecrpq.EvalStream(cb.eq, s.db, bud, ranked, wrapped); err != nil {
+					if err := ecrpq.EvalStreamW(cb.eq, s.db, bud, ranked, weight, wrapped); err != nil {
 						return err
 					}
 					if stopped || bud.Canceled() {
@@ -225,7 +318,7 @@ func (s *Session) streamRunFor(bounded bool, k int, ranked bool, bud *engine.Bud
 				if err != nil {
 					return err
 				}
-				return ecrpq.EvalStream(eq, s.db, bud, ranked, wrapped)
+				return ecrpq.EvalStreamW(eq, s.db, bud, ranked, weight, wrapped)
 			})
 			if err == errStop {
 				err = nil
@@ -292,7 +385,9 @@ func defaultLess(a, b Row) bool {
 }
 
 // newCursor starts the producer goroutine parked on the first request.
-func newCursor(bud *engine.Budget, opts StreamOptions, run streamRun) *Cursor {
+// Exactly one of run and build is non-nil: build selects the incremental
+// any-k ranked producer, run the unranked stream or the ranked drain.
+func newCursor(bud *engine.Budget, opts StreamOptions, run streamRun, build func() (*ecrpq.AnyK, error)) *Cursor {
 	c := &Cursor{
 		bud:      bud,
 		reqs:     make(chan int),
@@ -309,6 +404,10 @@ func newCursor(bud *engine.Budget, opts StreamOptions, run streamRun) *Cursor {
 		if !ok {
 			return // closed before the first fetch: nothing ran
 		}
+		if build != nil {
+			c.produceAnyK(build, opts.Limit, want)
+			return
+		}
 		if opts.Ranked {
 			c.produceRanked(run, less, opts.Limit, want)
 			return
@@ -316,6 +415,81 @@ func newCursor(bud *engine.Budget, opts StreamOptions, run streamRun) *Cursor {
 		c.produceStream(run, opts.Limit, want)
 	}()
 	return c
+}
+
+// produceAnyK is the incremental ranked producer: rows pop off the any-k
+// priority queue in nondecreasing witness cost, each equal-cost run is
+// buffered, sorted lexicographically and deduplicated first-seen (exact
+// min-cost dedup, since later occurrences cannot be cheaper), and pages
+// flow under the same request protocol as the unranked stream — so the
+// first row costs one queue expansion chain, not a drain. The emitted
+// sequence is identical to produceRanked under defaultLess.
+func (c *Cursor) produceAnyK(build func() (*ecrpq.AnyK, error), limit, want int) {
+	ak, err := build()
+	if err != nil {
+		c.pages <- cursorPage{final: true, err: err, truncated: c.bud.Err() != nil}
+		return
+	}
+	var page []Row
+	closed := false // consumer closed reqs mid-stream: unwind silently
+	send := func(r Row) {
+		page = append(page, r)
+		if len(page) >= want {
+			c.pages <- cursorPage{rows: page}
+			page = nil
+			var ok bool
+			want, ok = <-c.reqs
+			if !ok {
+				closed = true
+			}
+		}
+	}
+	seen := map[string]bool{}
+	total, limitHit := 0, false
+	var batch []Row
+	curCost := 0
+	flush := func() {
+		sort.SliceStable(batch, func(i, j int) bool { return defaultLess(batch[i], batch[j]) })
+		for _, r := range batch {
+			k := r.Tuple.Key()
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			if limit > 0 && total >= limit {
+				limitHit = true
+				return
+			}
+			send(r)
+			total++
+			if closed {
+				return
+			}
+		}
+		batch = batch[:0]
+	}
+	for !closed && !limitHit {
+		t, cost, ok := ak.Next()
+		if !ok {
+			break
+		}
+		if len(batch) > 0 && cost != curCost {
+			flush()
+			if closed || limitHit {
+				break
+			}
+		}
+		curCost = cost
+		batch = append(batch, Row{Tuple: t, Cost: cost})
+	}
+	if !closed && !limitHit {
+		flush()
+	}
+	if closed {
+		return
+	}
+	trunc := !limitHit && c.bud.Err() != nil
+	c.pages <- cursorPage{rows: page, final: true, truncated: trunc}
 }
 
 // produceStream is the unranked producer: rows flow to the consumer as the
@@ -352,7 +526,12 @@ func (c *Cursor) produceStream(run streamRun, limit, want int) {
 }
 
 // produceRanked drains the enumeration keeping the minimal witness cost per
-// tuple, orders by the comparator, applies top-k, then serves pages.
+// tuple, orders by the comparator, applies top-k, then serves pages. It is
+// the fallback for custom comparators (an arbitrary Less needs the full
+// result before any row's position is known); the default comparator takes
+// the incremental produceAnyK instead. Truncation is known before the first
+// page, so EVERY page carries the flag — a deadline-cut ranked result must
+// never be mistaken for a complete top-k mid-pagination.
 func (c *Cursor) produceRanked(run streamRun, less func(a, b Row) bool, limit, want int) {
 	best := map[string]int{} // tuple key -> index into rows
 	var rows []Row
@@ -388,7 +567,7 @@ func (c *Cursor) produceRanked(run streamRun, less func(a, b Row) bool, limit, w
 			c.pages <- cursorPage{rows: page, final: true, err: err, truncated: trunc}
 			return
 		}
-		c.pages <- cursorPage{rows: page}
+		c.pages <- cursorPage{rows: page, truncated: trunc}
 		var ok bool
 		want, ok = <-c.reqs
 		if !ok {
@@ -419,9 +598,15 @@ func (c *Cursor) Fetch(n int) []Row {
 		p := <-c.pages
 		out = append(out, p.rows...)
 		n -= len(p.rows)
+		if p.truncated {
+			// Latched per page, not only on the final one: a deadline-cut
+			// ranked drain knows up front, and every page it serves is part
+			// of an incomplete result.
+			c.truncated = true
+		}
 		if p.final {
 			c.exhausted = true
-			c.err, c.truncated = p.err, p.truncated
+			c.err = p.err
 			close(c.reqs)
 			c.reqsClosed = true
 		}
@@ -470,8 +655,11 @@ func (c *Cursor) Close() {
 		c.reqsClosed = true
 	}
 	for p := range c.pages {
+		if p.truncated {
+			c.truncated = true
+		}
 		if p.final {
-			c.err, c.truncated = p.err, p.truncated
+			c.err = p.err
 		}
 	}
 	c.buf = nil
@@ -484,7 +672,9 @@ func (c *Cursor) Err() error { return c.err }
 
 // Truncated reports that the enumeration was cut short by the deadline or
 // context (not by Limit): the rows streamed are a sound subset of the full
-// result. Meaningful once the stream is exhausted or closed.
+// result. It latches as soon as any fetched page is known to belong to an
+// incomplete result — for a deadline-cut ranked drain that is the FIRST
+// page, so paginating consumers see the flag without draining to the end.
 func (c *Cursor) Truncated() bool { return c.truncated }
 
 // RowsStreamed returns the number of rows handed to the consumer so far.

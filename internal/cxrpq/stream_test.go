@@ -354,3 +354,250 @@ func TestDoWithBudget(t *testing.T) {
 			resp.Tuples.Len(), want.Len())
 	}
 }
+
+// rowLess replicates the default ranked comparator. Passing it as a custom
+// Less is semantically a no-op but forces the legacy drain-then-sort
+// producer (a custom comparator forfeits the incremental path) — which makes
+// it the differential baseline for the incremental any-k stream.
+func rowLess(a, b cxrpq.Row) bool {
+	if a.Cost != b.Cost {
+		return a.Cost < b.Cost
+	}
+	for i := 0; i < len(a.Tuple) && i < len(b.Tuple); i++ {
+		if a.Tuple[i] != b.Tuple[i] {
+			return a.Tuple[i] < b.Tuple[i]
+		}
+	}
+	return len(a.Tuple) < len(b.Tuple)
+}
+
+// Property: for every k, the incremental any-k ranked stream is exactly the
+// k-prefix of the historical full-drain-and-sort ranked order — across 60
+// random query/graph seeds, both semantics dispatches, unit and pluggable
+// weights — and its costs never decrease.
+func TestStreamAnyKPrefixEqualsDrain(t *testing.T) {
+	weights := []engine.Weight{
+		nil,
+		func(label rune) int32 {
+			if label == 'b' {
+				return 3
+			}
+			return 1
+		},
+	}
+	for seed := int64(0); seed < 60; seed++ {
+		r := workload.NewRNG(seed ^ 0x4a11)
+		q := workload.RandomQuery(r, true)
+		db := workload.Random(seed^0x77aa, 4, 9, "ab")
+		sess := cxrpq.MustPrepare(q).Bind(db)
+
+		type dispatch struct {
+			sem string
+			k   int
+		}
+		dispatches := []dispatch{{"bounded", 1}}
+		if _, err := sess.Eval(); err == nil {
+			dispatches = append(dispatches, dispatch{"auto", 0})
+		}
+		for _, d := range dispatches {
+			for wi, w := range weights {
+				opts := cxrpq.StreamOptions{Semantics: d.sem, K: d.k, Ranked: true, Weight: w}
+
+				drainOpts := opts
+				drainOpts.Less = rowLess // baseline: legacy drain-then-sort
+				base, err := sess.Stream(drainOpts)
+				if err != nil {
+					t.Fatalf("seed %d %s w%d: baseline Stream: %v", seed, d.sem, wi, err)
+				}
+				want := drainCursor(t, base, 7)
+
+				inc, err := sess.Stream(opts)
+				if err != nil {
+					t.Fatalf("seed %d %s w%d: any-k Stream: %v", seed, d.sem, wi, err)
+				}
+				got := drainCursor(t, inc, 7)
+				if len(got) != len(want) {
+					t.Fatalf("seed %d %s w%d: any-k %d rows, drain %d\nquery:\n%s",
+						seed, d.sem, wi, len(got), len(want), q.Pattern)
+				}
+				for i := range want {
+					if got[i].Cost != want[i].Cost || got[i].Tuple.Key() != want[i].Tuple.Key() {
+						t.Fatalf("seed %d %s w%d: row %d any-k (%v,%d), drain (%v,%d)",
+							seed, d.sem, wi, i, got[i].Tuple, got[i].Cost, want[i].Tuple, want[i].Cost)
+					}
+					if i > 0 && got[i].Cost < got[i-1].Cost {
+						t.Fatalf("seed %d %s w%d: costs decrease at row %d", seed, d.sem, wi, i)
+					}
+				}
+
+				for k := 1; k <= len(want); k++ {
+					kOpts := opts
+					kOpts.Limit = k
+					topk, err := sess.Stream(kOpts)
+					if err != nil {
+						t.Fatalf("seed %d %s w%d k=%d: Stream: %v", seed, d.sem, wi, k, err)
+					}
+					rows := drainCursor(t, topk, 3)
+					if len(rows) != k {
+						t.Fatalf("seed %d %s w%d: top-%d yielded %d rows", seed, d.sem, wi, k, len(rows))
+					}
+					for i := range rows {
+						if rows[i].Cost != want[i].Cost || rows[i].Tuple.Key() != want[i].Tuple.Key() {
+							t.Fatalf("seed %d %s w%d: top-%d row %d = (%v,%d), full order has (%v,%d)",
+								seed, d.sem, wi, k, i, rows[i].Tuple, rows[i].Cost, want[i].Tuple, want[i].Cost)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// Table test for ranked Limit semantics: Limit == 0 streams every row, any
+// positive Limit yields exactly min(limit, total) rows as a prefix of the
+// full ranked order, with no off-by-one when rows tie on equal costs — under
+// the incremental default comparator and under a custom Less whose ties make
+// the drain path's sort unstable on purpose.
+func TestStreamRankedLimitTable(t *testing.T) {
+	// Three cost-1 ties and one cost-2 row under ans(x, y), x y : ab?.
+	db := graph.MustParse("u a v1\nu a v2\nu a v3\nv1 b w\nv2 b w")
+	plan, err := cxrpq.PrepareSrc("ans(x, y)\nx y : ab?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := plan.Bind(db)
+
+	full, err := sess.Stream(cxrpq.StreamOptions{Ranked: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := drainCursor(t, full, 10)
+	if len(order) != 4 || order[3].Cost != 2 {
+		t.Fatalf("fixture drifted: full ranked order %v", order)
+	}
+
+	costOnly := func(a, b cxrpq.Row) bool { return a.Cost < b.Cost } // ties on every equal cost
+	for _, limit := range []int{0, 1, 2, 3, 4, 5} {
+		want := len(order)
+		if limit > 0 && limit < want {
+			want = limit
+		}
+		for _, less := range []func(a, b cxrpq.Row) bool{nil, costOnly} {
+			cur, err := sess.Stream(cxrpq.StreamOptions{Ranked: true, Limit: limit, Less: less})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rows := drainCursor(t, cur, 2)
+			if len(rows) != want {
+				t.Fatalf("limit=%d less=%v: %d rows, want %d", limit, less != nil, len(rows), want)
+			}
+			for i, row := range rows {
+				if row.Cost != order[i].Cost {
+					t.Fatalf("limit=%d less=%v: row %d cost %d, want %d", limit, less != nil, i, row.Cost, order[i].Cost)
+				}
+				if less == nil && row.Tuple.Key() != order[i].Tuple.Key() {
+					t.Fatalf("limit=%d: row %d = %v, full order has %v", limit, i, row.Tuple, order[i].Tuple)
+				}
+			}
+			if cur.Truncated() {
+				t.Fatalf("limit=%d less=%v: limit stop reported truncation", limit, less != nil)
+			}
+		}
+	}
+}
+
+// A ranked stream cut by its deadline serves the rows collected so far like
+// a complete top-k — sound, deduplicated, nondecreasing — with Truncated
+// latched on the pages, and the truncated set never enters any cache: a
+// fresh ranked stream afterwards is complete again.
+func TestStreamRankedDeadlineTruncated(t *testing.T) {
+	plan, err := cxrpq.PrepareSrc("ans(x, z)\nx y : a+\ny z : b+")
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := workload.Random(0x7e57, 30, 120, "ab")
+	sess := plan.Bind(db)
+
+	full, err := sess.Stream(cxrpq.StreamOptions{Ranked: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := drainCursor(t, full, 16)
+	if len(order) < 3 {
+		t.Fatalf("fixture drifted: only %d ranked rows", len(order))
+	}
+	fullSet := rowSet(order)
+
+	// Cancel after the first page: the producer is parked between pages, so
+	// the cut lands mid-enumeration deterministically.
+	ctx, cancel := context.WithCancel(context.Background())
+	cur, err := sess.Stream(cxrpq.StreamOptions{Ranked: true, Ctx: ctx})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := cur.Fetch(1)
+	if len(first) != 1 || first[0].Tuple.Key() != order[0].Tuple.Key() || first[0].Cost != order[0].Cost {
+		t.Fatalf("first ranked row = %v, want %v", first, order[0])
+	}
+	cancel()
+	rows := append(first, cur.Fetch(1<<20)...)
+	for cur.Err() == nil && !cur.Truncated() {
+		p := cur.Fetch(1 << 20)
+		rows = append(rows, p...)
+		if len(p) == 0 {
+			break
+		}
+	}
+	if !cur.Truncated() {
+		t.Fatal("canceled ranked stream must report Truncated")
+	}
+	seen := map[string]bool{}
+	for i, row := range rows {
+		if !fullSet.Contains(row.Tuple) {
+			t.Fatalf("truncated ranked stream emitted unsound row %v", row.Tuple)
+		}
+		if seen[string(row.Tuple.Key())] {
+			t.Fatalf("truncated ranked stream duplicated %v", row.Tuple)
+		}
+		seen[string(row.Tuple.Key())] = true
+		if i > 0 && row.Cost < rows[i-1].Cost {
+			t.Fatalf("truncated ranked stream costs decrease at %d", i)
+		}
+	}
+	cur.Close()
+
+	// An expired deadline before the first fetch behaves the same way.
+	past, err := sess.Stream(cxrpq.StreamOptions{Ranked: true, Deadline: time.Now().Add(-time.Second)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range past.Fetch(1 << 20) {
+		if !fullSet.Contains(row.Tuple) {
+			t.Fatalf("expired-deadline stream emitted unsound row %v", row.Tuple)
+		}
+	}
+	if !past.Truncated() {
+		t.Fatal("expired-deadline ranked stream must report Truncated")
+	}
+
+	// The truncated ranked set must not have entered any cache: a fresh
+	// ranked stream and the materialized evaluation are both complete.
+	again, err := sess.Stream(cxrpq.StreamOptions{Ranked: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows2 := drainCursor(t, again, 16)
+	if len(rows2) != len(order) {
+		t.Fatalf("ranked stream after truncation: %d rows, want %d (truncated set cached?)", len(rows2), len(order))
+	}
+	for i := range order {
+		if rows2[i].Tuple.Key() != order[i].Tuple.Key() || rows2[i].Cost != order[i].Cost {
+			t.Fatalf("ranked stream after truncation diverges at row %d", i)
+		}
+	}
+	if want, err := sess.Eval(); err == nil {
+		if !rowSet(rows2).Equal(want) {
+			t.Fatalf("ranked stream after truncation disagrees with Eval")
+		}
+	}
+}

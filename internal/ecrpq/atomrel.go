@@ -29,6 +29,9 @@ type EdgeRel struct {
 
 	estOnce sync.Once
 	est     planner.Estimate
+
+	minOnce sync.Once
+	min     int32
 }
 
 // RelationFor computes the full relation of label over db with the sharded
@@ -47,6 +50,20 @@ func RelationFor(db *graph.DB, label xregex.Node, sigma []rune) (*EdgeRel, error
 // (nil, engine.ErrCanceled) rather than a partial relation — relations are
 // cross-query building blocks and an incomplete one must never be shared.
 func RelationForEx(db *graph.DB, label xregex.Node, sigma []rune, bud *engine.Budget, levels bool) (*EdgeRel, error) {
+	return RelationForW(db, label, sigma, bud, levels, nil)
+}
+
+// RelationForW is RelationForEx under a pluggable edge weight: the captured
+// per-pair levels (EdgeRel.Dist) become minimum total edge weights instead of
+// edge counts (weighted sweeps run the per-source Dijkstra fan — see
+// engine.BatchOpts.Weight). A non-nil weight implies level capture. Weighted
+// relations must NEVER enter cross-query relation caches: a weight function
+// has no cache identity, so two queries with distinct weights would collide
+// on the same label key. Callers build them per query.
+func RelationForW(db *graph.DB, label xregex.Node, sigma []rune, bud *engine.Budget, levels bool, w engine.Weight) (*EdgeRel, error) {
+	if w != nil {
+		levels = true
+	}
 	n := db.NumNodes()
 	r := &EdgeRel{fwd: make([][]int, n)}
 	if levels {
@@ -65,7 +82,7 @@ func RelationForEx(db *graph.DB, label xregex.Node, sigma []rune, bud *engine.Bu
 		srcs[i] = i
 	}
 	res := engine.ReachBatchEx(ix, db.Partition(engine.Shards()), ent.cache, srcs, true,
-		engine.BatchOpts{Budget: bud, Levels: levels})
+		engine.BatchOpts{Budget: bud, Levels: levels, Weight: w})
 	if res.Truncated {
 		return nil, engine.ErrCanceled
 	}
@@ -96,6 +113,41 @@ func (r *EdgeRel) Dist(u, v int) int32 {
 		return r.lev[u][i]
 	}
 	return 0
+}
+
+// MinDist returns the minimum Dist over every pair in the relation — the
+// cheapest single witness any binding of this atom can contribute. It is the
+// atom's admissible lower bound for the any-k priority queue: an
+// undetermined atom will cost at least MinDist, whatever binding the
+// enumeration eventually picks. Relations without levels (or empty ones)
+// report 0, which is trivially admissible.
+func (r *EdgeRel) MinDist() int32 {
+	r.minOnce.Do(func() {
+		if r.lev == nil || r.size == 0 {
+			return
+		}
+		min := int32(-1)
+		for _, ls := range r.lev {
+			for _, l := range ls {
+				if min < 0 || l < min {
+					min = l
+				}
+			}
+		}
+		if min > 0 {
+			r.min = min
+		}
+	})
+	return r.min
+}
+
+// levAt returns the level of Forward(u)[i] by position, skipping the binary
+// search Dist pays (0 when the relation carries no levels).
+func (r *EdgeRel) levAt(u, i int) int32 {
+	if r.lev == nil || r.lev[u] == nil {
+		return 0
+	}
+	return r.lev[u][i]
 }
 
 // Empty reports whether the relation holds for no pair at all.

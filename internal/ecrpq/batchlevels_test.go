@@ -1,0 +1,140 @@
+package ecrpq
+
+// Regression tests for the MS-BFS level-capture bug: ReachBatchEx used to
+// merge bits arriving mid-expand into a not-yet-processed frontier
+// configuration's live pending mask, expanding them one level early and
+// understating downstream first-hit levels (the hit sets stayed correct, the
+// distances did not). The bug needed two batched sources meeting at a
+// configuration, so batch-of-one sweeps never showed it — these tests pin
+// the batched ensureForward/ensureBackward memos against the single-source
+// kernels and against ground-truth forward distances.
+
+import (
+	"fmt"
+	"testing"
+
+	"cxrpq/internal/engine"
+	"cxrpq/internal/graph"
+)
+
+// replica of workload.Random(seed, nodes, edges, alphabet) — workload can't
+// be imported from a package-internal test (cycle through cxrpq)
+func probeRandomDB(seed int64, nodes, edges int, alphabet string) *graph.DB {
+	s := uint64(seed)*2654435761 + 1
+	next := func() uint64 {
+		s += 0x9e3779b97f4a7c15
+		z := s
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	intn := func(n int) int { return int(next() % uint64(n)) }
+	d := graph.New()
+	for i := 0; i < nodes; i++ {
+		d.AddNode()
+	}
+	al := []rune(alphabet)
+	for i := 0; i < edges; i++ {
+		d.AddEdge(intn(nodes), al[intn(len(al))], intn(nodes))
+	}
+	return d
+}
+
+// The batched ensureForward/ensureBackward prefetches must populate exactly
+// the memo entries the single-source forwardLev/backwardLev kernels would —
+// same hits, same levels — or the any-k enumerator's costs silently drift
+// from the drain's.
+func TestEnsureMatchesSingle(t *testing.T) {
+	db := probeRandomDB(1, 30, 110, "ab")
+	q, err := ParseQuery("ans(x, z)\nx y : a+\ny z : b+", []rune("ab"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var all []int
+	for u := 0; u < db.NumNodes(); u++ {
+		all = append(all, u)
+	}
+	for ei := 0; ei < 2; ei++ {
+		evF, err := newEvaluator(q, db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		evF.ranked = true
+		evB, _ := newEvaluator(q, db)
+		evB.ranked = true
+		evF.ensureForward(ei, all)
+		evB.ensureBackward(ei, all)
+		for u := 0; u < db.NumNodes(); u++ {
+			evS, _ := newEvaluator(q, db) // fresh: empty memos, single-source sweeps
+			evS.ranked = true
+			fh, fl := evF.forwardLev(ei, u)
+			sh, sl := evS.forwardLev(ei, u)
+			if fmt.Sprint(fh) != fmt.Sprint(sh) || fmt.Sprint(fl) != fmt.Sprint(sl) {
+				t.Fatalf("edge %d fwd src %d: batch (%v,%v) single (%v,%v)", ei, u, fh, fl, sh, sl)
+			}
+			bh, bl := evB.backwardLev(ei, u)
+			bh2, bl2 := evS.backwardLev(ei, u)
+			if fmt.Sprint(bh) != fmt.Sprint(bh2) || fmt.Sprint(bl) != fmt.Sprint(bl2) {
+				t.Fatalf("edge %d bwd tgt %d: batch (%v,%v) single (%v,%v)", ei, u, bh, bl, bh2, bl2)
+			}
+		}
+	}
+}
+
+// Backward levels — batched and single-source alike — must agree with the
+// forward kernel's distances: dist(u→v) is direction-independent.
+func TestBackwardAgainstForward(t *testing.T) {
+	db := probeRandomDB(1, 30, 110, "ab")
+	q, err := ParseQuery("ans(x, z)\nx y : a+\ny z : b+", []rune("ab"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := newEvaluator(q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev.ranked = true
+	fdist := map[[2]int]int32{}
+	for u := 0; u < db.NumNodes(); u++ {
+		hits, levs := ev.forwardLev(0, u)
+		for i, v := range hits {
+			fdist[[2]int{u, v}] = levs[i]
+		}
+	}
+	evB, _ := newEvaluator(q, db)
+	evB.ranked = true
+	var all []int
+	for u := 0; u < db.NumNodes(); u++ {
+		all = append(all, u)
+	}
+	evB.ensureBackward(0, all)
+	for v := 0; v < db.NumNodes(); v++ {
+		bh, bl := evB.backwardLev(0, v)
+		for i, u := range bh {
+			if want := fdist[[2]int{u, v}]; bl[i] != want {
+				t.Fatalf("batch backward: dist(%d->%d) = %d, forward says %d", u, v, bl[i], want)
+			}
+		}
+	}
+}
+
+// A batch of one source must match the single-source kernel bit for bit
+// (the historical failure needed two sources; this pins the trivial case).
+func TestBatchOfOneBackward(t *testing.T) {
+	db := probeRandomDB(1, 30, 110, "ab")
+	q, err := ParseQuery("ans(x, z)\nx y : a+\ny z : b+", []rune("ab"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, _ := newEvaluator(q, db)
+	ev.ranked = true
+	_, rc := ev.ents[0].reverse()
+	for v := 0; v < db.NumNodes(); v++ {
+		sh, sl := engine.ReachLevelsW(ev.ix, rc, v, false, nil, nil)
+		one := engine.ReachBatchEx(ev.ix, db.Partition(engine.Shards()), rc, []int{v}, false,
+			engine.BatchOpts{Levels: true})
+		if fmt.Sprint(sh) != fmt.Sprint(one.Hits[0]) || fmt.Sprint(sl) != fmt.Sprint(one.Levs[0]) {
+			t.Fatalf("batch-of-one tgt %d: single (%v,%v) batch (%v,%v)", v, sh, sl, one.Hits[0], one.Levs[0])
+		}
+	}
+}

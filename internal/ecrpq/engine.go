@@ -151,6 +151,24 @@ type evaluator struct {
 	lazy   bool
 	fwdLev []map[int][]int32 // per edge: memoized u -> BFS level per target
 	revLev []map[int][]int32 // per edge: memoized v -> BFS level per source
+
+	// weight generalizes witness cost from edge count to a pluggable
+	// per-edge-label weight (engine.Weight): with it set and ranked, level
+	// lookups run the Dijkstra kernel (engine.ReachLevelsW) and group
+	// expansions the weighted product search, so every cost this evaluator
+	// reports is a minimum total weight instead of a minimum edge count.
+	// The memos above are keyed per evaluator, so a fixed weight never
+	// mixes with unit-cost entries.
+	weight engine.Weight
+}
+
+// rankedWeight returns the weight to hand the kernels: only a ranked
+// evaluation consumes level data, so unranked runs keep the plain BFS.
+func (ev *evaluator) rankedWeight() engine.Weight {
+	if !ev.ranked {
+		return nil
+	}
+	return ev.weight
 }
 
 // groupExp is one memoized group expansion: the reachable end tuples and —
@@ -268,7 +286,7 @@ func (ev *evaluator) ensureForward(ei int, srcs []int) {
 		return
 	}
 	res := engine.ReachBatchEx(ev.ix, ev.db.Partition(engine.Shards()), ev.ents[ei].cache, missing, true,
-		engine.BatchOpts{Budget: ev.bud, Levels: ev.ranked})
+		engine.BatchOpts{Budget: ev.bud, Levels: ev.ranked, Weight: ev.rankedWeight()})
 	if res.Truncated {
 		return
 	}
@@ -276,6 +294,37 @@ func (ev *evaluator) ensureForward(ei int, srcs []int) {
 		ev.fwd[ei][u] = res.Hits[i]
 		if ev.ranked {
 			ev.fwdLev[ei][u] = res.Levs[i]
+		}
+	}
+}
+
+// ensureBackward mirrors ensureForward for reverse sweeps: it fills the
+// backward memo (and, when ranked, the level memo) for exactly the given
+// targets in one sharded multi-source sweep over the reversed automaton.
+func (ev *evaluator) ensureBackward(ei int, tgts []int) {
+	var missing []int
+	for _, v := range tgts {
+		if _, ok := ev.rev[ei][v]; !ok {
+			missing = append(missing, v)
+		} else if ev.ranked {
+			if _, ok := ev.revLev[ei][v]; !ok {
+				missing = append(missing, v)
+			}
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	_, rc := ev.ents[ei].reverse()
+	res := engine.ReachBatchEx(ev.ix, ev.db.Partition(engine.Shards()), rc, missing, false,
+		engine.BatchOpts{Budget: ev.bud, Levels: ev.ranked, Weight: ev.rankedWeight()})
+	if res.Truncated {
+		return
+	}
+	for i, v := range missing {
+		ev.rev[ei][v] = res.Hits[i]
+		if ev.ranked {
+			ev.revLev[ei][v] = res.Levs[i]
 		}
 	}
 }
@@ -288,7 +337,7 @@ func (ev *evaluator) forwardLev(ei, u int) ([]int, []int32) {
 			return vs, ls
 		}
 	}
-	vs, ls := engine.ReachLevels(ev.ix, ev.ents[ei].cache, u, true, ev.bud)
+	vs, ls := engine.ReachLevelsW(ev.ix, ev.ents[ei].cache, u, true, ev.bud, ev.weight)
 	if !ev.bud.Canceled() {
 		ev.fwd[ei][u] = vs
 		ev.fwdLev[ei][u] = ls
@@ -317,7 +366,7 @@ func (ev *evaluator) backwardLev(ei, v int) ([]int, []int32) {
 		}
 	}
 	_, rc := ev.ents[ei].reverse()
-	us, ls := engine.ReachLevels(ev.ix, rc, v, false, ev.bud)
+	us, ls := engine.ReachLevelsW(ev.ix, rc, v, false, ev.bud, ev.weight)
 	if !ev.bud.Canceled() {
 		ev.rev[ei][v] = us
 		ev.revLev[ei][v] = ls
@@ -351,11 +400,20 @@ func (ev *evaluator) expandGroup(gi int, src []int) groupExp {
 	}
 	g := ev.q.Groups[gi]
 	var res groupExp
+	weighted := ev.ranked && ev.weight != nil
 	switch rel := g.Rel.(type) {
 	case *Equality:
-		res = ev.expandEquality(g, src)
+		if weighted {
+			res = ev.expandEqualityW(g, src)
+		} else {
+			res = ev.expandEquality(g, src)
+		}
 	case *NFARelation:
-		res = ev.expandNFARel(g, rel, src)
+		if weighted {
+			res = ev.expandNFARelW(g, rel, src)
+		} else {
+			res = ev.expandNFARel(g, rel, src)
+		}
 	default:
 		panic("ecrpq: unknown relation kind")
 	}

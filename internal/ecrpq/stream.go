@@ -36,11 +36,20 @@ type StreamFunc func(t pattern.Tuple, cost int) bool
 // of q(D). The error reports construction/validation failures only — the
 // caller owns the budget and checks it for truncation.
 func EvalStream(q *Query, db *graph.DB, bud *engine.Budget, ranked bool, yield StreamFunc) error {
+	return EvalStreamW(q, db, bud, ranked, nil, yield)
+}
+
+// EvalStreamW is EvalStream under a pluggable edge weight (engine.Weight):
+// with ranked set and a non-nil weight, every yielded cost is the minimum
+// total edge weight of a witness for that assignment instead of its edge
+// count — level lookups run the Dijkstra kernels and group expansions the
+// cost-ordered product search. A nil weight is exactly EvalStream.
+func EvalStreamW(q *Query, db *graph.DB, bud *engine.Budget, ranked bool, weight engine.Weight, yield StreamFunc) error {
 	ev, err := newEvaluator(q, db)
 	if err != nil {
 		return err
 	}
-	ev.bud, ev.ranked, ev.lazy = bud, ranked, true
+	ev.bud, ev.ranked, ev.lazy, ev.weight = bud, ranked, true, weight
 	return ev.runStream(nil, yield)
 }
 

@@ -1,0 +1,328 @@
+package ecrpq
+
+// Weighted group expansions: Dijkstra variants of the lock-step and padded
+// product searches in engine.go. The unweighted expansions are breadth-first,
+// so the depth at which a state is first reached is its minimal synchronized
+// word length; under a pluggable engine.Weight that identity breaks — a
+// longer word over cheap symbols can beat a shorter one — so the queue
+// becomes a binary min-heap keyed by accumulated cost with lazy deletion.
+// Pops are nondecreasing in cost, hence the first settle of an accepting
+// state still carries the minimal cost for its end tuple, exactly mirroring
+// the first-visit property the BFS versions rely on. Ties break on insertion
+// order so the output sequence stays deterministic.
+//
+// Step costs: the lock-step (Equality) product consumes one shared symbol
+// per step, so a step costs that symbol's clamped weight. The padded
+// (NFARelation) product advances each unfrozen component by its own column
+// symbol in one synchronized step; the step costs the maximum clamped weight
+// over the consuming columns (an all-⊥ step costs 0). Both reduce to the
+// BFS depth under the unit weight.
+
+import (
+	"cxrpq/internal/automata"
+)
+
+// symCost is the clamped per-label cost under the evaluator's weight.
+func (ev *evaluator) symCost(label rune) int32 {
+	c := ev.weight(label)
+	if c < 0 {
+		return 0
+	}
+	return c
+}
+
+// wItem / wHeap: a minimal binary min-heap on (cost, ord). ord is the
+// insertion sequence, giving deterministic FIFO order among equal-cost
+// entries (matching the BFS queue's determinism). idx points into a
+// caller-owned slab of states; lazy deletion means stale entries (whose
+// cost exceeds the slab key's settled distance) are skipped on pop.
+type wItem struct {
+	cost int32
+	ord  int64
+	idx  int
+}
+
+func (a wItem) before(b wItem) bool {
+	return a.cost < b.cost || (a.cost == b.cost && a.ord < b.ord)
+}
+
+type wHeap []wItem
+
+func (h *wHeap) push(x wItem) {
+	*h = append(*h, x)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !s[i].before(s[p]) {
+			break
+		}
+		s[p], s[i] = s[i], s[p]
+		i = p
+	}
+}
+
+func (h *wHeap) pop() wItem {
+	s := *h
+	top := s[0]
+	last := len(s) - 1
+	s[0] = s[last]
+	*h = s[:last]
+	s = *h
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < last && s[l].before(s[m]) {
+			m = l
+		}
+		if r < last && s[r].before(s[m]) {
+			m = r
+		}
+		if m == i {
+			break
+		}
+		s[i], s[m] = s[m], s[i]
+		i = m
+	}
+	return top
+}
+
+// expandEqualityW is expandEquality under the evaluator's weight: same
+// lock-step product state space, cost-ordered exploration. deps entries are
+// minimal total weights instead of word lengths.
+func (ev *evaluator) expandEqualityW(g Group, src []int) groupExp {
+	s := len(g.Edges)
+	caches := make([]*automata.SubsetCache, s)
+	for i, ei := range g.Edges {
+		caches[i] = ev.ents[ei].cache
+	}
+	ix := ev.ix
+	nSyms := ix.NumSyms()
+	wsym := make([]int32, nSyms)
+	for sy := int32(0); sy < int32(nSyms); sy++ {
+		wsym[sy] = ev.symCost(ix.Sym(sy))
+	}
+
+	type state struct {
+		nodes []int32
+		ids   []int32
+	}
+	init := state{nodes: make([]int32, s), ids: make([]int32, s)}
+	for i := range init.nodes {
+		init.nodes[i] = int32(src[i])
+		init.ids[i] = caches[i].Start()
+	}
+	var kbuf []byte
+	var k string
+	kbuf, k = nodesIDsKey(kbuf, init.nodes, init.ids)
+	dist := map[string]int32{k: 0}
+	states := []state{init}
+	keys := []string{k}
+	var h wHeap
+	h.push(wItem{cost: 0, ord: 0, idx: 0})
+	var ord int64
+	var out groupExp
+	outSeen := map[string]bool{}
+	nextIDs := make([]int32, s)
+	opts := make([][]int32, s)
+	pops := 0
+	for len(h) > 0 {
+		it := h.pop()
+		pops++
+		if pops%256 == 0 && ev.bud.Canceled() {
+			break
+		}
+		if it.cost > dist[keys[it.idx]] {
+			continue // stale: a cheaper path already settled this state
+		}
+		cur := states[it.idx]
+		allFinal := true
+		for i := range caches {
+			if !caches[i].Final(cur.ids[i]) {
+				allFinal = false
+				break
+			}
+		}
+		if allFinal {
+			k := intsKey(cur.nodes)
+			if !outSeen[k] {
+				outSeen[k] = true
+				out.ends = append(out.ends, toInts(cur.nodes))
+				out.deps = append(out.deps, it.cost)
+			}
+		}
+		for sy := int32(0); sy < int32(nSyms); sy++ {
+			sym := int32(ix.Sym(sy))
+			ok := true
+			for i := range caches {
+				opts[i] = ix.OutByID(int(cur.nodes[i]), sy)
+				if len(opts[i]) == 0 {
+					ok = false
+					break
+				}
+				nextIDs[i] = caches[i].Step(cur.ids[i], sym)
+				if nextIDs[i] == automata.Dead {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			nc := it.cost + wsym[sy]
+			productNodes32(opts, func(nodes []int32) {
+				var k string
+				kbuf, k = nodesIDsKey(kbuf, nodes, nextIDs)
+				if d, ok := dist[k]; ok && d <= nc {
+					return
+				}
+				dist[k] = nc
+				states = append(states, state{
+					nodes: append([]int32(nil), nodes...),
+					ids:   append([]int32(nil), nextIDs...),
+				})
+				keys = append(keys, k)
+				ord++
+				h.push(wItem{cost: nc, ord: ord, idx: len(states) - 1})
+			})
+		}
+	}
+	return out
+}
+
+// expandNFARelW is expandNFARel under the evaluator's weight: same padded
+// product state space, cost-ordered exploration. A synchronized step costs
+// the maximum clamped weight over the columns that consume a real symbol.
+func (ev *evaluator) expandNFARelW(g Group, rel *NFARelation, src []int) groupExp {
+	s := len(g.Edges)
+	caches := make([]*automata.SubsetCache, s)
+	for i, ei := range g.Edges {
+		caches[i] = ev.ents[ei].cache
+	}
+	ix := ev.ix
+	rc := rel.subsetCache()
+	labels := rel.labelSet()
+
+	type state struct {
+		nodes []int32
+		ids   []int32
+		rid   int32
+		mask  uint64
+	}
+	init := state{nodes: make([]int32, s), ids: make([]int32, s), rid: rc.Start()}
+	for i := range init.nodes {
+		init.nodes[i] = int32(src[i])
+		init.ids[i] = caches[i].Start()
+	}
+	var kbuf []byte
+	var k string
+	kbuf, k = relStateKey(kbuf, init.nodes, init.ids, init.rid, 0)
+	dist := map[string]int32{k: 0}
+	states := []state{init}
+	keys := []string{k}
+	var h wHeap
+	h.push(wItem{cost: 0, ord: 0, idx: 0})
+	var ord int64
+	var out groupExp
+	outSeen := map[string]bool{}
+	nextIDs := make([]int32, s)
+	opts := make([][]int32, s)
+	selfOpts := make([]int32, s)
+	pops := 0
+	for len(h) > 0 {
+		it := h.pop()
+		pops++
+		if pops%256 == 0 && ev.bud.Canceled() {
+			break
+		}
+		if it.cost > dist[keys[it.idx]] {
+			continue
+		}
+		cur := states[it.idx]
+		accept := rc.Final(cur.rid)
+		if accept {
+			for i := range caches {
+				if cur.mask&(1<<uint(i)) != 0 {
+					continue
+				}
+				if !caches[i].Final(cur.ids[i]) {
+					accept = false
+					break
+				}
+			}
+		}
+		if accept {
+			k := intsKey(cur.nodes)
+			if !outSeen[k] {
+				outSeen[k] = true
+				out.ends = append(out.ends, toInts(cur.nodes))
+				out.deps = append(out.deps, it.cost)
+			}
+		}
+		for _, code := range labels {
+			rnext := rc.Step(cur.rid, code)
+			if rnext == automata.Dead {
+				continue
+			}
+			tuple := rel.codec.decode(code)
+			mask := cur.mask
+			ok := true
+			stepCost := int32(0)
+			for i := range tuple {
+				if tuple[i] == Bottom {
+					if mask&(1<<uint(i)) == 0 {
+						if !caches[i].Final(cur.ids[i]) {
+							ok = false
+							break
+						}
+						mask |= 1 << uint(i)
+					}
+					nextIDs[i] = cur.ids[i]
+					selfOpts[i] = cur.nodes[i]
+					opts[i] = selfOpts[i : i+1]
+					continue
+				}
+				if mask&(1<<uint(i)) != 0 {
+					ok = false // symbol after ⊥ in the same column
+					break
+				}
+				nextIDs[i] = caches[i].Step(cur.ids[i], int32(tuple[i]))
+				if nextIDs[i] == automata.Dead {
+					ok = false
+					break
+				}
+				opts[i] = ix.OutByLabel(int(cur.nodes[i]), tuple[i])
+				if len(opts[i]) == 0 {
+					ok = false
+					break
+				}
+				if c := ev.symCost(tuple[i]); c > stepCost {
+					stepCost = c
+				}
+			}
+			if !ok {
+				continue
+			}
+			nc := it.cost + stepCost
+			productNodes32(opts, func(nodes []int32) {
+				var k string
+				kbuf, k = relStateKey(kbuf, nodes, nextIDs, rnext, mask)
+				if d, ok := dist[k]; ok && d <= nc {
+					return
+				}
+				dist[k] = nc
+				states = append(states, state{
+					nodes: append([]int32(nil), nodes...),
+					ids:   append([]int32(nil), nextIDs...),
+					rid:   rnext,
+					mask:  mask,
+				})
+				keys = append(keys, k)
+				ord++
+				h.push(wItem{cost: nc, ord: ord, idx: len(states) - 1})
+			})
+		}
+	}
+	return out
+}

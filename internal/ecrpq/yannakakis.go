@@ -71,7 +71,7 @@ func (ev *evaluator) tryYannakakis(pre map[string]int, sink StreamFunc) bool {
 	}
 	rels := make([]*EdgeRel, len(ev.q.Pattern.Edges))
 	for _, ei := range kept {
-		r, err := RelationForEx(ev.db, ev.q.Pattern.Edges[ei].Label, ev.sigma, ev.bud, ev.ranked)
+		r, err := RelationForW(ev.db, ev.q.Pattern.Edges[ei].Label, ev.sigma, ev.bud, ev.ranked, ev.rankedWeight())
 		if err != nil {
 			// Budget-truncated (or otherwise failed) materialization:
 			// fall back — a canceled budget unwinds the backtracking

@@ -150,6 +150,7 @@ type shardWorker struct {
 	local   [][]int32  // [id] -> per-symbol transition row (lock-free copy)
 
 	frontier, next []batchCfg
+	masks          []uint64  // per-frontier-entry pend snapshot (scratch, see expand)
 	outbox         [][]exMsg // [dst shard] -> exported configurations
 
 	edges     uint64 // product edges expanded
@@ -234,12 +235,24 @@ func (w *shardWorker) insert(v, id int32, mask uint64) {
 // the subset automaton over each symbol's adjacency span, inserting local
 // targets directly and buffering cross-shard targets into the outbox.
 func (w *shardWorker) expand() {
-	for qi := 0; qi < len(w.frontier); qi++ {
-		cur := w.frontier[qi]
+	// Snapshot-and-clear every frontier entry's pending mask before stepping
+	// any of them. An insert below may land on a frontier configuration that
+	// has not had its turn yet; if its bits merged into the live pend mask
+	// they would be expanded in this same pass — one level early — silently
+	// understating every downstream first-hit level (the hit set stays
+	// correct, the BFS distances do not). With the masks drained up front such
+	// an insert sees pend == 0 and re-queues the configuration for the next
+	// level, which is when its new bits are actually one step old.
+	w.masks = w.masks[:0]
+	for _, cur := range w.frontier {
 		pb := w.pend[cur.id]
 		li := cur.node - w.lo
-		mask := pb[li]
+		w.masks = append(w.masks, pb[li])
 		pb[li] = 0
+	}
+	for qi := 0; qi < len(w.frontier); qi++ {
+		cur := w.frontier[qi]
+		mask := w.masks[qi]
 		if mask == 0 {
 			continue
 		}
@@ -403,11 +416,18 @@ func ReachBatch(ix *graph.Index, part *graph.Partition, c *automata.SubsetCache,
 }
 
 // BatchOpts extends ReachBatch: an optional per-query budget polled at level
-// granularity, and first-hit level capture for ranked (shortest-witness
-// -first) enumeration.
+// granularity, first-hit level capture for ranked (shortest-witness-first)
+// enumeration, and a pluggable edge weight.
 type BatchOpts struct {
 	Budget *Budget
 	Levels bool // record BFS first-hit levels per (source, node)
+
+	// Weight switches the level capture from BFS edge counts to minimum
+	// total edge weight (implies Levels). The MS-BFS word-packing is
+	// level-synchronous and cannot batch Dijkstra frontiers, so a weighted
+	// batch runs as a per-source ReachLevelsW fan instead of the sharded
+	// kernel — correct, budget-honoring, but without the 64-way sharing.
+	Weight Weight
 }
 
 // BatchResult is the extended kernel output. Levs is parallel to Hits
@@ -423,6 +443,9 @@ type BatchResult struct {
 
 // ReachBatchEx is ReachBatch with options; see BatchOpts/BatchResult.
 func ReachBatchEx(ix *graph.Index, part *graph.Partition, c *automata.SubsetCache, srcs []int, forward bool, opts BatchOpts) BatchResult {
+	if opts.Weight != nil {
+		return reachBatchWeighted(ix, c, srcs, forward, opts)
+	}
 	res := BatchResult{Hits: make([][]int, len(srcs))}
 	if opts.Levels {
 		res.Levs = make([][]int32, len(srcs))

@@ -466,7 +466,7 @@ var Registry = []func(int) *Table{
 	E13Fig7, E14Lemma12, E15Lemma13, E16Lemma14,
 	E17Ablations, E18PathSemantics, E19PreparedReuse, E20PlannerJoin,
 	E21IncrementalUpdate, E22ShardedReach, E23TimeToFirstRow,
-	E24SnapshotReadsUnderWrites, E25PlannerV2,
+	E24SnapshotReadsUnderWrites, E25PlannerV2, E26RankedTTFR,
 }
 
 // All runs every experiment at the given scale.

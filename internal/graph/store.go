@@ -21,6 +21,12 @@ package graph
 // a temp file, fsyncs, renames over checkpoint.graph, then truncates the
 // WAL; records already covered by the checkpoint revision are skipped on
 // replay, so a crash anywhere in that sequence recovers consistently.
+//
+// Side records (AppendSide/SideRecords, wal.go sentinel framing) let the
+// application piggyback small opaque state on the same log — the serving
+// layer persists parked ranked cursors this way. They do not participate in
+// revision continuity and are discarded whenever a checkpoint truncates the
+// WAL: side state must always be best-effort reconstructible.
 
 import (
 	"errors"
@@ -28,6 +34,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sync"
 	"sync/atomic"
 )
 
@@ -66,6 +73,7 @@ func (o StoreOptions) withDefaults() StoreOptions {
 type storeCounters struct {
 	walBytes    atomic.Int64
 	records     atomic.Uint64
+	sideRecords atomic.Uint64
 	fsyncs      atomic.Uint64
 	checkpoints atomic.Uint64
 	replayed    atomic.Uint64
@@ -74,23 +82,28 @@ type storeCounters struct {
 // StoreStats is a snapshot of the durability counters.
 type StoreStats struct {
 	WALBytes        int64  `json:"wal_bytes"`        // bytes of WAL since the last checkpoint
-	Records         uint64 `json:"wal_records"`      // records appended this process lifetime
+	Records         uint64 `json:"wal_records"`      // delta records appended this process lifetime
+	SideRecords     uint64 `json:"wal_side_records"` // side records appended this process lifetime
 	Fsyncs          uint64 `json:"wal_fsyncs"`       // fsyncs issued on the WAL
 	Checkpoints     uint64 `json:"checkpoints"`      // checkpoints written this process lifetime
 	ReplayedRecords uint64 `json:"replayed_records"` // WAL records replayed during recovery
 }
 
-// Store is the durable home of one database. It is not internally
-// synchronized: Append/Checkpoint/Close follow the writer side of the DB
-// contract (one mutator at a time), while Stats is safe concurrently.
+// Store is the durable home of one database. Append/Checkpoint/Close follow
+// the writer side of the DB contract (one mutator at a time) but are also
+// serialized against AppendSide by an internal mutex, because side records
+// originate on read paths (a cursor parking mid-pagination) that do not hold
+// the application's write lock. Stats and SideRecords are safe concurrently.
 type Store struct {
 	dir  string
 	db   *DB
 	wal  *os.File
 	opts StoreOptions
 
+	mu        sync.Mutex // serializes Append/AppendSide/Checkpoint/Close
 	sinceSync int
 	buf       []byte
+	sides     []walRecord // side records in the current WAL generation
 	c         storeCounters
 }
 
@@ -102,11 +115,12 @@ func OpenStore(dir string, opts StoreOptions) (*Store, error) {
 		return nil, err
 	}
 	s := &Store{dir: dir, opts: opts}
-	db, valid, replayed, err := recoverDB(dir)
+	db, valid, replayed, sides, err := recoverDB(dir)
 	if err != nil {
 		return nil, err
 	}
 	s.db = db
+	s.sides = sides
 	s.c.replayed.Store(uint64(replayed))
 	walPath := filepath.Join(dir, walFile)
 	if fi, err := os.Stat(walPath); err == nil && fi.Size() > valid {
@@ -125,44 +139,51 @@ func OpenStore(dir string, opts StoreOptions) (*Store, error) {
 }
 
 // recoverDB loads checkpoint + WAL from dir and returns the recovered
-// database, the valid WAL prefix length, and the number of replayed records.
-func recoverDB(dir string) (*DB, int64, int, error) {
+// database, the valid WAL prefix length, the number of replayed delta
+// records, and the side records found in the WAL (in log order). Side
+// records are excluded from the revision-continuity checks.
+func recoverDB(dir string) (*DB, int64, int, []walRecord, error) {
 	db := New()
 	if f, err := os.Open(filepath.Join(dir, checkpointFile)); err == nil {
 		db, err = func() (*DB, error) { defer f.Close(); return ReadFull(f) }()
 		if err != nil {
-			return nil, 0, 0, fmt.Errorf("graph: loading checkpoint: %w", err)
+			return nil, 0, 0, nil, fmt.Errorf("graph: loading checkpoint: %w", err)
 		}
 	} else if !errors.Is(err, os.ErrNotExist) {
-		return nil, 0, 0, err
+		return nil, 0, 0, nil, err
 	}
 	buf, err := os.ReadFile(filepath.Join(dir, walFile))
 	if err != nil && !errors.Is(err, os.ErrNotExist) {
-		return nil, 0, 0, err
+		return nil, 0, 0, nil, err
 	}
 	recs, valid, err := parseWAL(buf)
 	if err != nil {
-		return nil, 0, 0, err
+		return nil, 0, 0, nil, err
 	}
 	replayed := 0
+	var sides []walRecord
 	for _, rec := range recs {
+		if rec.Side {
+			sides = append(sides, rec)
+			continue
+		}
 		if rec.ToRev <= db.Revision() {
 			continue // covered by the checkpoint
 		}
 		if rec.FromRev != db.Revision() {
-			return nil, 0, 0, fmt.Errorf("%w: record window (%d,%d] does not continue revision %d",
+			return nil, 0, 0, nil, fmt.Errorf("%w: record window (%d,%d] does not continue revision %d",
 				ErrWALCorrupt, rec.FromRev, rec.ToRev, db.Revision())
 		}
 		if _, err := db.ApplyDelta(rec.Delta); err != nil {
-			return nil, 0, 0, fmt.Errorf("graph: wal replay: %w", err)
+			return nil, 0, 0, nil, fmt.Errorf("graph: wal replay: %w", err)
 		}
 		if db.Revision() != rec.ToRev {
-			return nil, 0, 0, fmt.Errorf("%w: replay reached revision %d, record declares %d",
+			return nil, 0, 0, nil, fmt.Errorf("%w: replay reached revision %d, record declares %d",
 				ErrWALCorrupt, db.Revision(), rec.ToRev)
 		}
 		replayed++
 	}
-	return db, int64(valid), replayed, nil
+	return db, int64(valid), replayed, sides, nil
 }
 
 // DB returns the recovered database. The caller owns mutations on it and
@@ -177,12 +198,58 @@ func (s *Store) Dir() string { return s.dir }
 // successful Append the batch is durable and may be acknowledged. It then
 // checkpoints automatically when the WAL has outgrown CheckpointBytes.
 func (s *Store) Append(delta Delta, fromRev, toRev uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.buf = encodeWALRecord(s.buf[:0], walRecord{FromRev: fromRev, ToRev: toRev, Delta: delta})
+	if err := s.writeLocked(); err != nil {
+		return err
+	}
+	s.c.records.Add(1)
+	if s.opts.CheckpointBytes > 0 && s.c.walBytes.Load() >= s.opts.CheckpointBytes {
+		return s.checkpointLocked()
+	}
+	return nil
+}
+
+// AppendSide frames an opaque application side record onto the WAL under the
+// same fsync cadence as Append. Side records survive crash recovery (see
+// SideRecords) but not checkpoints — the WAL truncation discards them — so
+// they must only carry state the application can afford to lose. Unlike
+// Append, AppendSide is safe to call from read paths: the internal mutex
+// serializes it against the writer.
+func (s *Store) AppendSide(kind uint64, blob []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.buf = encodeWALSideRecord(s.buf[:0], kind, blob)
+	if err := s.writeLocked(); err != nil {
+		return err
+	}
+	s.c.sideRecords.Add(1)
+	s.sides = append(s.sides, walRecord{Side: true, Kind: kind, Blob: append([]byte(nil), blob...)})
+	return nil
+}
+
+// SideRecords returns the blobs of every side record of the given kind in
+// the current WAL generation (recovered at open plus appended since, in log
+// order). A checkpoint empties the set.
+func (s *Store) SideRecords(kind uint64) [][]byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out [][]byte
+	for _, rec := range s.sides {
+		if rec.Kind == kind {
+			out = append(out, rec.Blob)
+		}
+	}
+	return out
+}
+
+// writeLocked flushes s.buf to the WAL and applies the fsync cadence.
+func (s *Store) writeLocked() error {
 	if _, err := s.wal.Write(s.buf); err != nil {
 		return err
 	}
 	s.c.walBytes.Add(int64(len(s.buf)))
-	s.c.records.Add(1)
 	s.sinceSync++
 	if s.opts.SyncEvery > 0 && s.sinceSync >= s.opts.SyncEvery {
 		if err := s.wal.Sync(); err != nil {
@@ -191,17 +258,20 @@ func (s *Store) Append(delta Delta, fromRev, toRev uint64) error {
 		s.sinceSync = 0
 		s.c.fsyncs.Add(1)
 	}
-	if s.opts.CheckpointBytes > 0 && s.c.walBytes.Load() >= s.opts.CheckpointBytes {
-		return s.Checkpoint()
-	}
 	return nil
 }
 
 // Checkpoint writes the current graph as a durable checkpoint and resets
 // the WAL. Crash-safe at every step: temp write + fsync + atomic rename,
 // and the WAL is truncated only after the rename — replay skips records the
-// checkpoint already covers.
+// checkpoint already covers. Side records in the WAL are discarded.
 func (s *Store) Checkpoint() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.checkpointLocked()
+}
+
+func (s *Store) checkpointLocked() error {
 	tmp, err := os.CreateTemp(s.dir, checkpointFile+".tmp*")
 	if err != nil {
 		return err
@@ -227,6 +297,7 @@ func (s *Store) Checkpoint() error {
 	}
 	s.c.walBytes.Store(0)
 	s.c.checkpoints.Add(1)
+	s.sides = nil
 	return nil
 }
 
@@ -244,6 +315,8 @@ func (s *Store) Stats() StoreStats {
 
 // Close fsyncs and closes the WAL. The store must not be used afterwards.
 func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if err := s.wal.Sync(); err != nil {
 		s.wal.Close()
 		return err
@@ -275,9 +348,11 @@ type Follower struct {
 	reloads  atomic.Uint64
 }
 
-// OpenFollower opens a read-only view of a store directory.
+// OpenFollower opens a read-only view of a store directory. Side records in
+// the leader's WAL are ignored: they carry leader-local state (e.g. parked
+// cursors) that has no meaning on a replica.
 func OpenFollower(dir string) (*Follower, error) {
-	db, valid, replayed, err := recoverDB(dir)
+	db, valid, replayed, _, err := recoverDB(dir)
 	if err != nil {
 		return nil, err
 	}
@@ -337,6 +412,9 @@ func (f *Follower) Poll() (int, error) {
 	}
 	applied := 0
 	for _, rec := range recs {
+		if rec.Side {
+			continue // leader-local side state; not part of the lineage
+		}
 		if rec.ToRev <= f.db.Revision() {
 			continue
 		}
@@ -357,7 +435,7 @@ func (f *Follower) Poll() (int, error) {
 // transiently older than the follower's state (we raced the leader's
 // checkpoint rename), the current state is kept and the next Poll retries.
 func (f *Follower) reload() (int, error) {
-	db, valid, replayed, err := recoverDB(f.dir)
+	db, valid, replayed, _, err := recoverDB(f.dir)
 	if err != nil || db.Revision() < f.db.Revision() {
 		return 0, err
 	}

@@ -14,19 +14,44 @@ package graph
 // length, or its CRC fails with nothing after it — truncated and forgotten,
 // the batch was never acknowledged) from mid-file corruption (a CRC failure
 // with valid data after it — a hard error, the log is not trustworthy).
+//
+// Side records share the frame format but carry opaque application state
+// instead of a Delta batch. They are recognized by a sentinel first uvarint:
+//
+//	payload := sideFromRev(uvarint = 2^64-1) kind(uvarint) blob(rest)
+//
+// No real record can declare fromRev 2^64-1 (it would leave no room for
+// toRev > fromRev), so old logs parse unchanged. Replay and follower tailing
+// skip side records in the revision-continuity checks — they interleave
+// freely with delta records. The serving layer uses kind 1 to persist parked
+// ranked cursors across restarts (see cmd/cxrpq-serve); blobs are opaque to
+// this package. Side records live in the WAL only: a checkpoint truncates
+// them away, which is why side state must always be reconstructible (for
+// cursors: a lost record degrades to HTTP 410, the pre-persistence
+// behavior).
 
 import (
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"math"
 )
 
+// sideFromRev marks a side-record payload: an impossible fromRev.
+const sideFromRev = math.MaxUint64
+
 // walRecord is one framed Delta batch: applying Delta to the graph at
-// revision FromRev yields revision ToRev.
+// revision FromRev yields revision ToRev. With Side set it is instead an
+// opaque application side record (Kind + Blob) and the other fields are
+// meaningless.
 type walRecord struct {
 	FromRev, ToRev uint64
 	Delta          Delta
+
+	Side bool
+	Kind uint64
+	Blob []byte
 }
 
 // maxWALRecord bounds a single record frame; a declared length beyond it is
@@ -59,6 +84,17 @@ func encodeWALRecord(b []byte, rec walRecord) []byte {
 	payload = appendUvarint(payload, rec.ToRev)
 	payload = appendEdges(payload, rec.Delta.Add)
 	payload = appendEdges(payload, rec.Delta.Del)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(payload)))
+	b = binary.LittleEndian.AppendUint32(b, crc32.ChecksumIEEE(payload))
+	return append(b, payload...)
+}
+
+// encodeWALSideRecord appends the full frame for an application side record:
+// the sentinel fromRev, the record kind, then the opaque blob.
+func encodeWALSideRecord(b []byte, kind uint64, blob []byte) []byte {
+	payload := appendUvarint(nil, uint64(sideFromRev))
+	payload = appendUvarint(payload, kind)
+	payload = append(payload, blob...)
 	b = binary.LittleEndian.AppendUint32(b, uint32(len(payload)))
 	b = binary.LittleEndian.AppendUint32(b, crc32.ChecksumIEEE(payload))
 	return append(b, payload...)
@@ -124,6 +160,14 @@ func decodeWALPayload(payload []byte) (walRecord, error) {
 	var err error
 	if rec.FromRev, err = d.uvarint(); err != nil {
 		return rec, err
+	}
+	if rec.FromRev == sideFromRev {
+		rec.Side = true
+		if rec.Kind, err = d.uvarint(); err != nil {
+			return rec, err
+		}
+		rec.Blob = append([]byte(nil), d.buf[d.off:]...)
+		return rec, nil
 	}
 	if rec.ToRev, err = d.uvarint(); err != nil {
 		return rec, err

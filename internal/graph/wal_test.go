@@ -330,3 +330,107 @@ func TestFollowerTailsLeader(t *testing.T) {
 		t.Fatal("follower never took the checkpoint-reload path")
 	}
 }
+
+// Side records interleave with delta records without disturbing the
+// revision lineage: recovery replays the deltas, surfaces the side blobs in
+// log order, and a follower tailing the same WAL skips them entirely.
+func TestStoreSideRecords(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir, StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	storeDelta(t, s, add("u", "v"))
+	if err := s.AppendSide(1, []byte("first")); err != nil {
+		t.Fatal(err)
+	}
+	storeDelta(t, s, add("v", "w"))
+	if err := s.AppendSide(2, []byte("other-kind")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendSide(1, []byte("second")); err != nil {
+		t.Fatal(err)
+	}
+	want := s.DB().Revision()
+	if got := s.SideRecords(1); len(got) != 2 || string(got[0]) != "first" || string(got[1]) != "second" {
+		t.Fatalf("live SideRecords(1) = %q", got)
+	}
+
+	// A follower tailing the same WAL applies only the deltas.
+	f, err := OpenFollower(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	equalDB(t, s.DB(), f.DB())
+	if err := s.AppendSide(1, []byte("third")); err != nil {
+		t.Fatal(err)
+	}
+	storeDelta(t, s, add("w", "x"))
+	if n, err := f.Poll(); err != nil || n != 1 {
+		t.Fatalf("Poll = %d, %v; want 1 delta (side record skipped)", n, err)
+	}
+	equalDB(t, s.DB(), f.DB())
+	want = s.DB().Revision()
+
+	// Crash recovery (reopen without Close) keeps lineage and side blobs.
+	s2, err := OpenStore(dir, StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.DB().Revision() != want {
+		t.Fatalf("recovered revision %d, want %d", s2.DB().Revision(), want)
+	}
+	if got := s2.SideRecords(1); len(got) != 3 || string(got[2]) != "third" {
+		t.Fatalf("recovered SideRecords(1) = %q", got)
+	}
+	if got := s2.SideRecords(2); len(got) != 1 || string(got[0]) != "other-kind" {
+		t.Fatalf("recovered SideRecords(2) = %q", got)
+	}
+	if st := s2.Stats(); st.ReplayedRecords != 3 {
+		t.Fatalf("replayed %d delta records, want 3", st.ReplayedRecords)
+	}
+
+	// Checkpoint truncates the WAL: side records are gone, by contract.
+	if err := s2.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s2.SideRecords(1); got != nil {
+		t.Fatalf("SideRecords after checkpoint = %q, want none", got)
+	}
+	s2.Close()
+}
+
+// A torn side-record tail is dropped like a torn delta tail.
+func TestStoreSideRecordTornTail(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir, StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	storeDelta(t, s, add("u", "v"))
+	if err := s.AppendSide(1, []byte("kept")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendSide(1, []byte("torn-away")); err != nil {
+		t.Fatal(err)
+	}
+	walPath := filepath.Join(dir, walFile)
+	fi, err := os.Stat(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(walPath, fi.Size()-4); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := OpenStore(dir, StoreOptions{})
+	if err != nil {
+		t.Fatalf("recovery after torn side tail: %v", err)
+	}
+	defer s2.Close()
+	if got := s2.SideRecords(1); len(got) != 1 || string(got[0]) != "kept" {
+		t.Fatalf("SideRecords = %q, want only the intact record", got)
+	}
+	if _, ok := s2.DB().Lookup("v"); !ok {
+		t.Fatal("delta before torn side record lost")
+	}
+}
